@@ -1,0 +1,76 @@
+// Ablation G: CISC vs RISC code density (paper section 5.2).
+//
+// "Networking code is substantially smaller on the i386 than on the
+// Alpha... the NetBSD TCP and IP code is 55% smaller on the i386" — so
+// with equal-size caches the denser encoding keeps more of the working
+// set resident, and the CISC machine "may therefore benefit less from
+// LDLP". This bench re-traces the receive path with every function's
+// footprint scaled to i386-like density and reports the working set and
+// the cold-cache fetch cost on the 8 KB machine for both encodings.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/cache.hpp"
+#include "stack/rx_path_trace.hpp"
+#include "trace/working_set.hpp"
+
+namespace {
+
+struct Encoding {
+  const char* name;
+  double scale;
+};
+
+/// Cold I-cache misses for one replay of the traced code references.
+std::uint64_t cold_misses(const ldlp::trace::TraceBuffer& buffer) {
+  ldlp::sim::Cache icache(ldlp::sim::CacheConfig{8192, 32, 1});
+  for (const auto& ref : buffer.refs()) {
+    if (ref.kind == ldlp::trace::RefKind::kCode)
+      (void)icache.access_range(ref.addr, ref.len);
+  }
+  return icache.stats().misses;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ldlp;
+  benchutil::Flags flags(argc, argv);
+  const auto payload = static_cast<std::uint32_t>(flags.u64("payload", 512));
+
+  const Encoding encodings[] = {
+      {"Alpha (RISC)", 1.0},
+      {"i386 (CISC, ~50% denser)", 0.5},
+  };
+
+  benchutil::heading(
+      "Ablation: instruction-set code density (paper section 5.2)");
+  std::printf("%-26s | %12s | %14s | %12s\n", "encoding", "code bytes",
+              "cold I-misses", "stall cycles");
+  std::uint64_t misses[2] = {0, 0};
+  int slot = 0;
+  for (const Encoding& enc : encodings) {
+    stack::StackTracer tracer(enc.scale);
+    trace::TraceBuffer buffer;
+    if (!stack::trace_tcp_receive_ack(tracer, buffer, {payload, 2})) {
+      std::fprintf(stderr, "FAILED: receive path did not complete\n");
+      return 1;
+    }
+    const auto ws = trace::analyze_working_set(buffer, 32);
+    const std::uint64_t m = cold_misses(buffer);
+    misses[slot++] = m;
+    std::printf("%-26s | %12llu | %14llu | %12llu\n", enc.name,
+                static_cast<unsigned long long>(ws.code_bytes()),
+                static_cast<unsigned long long>(m),
+                static_cast<unsigned long long>(m * 20));
+  }
+  std::printf(
+      "\nWith equal 8 KB caches the denser encoding fetches %.0f%% fewer\n"
+      "instruction lines per message — the paper's 'one more volley into\n"
+      "the CISC/RISC debate'. Note the i386 working set (~16 KB) still\n"
+      "exceeds the cache, so LDLP helps there too, just by a smaller\n"
+      "factor.\n",
+      100.0 * (1.0 - static_cast<double>(misses[1]) /
+                         static_cast<double>(misses[0])));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Shared helpers for the reproduction benches: tiny flag parser and
+// paper-vs-measured report formatting.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace ldlp::benchutil {
+
+/// Minimal "--name=value" flag reader.
+class Flags {
+ public:
+  Flags(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  [[nodiscard]] std::uint64_t u64(const char* name,
+                                  std::uint64_t fallback) const {
+    const char* v = find(name);
+    return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+  }
+  [[nodiscard]] double f64(const char* name, double fallback) const {
+    const char* v = find(name);
+    return v != nullptr ? std::strtod(v, nullptr) : fallback;
+  }
+  [[nodiscard]] bool flag(const char* name) const {
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], "--", 2) == 0 &&
+          std::strcmp(argv_[i] + 2, name) == 0)
+        return true;
+    }
+    return false;
+  }
+
+ private:
+  [[nodiscard]] const char* find(const char* name) const {
+    const std::size_t len = std::strlen(name);
+    for (int i = 1; i < argc_; ++i) {
+      const char* arg = argv_[i];
+      if (std::strncmp(arg, "--", 2) != 0) continue;
+      if (std::strncmp(arg + 2, name, len) == 0 && arg[2 + len] == '=')
+        return arg + 2 + len + 1;
+    }
+    return nullptr;
+  }
+
+  int argc_;
+  char** argv_;
+};
+
+inline void heading(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+/// "paper X, measured Y (delta%)" row.
+inline void compare_row(const char* label, double paper, double measured) {
+  const double delta =
+      paper != 0.0 ? (measured - paper) / paper * 100.0 : 0.0;
+  std::printf("  %-28s paper %10.0f   measured %10.0f   (%+.1f%%)\n", label,
+              paper, measured, delta);
+}
+
+/// Human-readable seconds.
+inline std::string fmt_latency(double sec) {
+  char buf[32];
+  if (sec < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%7.1f us", sec * 1e6);
+  } else if (sec < 1.0) {
+    std::snprintf(buf, sizeof buf, "%7.2f ms", sec * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%7.2f s ", sec);
+  }
+  return buf;
+}
+
+}  // namespace ldlp::benchutil

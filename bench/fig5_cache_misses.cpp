@@ -1,0 +1,64 @@
+// Figure 5: instruction and data cache misses per message vs arrival rate,
+// Poisson source of 552-byte messages, conventional vs LDLP scheduling.
+//
+// Machine: 100 MHz CPU, 8 KB direct-mapped split I/D caches, 32-byte
+// lines, 20-cycle miss penalty — the paper's synthetic machine. Results
+// are averaged over randomised memory layouts (paper: 100 runs x 1 s;
+// default here 30, selectable via --runs=N).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "synth/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ldlp;
+  benchutil::Flags flags(argc, argv);
+  synth::SweepOptions opt;
+  opt.runs = static_cast<std::uint32_t>(flags.u64("runs", 30));
+  opt.run_seconds = flags.f64("seconds", 1.0);
+  opt.seed = flags.u64("seed", 0x5eed);
+
+  std::vector<double> rates;
+  for (double r = 1000; r <= 10000; r += 1000) rates.push_back(r);
+
+  synth::SynthConfig conv;
+  conv.mode = synth::SynthMode::kConventional;
+  synth::SynthConfig ilp = conv;
+  ilp.mode = synth::SynthMode::kIlp;
+  synth::SynthConfig ldlp = conv;
+  ldlp.mode = synth::SynthMode::kLdlp;
+
+  const auto pc = synth::sweep_poisson_rates(conv, rates, opt);
+  const auto pi = synth::sweep_poisson_rates(ilp, rates, opt);
+  const auto pl = synth::sweep_poisson_rates(ldlp, rates, opt);
+
+  benchutil::heading(
+      "Figure 5: cache misses per message vs arrival rate (Poisson, 552 B)");
+  std::printf("(%u runs x %.1f s per point, random layout per run; "
+              "LDLP batch limit = %u messages;\n ILP added beyond the "
+              "paper's two curves — it fuses data loops but cannot touch "
+              "code locality)\n\n",
+              opt.runs, opt.run_seconds, pl.front().mean.batch_limit);
+  std::printf("%9s | %9s %9s | %9s %9s | %9s %9s | %6s\n", "rate",
+              "conv I", "conv D", "ILP I", "ILP D", "LDLP I", "LDLP D",
+              "batch");
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    std::printf("%9.0f | %9.1f %9.1f | %9.1f %9.1f | %9.1f %9.1f | %6.2f\n",
+                rates[i], pc[i].mean.i_misses_per_msg,
+                pc[i].mean.d_misses_per_msg, pi[i].mean.i_misses_per_msg,
+                pi[i].mean.d_misses_per_msg, pl[i].mean.i_misses_per_msg,
+                pl[i].mean.d_misses_per_msg, pl[i].mean.mean_batch);
+  }
+
+  std::printf(
+      "\nShape checks vs the paper:\n"
+      "  - conventional I-misses stay ~flat near the full per-message\n"
+      "    working set (5 layers x 6 KB / 32 B = 960 lines);\n"
+      "  - LDLP I-misses fall roughly as 1/batch as load rises;\n"
+      "  - LDLP D-misses rise with batching but stay far below the I-miss\n"
+      "    savings;\n"
+      "  - the LDLP curve flattens when batching hits the max batch size\n"
+      "    (paper: beyond ~8500 msgs/sec).\n");
+  return 0;
+}

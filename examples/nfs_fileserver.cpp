@@ -1,0 +1,108 @@
+// NFS: "all except two messages in NFS" are small (paper §1) — the two
+// being READ replies and WRITE calls. This example runs both halves of
+// that observation against the NFS-lite server:
+//
+//   * a metadata storm (CREATE / LOOKUP / GETATTR / READDIR) whose
+//     messages average well under 200 bytes — the small-message regime
+//     where the protocol *code* dominates memory traffic;
+//   * a bulk read of the same data in 8 KB chunks — the large-message
+//     regime where the classic data-movement optimisations apply.
+//
+// The server host runs LDLP scheduling; per-layer batch statistics and
+// the measured wire-size split are printed.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rpc/nfs_lite.hpp"
+
+using namespace ldlp;
+
+int main() {
+  stack::HostConfig client_cfg;
+  client_cfg.name = "client";
+  client_cfg.mac = {2, 0, 0, 0, 0, 1};
+  client_cfg.ip = wire::ip_from_parts(10, 0, 0, 1);
+  stack::HostConfig server_cfg;
+  server_cfg.name = "nfsd";
+  server_cfg.mac = {2, 0, 0, 0, 0, 2};
+  server_cfg.ip = wire::ip_from_parts(10, 0, 0, 2);
+  server_cfg.mode = core::SchedMode::kLdlp;
+
+  stack::Host client_host(client_cfg);
+  stack::Host server_host(server_cfg);
+  stack::NetDevice::connect(client_host.device(), server_host.device());
+
+  rpc::NfsServer server(server_host);
+  rpc::NfsClient::Config ccfg;
+  ccfg.server_ip = server_cfg.ip;
+  rpc::NfsClient client(client_host, ccfg, [&] {
+    client_host.pump();
+    server_host.pump();
+    server.poll();
+    server_host.pump();
+    client_host.pump();
+  });
+
+  // --- Phase 1: metadata storm ------------------------------------------
+  const int kFiles = 40;
+  std::vector<rpc::FileHandle> handles;
+  for (int i = 0; i < kFiles; ++i) {
+    const auto fh =
+        client.create(rpc::kRootHandle, "log." + std::to_string(i));
+    if (!fh.has_value()) return 1;
+    handles.push_back(*fh);
+    if (!client.getattr(*fh).has_value()) return 1;
+    if (!client.lookup(rpc::kRootHandle, "log." + std::to_string(i))
+             .has_value())
+      return 1;
+  }
+  if (!client.readdir(rpc::kRootHandle).has_value()) return 1;
+
+  const auto meta = server.stats();
+  std::printf("metadata storm: %llu calls, mean request %llu B, "
+              "mean reply %llu B\n",
+              static_cast<unsigned long long>(meta.calls),
+              static_cast<unsigned long long>(meta.bytes_in / meta.calls),
+              static_cast<unsigned long long>(meta.bytes_out / meta.calls));
+
+  // --- Phase 2: bulk data -------------------------------------------------
+  std::vector<std::uint8_t> block(8192);
+  for (std::size_t i = 0; i < block.size(); ++i)
+    block[i] = static_cast<std::uint8_t>(i * 13);
+  for (int i = 0; i < 8; ++i) {
+    if (!client.write(handles[0], static_cast<std::uint32_t>(i) * 8192,
+                      block))
+      return 1;
+  }
+  std::size_t read_back = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto chunk =
+        client.read(handles[0], static_cast<std::uint32_t>(i) * 8192, 8192);
+    if (!chunk.has_value()) return 1;
+    read_back += chunk->size();
+  }
+
+  const auto bulk = server.stats();
+  const auto bulk_calls = bulk.calls - meta.calls;
+  std::printf("bulk transfer:  %llu calls, mean request %llu B, "
+              "mean reply %llu B, %zu bytes read back\n",
+              static_cast<unsigned long long>(bulk_calls),
+              static_cast<unsigned long long>((bulk.bytes_in - meta.bytes_in) /
+                                              bulk_calls),
+              static_cast<unsigned long long>(
+                  (bulk.bytes_out - meta.bytes_out) / bulk_calls),
+              read_back);
+
+  std::printf("\nserver-side batching under LDLP: eth %.2f, ip %.2f, "
+              "udp %.2f msgs/activation\n",
+              server_host.eth().stats().mean_batch(),
+              server_host.ip().stats().mean_batch(),
+              server_host.udp().stats().mean_batch());
+  std::printf(
+      "\nThe metadata half is the paper's regime: ~100-byte messages whose\n"
+      "service cost is protocol code, where LDLP batching pays. The bulk\n"
+      "half is the regime of ILP/copy-avoidance — 8 KB of payload per\n"
+      "message dwarfs the code footprint (paper Figure 4).\n");
+  return 0;
+}

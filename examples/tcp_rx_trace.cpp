@@ -1,0 +1,64 @@
+// Working-set explorer: run the instrumented TCP receive & acknowledge
+// path and inspect its memory behaviour interactively.
+//
+//   tcp_rx_trace [payload_bytes] [line_bytes]
+//
+// Prints the Figure 1-style code map, the Table 1 layer breakdown at the
+// chosen cache line size, and what an 8 KB direct-mapped I-cache would do
+// with one iteration of the path (the paper's "assume the cache is cold
+// for every message" rule of thumb, checked against the cache model).
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/cache.hpp"
+#include "stack/rx_path_trace.hpp"
+#include "trace/code_map_render.hpp"
+#include "trace/working_set.hpp"
+
+using namespace ldlp;
+
+int main(int argc, char** argv) {
+  const auto payload =
+      static_cast<std::uint32_t>(argc > 1 ? std::atoi(argv[1]) : 512);
+  const auto line =
+      static_cast<std::uint32_t>(argc > 2 ? std::atoi(argv[2]) : 32);
+
+  stack::StackTracer tracer;
+  trace::TraceBuffer buffer;
+  if (!stack::trace_tcp_receive_ack(tracer, buffer, {payload, 2})) {
+    std::fprintf(stderr, "receive path failed to complete\n");
+    return 1;
+  }
+
+  std::printf("TCP receive & acknowledge, payload=%u bytes, %zu trace "
+              "records\n\n", payload, buffer.size());
+  std::printf("%s\n", trace::render_code_map(tracer.code_map(), buffer).c_str());
+
+  const auto ws = trace::analyze_working_set(buffer, line);
+  std::printf("\nworking set at %u-byte lines:\n%s", line,
+              ws.format_table().c_str());
+
+  // Replay the code working set through the paper's primary I-cache twice:
+  // the second pass shows how little survives between iterations.
+  sim::Cache icache(sim::CacheConfig{8192, 32, 1});
+  auto replay = [&] {
+    std::uint64_t misses0 = icache.stats().misses;
+    for (const auto& ref : buffer.refs()) {
+      if (ref.kind == trace::RefKind::kCode)
+        (void)icache.access_range(ref.addr, ref.len);
+    }
+    return icache.stats().misses - misses0;
+  };
+  const auto first = replay();
+  const auto second = replay();
+  std::printf(
+      "\n8 KB direct-mapped I-cache, one iteration of the path:\n"
+      "  cold-start misses:  %llu lines (%llu bytes)\n"
+      "  next iteration:     %llu lines — %.0f%% of the cold cost, i.e. the\n"
+      "  cache is effectively cold for every message (paper section 6).\n",
+      static_cast<unsigned long long>(first),
+      static_cast<unsigned long long>(first * 32),
+      static_cast<unsigned long long>(second),
+      100.0 * static_cast<double>(second) / static_cast<double>(first));
+  return 0;
+}

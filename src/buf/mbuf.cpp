@@ -1,0 +1,45 @@
+#include "buf/mbuf.hpp"
+
+#include "common/assert.hpp"
+
+namespace ldlp::buf {
+
+std::uint8_t* Mbuf::buffer_start() noexcept {
+  return has_cluster() ? cluster_->bytes : internal_;
+}
+
+std::uint8_t* Mbuf::buffer_end() noexcept {
+  return buffer_start() + buffer_size();
+}
+
+std::uint8_t* Mbuf::grow_front(std::uint32_t n) noexcept {
+  LDLP_DASSERT(leading_space() >= n);
+  data_ -= n;
+  len_ += n;
+  return data_;
+}
+
+std::uint8_t* Mbuf::grow_back(std::uint32_t n) noexcept {
+  LDLP_DASSERT(trailing_space() >= n);
+  std::uint8_t* region = data_ + len_;
+  len_ += n;
+  return region;
+}
+
+void Mbuf::trim_front(std::uint32_t n) noexcept {
+  LDLP_DASSERT(len_ >= n);
+  data_ += n;
+  len_ -= n;
+}
+
+void Mbuf::trim_back(std::uint32_t n) noexcept {
+  LDLP_DASSERT(len_ >= n);
+  len_ -= n;
+}
+
+void Mbuf::center_window() noexcept {
+  LDLP_DASSERT(len_ == 0);
+  data_ = buffer_start() + buffer_size() / 2;
+}
+
+}  // namespace ldlp::buf

@@ -1,0 +1,113 @@
+// mbuf: the 4.4BSD-style network buffer.
+//
+// The paper leans on the mbuf design twice: its measurements show how much
+// of a real stack's working set is buffer management (Table 1), and its
+// LDLP implementation requires "a buffer management scheme where lower
+// layers hand off their buffers to the higher layers" (section 3.2) — mbuf
+// chains provide exactly that. This is a faithful miniature: fixed-size
+// buffers with either a small internal data area or an attached shared
+// cluster, chained per packet via `next`, queued per protocol via chains
+// of packets. Headers are stripped and prepended by moving the data
+// pointer, never by copying payload bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ldlp::buf {
+
+class MbufPool;
+
+inline constexpr std::size_t kMbufSize = 256;      ///< Whole object (MSIZE).
+inline constexpr std::size_t kClusterSize = 2048;  ///< Cluster (MCLBYTES).
+
+/// Reference-counted external storage shared between mbufs (m_copy-style
+/// zero-copy duplication bumps the count instead of copying bytes).
+struct Cluster {
+  std::uint32_t refs = 0;
+  alignas(8) std::uint8_t bytes[kClusterSize];
+};
+
+class Mbuf {
+ public:
+  // Mbufs live in MbufPool slabs; constructing them elsewhere is possible
+  // but pointless — every useful entry point takes a pool.
+  Mbuf() = default;
+  Mbuf(const Mbuf&) = delete;
+  Mbuf& operator=(const Mbuf&) = delete;
+
+  /// --- Chain linkage -----------------------------------------------------
+  [[nodiscard]] Mbuf* next() const noexcept { return next_; }
+  void set_next(Mbuf* m) noexcept { next_ = m; }
+
+  /// --- Data window -------------------------------------------------------
+  [[nodiscard]] std::uint32_t len() const noexcept { return len_; }
+  [[nodiscard]] std::uint8_t* data() noexcept { return data_; }
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_; }
+  [[nodiscard]] std::span<std::uint8_t> bytes() noexcept {
+    return {data_, len_};
+  }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return {data_, len_};
+  }
+
+  /// Buffer bounds (internal area or cluster).
+  [[nodiscard]] std::uint8_t* buffer_start() noexcept;
+  [[nodiscard]] std::uint8_t* buffer_end() noexcept;
+  [[nodiscard]] std::uint32_t buffer_size() const noexcept {
+    return has_cluster() ? kClusterSize
+                         : static_cast<std::uint32_t>(sizeof internal_);
+  }
+
+  /// Space available in front of / behind the current data window.
+  [[nodiscard]] std::uint32_t leading_space() noexcept {
+    return static_cast<std::uint32_t>(data_ - buffer_start());
+  }
+  [[nodiscard]] std::uint32_t trailing_space() noexcept {
+    return static_cast<std::uint32_t>(buffer_end() - (data_ + len_));
+  }
+
+  /// Grow the window forward (toward lower addresses) by `n` bytes and
+  /// return the new front. Caller must check leading_space() first.
+  std::uint8_t* grow_front(std::uint32_t n) noexcept;
+  /// Grow the window at the tail by `n` bytes; returns pointer to the new
+  /// region. Caller must check trailing_space() first.
+  std::uint8_t* grow_back(std::uint32_t n) noexcept;
+  /// Shrink from the front / back (len must cover n).
+  void trim_front(std::uint32_t n) noexcept;
+  void trim_back(std::uint32_t n) noexcept;
+
+  void set_len(std::uint32_t n) noexcept { len_ = n; }
+
+  /// Center the (empty) data window so both prepend and append have room.
+  void center_window() noexcept;
+
+  [[nodiscard]] bool has_cluster() const noexcept { return cluster_ != nullptr; }
+
+  /// --- Packet header (first mbuf of a packet only) -----------------------
+  [[nodiscard]] bool is_pkthdr() const noexcept { return pkthdr_; }
+  [[nodiscard]] std::uint32_t pkt_len() const noexcept { return pkt_len_; }
+  void set_pkt_len(std::uint32_t n) noexcept { pkt_len_ = n; }
+
+ private:
+  friend class MbufPool;
+
+  Mbuf* next_ = nullptr;
+  std::uint8_t* data_ = nullptr;
+  std::uint32_t len_ = 0;
+  std::uint32_t pkt_len_ = 0;
+  bool pkthdr_ = false;
+  Cluster* cluster_ = nullptr;
+  MbufPool* pool_ = nullptr;
+
+  // Internal data area fills the rest of the fixed-size object, as in BSD.
+  static constexpr std::size_t kHeaderBytes =
+      sizeof(Mbuf*) + sizeof(std::uint8_t*) + 2 * sizeof(std::uint32_t) +
+      sizeof(bool) + sizeof(Cluster*) + sizeof(MbufPool*);
+  std::uint8_t internal_[kMbufSize - ((kHeaderBytes + 7) / 8) * 8]{};
+};
+
+static_assert(sizeof(Mbuf) <= kMbufSize, "mbuf must stay a small fixed size");
+
+}  // namespace ldlp::buf

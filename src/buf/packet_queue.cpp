@@ -1,0 +1,3 @@
+#include "buf/packet_queue.hpp"
+
+// Header-only; anchors the translation unit.

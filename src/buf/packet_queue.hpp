@@ -1,0 +1,51 @@
+// Bounded FIFO of packets — the per-layer input queues of section 3.2 and
+// the 500-packet receive buffer of section 4.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "buf/packet.hpp"
+
+namespace ldlp::buf {
+
+class PacketQueue {
+ public:
+  explicit PacketQueue(std::size_t max_packets = SIZE_MAX)
+      : max_packets_(max_packets) {}
+
+  /// Returns false (and frees the packet) when the queue is full — a
+  /// protocol stack sheds load by dropping, never by blocking the driver.
+  [[nodiscard]] bool push(Packet pkt) {
+    if (queue_.size() >= max_packets_) {
+      ++drops_;
+      return false;  // pkt destructor returns the chain to its pool
+    }
+    queue_.push_back(std::move(pkt));
+    if (queue_.size() > high_water_) high_water_ = queue_.size();
+    return true;
+  }
+
+  [[nodiscard]] Packet pop() {
+    if (queue_.empty()) return {};
+    Packet pkt = std::move(queue_.front());
+    queue_.pop_front();
+    return pkt;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return max_packets_; }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+
+  void clear() noexcept { queue_.clear(); }
+
+ private:
+  std::deque<Packet> queue_;
+  std::size_t max_packets_;
+  std::size_t high_water_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace ldlp::buf

@@ -1,0 +1,40 @@
+// Lightweight always-on assertion macros.
+//
+// Protocol code must validate invariants in release builds too: a corrupted
+// mbuf chain or a scheduler invariant violation should fail loudly rather
+// than silently corrupt simulation results. LDLP_ASSERT therefore does not
+// compile away with NDEBUG. Use LDLP_DASSERT for hot-path checks that are
+// acceptable to drop in optimized builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ldlp::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "ldlp assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace ldlp::detail
+
+#define LDLP_ASSERT(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]]                                              \
+      ::ldlp::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);     \
+  } while (false)
+
+#define LDLP_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]]                                              \
+      ::ldlp::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));       \
+  } while (false)
+
+#ifdef NDEBUG
+#define LDLP_DASSERT(expr) ((void)0)
+#else
+#define LDLP_DASSERT(expr) LDLP_ASSERT(expr)
+#endif

@@ -1,0 +1,165 @@
+// Network byte order (big endian) load/store helpers.
+//
+// All wire codecs go through these rather than casting struct overlays onto
+// packet bytes: the loads are alignment-safe (protocol headers frequently
+// start at odd offsets inside mbuf chains) and the compiler reduces them to
+// single bswap'd loads on every mainstream target.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace ldlp {
+
+[[nodiscard]] inline std::uint16_t load_be16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+[[nodiscard]] inline std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+[[nodiscard]] inline std::uint64_t load_be64(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint64_t>(load_be32(p)) << 32) | load_be32(p + 4);
+}
+
+inline void store_be16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+inline void store_be64(std::uint8_t* p, std::uint64_t v) noexcept {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+/// Bounds-checked cursor for decoding wire formats.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
+
+  [[nodiscard]] std::uint8_t u8() noexcept {
+    if (!need(1)) return 0;
+    return data_[pos_++];
+  }
+  [[nodiscard]] std::uint16_t be16() noexcept {
+    if (!need(2)) return 0;
+    const auto v = load_be16(data_.data() + pos_);
+    pos_ += 2;
+    return v;
+  }
+  [[nodiscard]] std::uint32_t be32() noexcept {
+    if (!need(4)) return 0;
+    const auto v = load_be32(data_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+  [[nodiscard]] std::uint64_t be64() noexcept {
+    if (!need(8)) return 0;
+    const auto v = load_be64(data_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+  /// Returns a view of n bytes, or an empty span (and failure) if short.
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n) noexcept {
+    if (!need(n)) return {};
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  void skip(std::size_t n) noexcept {
+    if (need(n)) pos_ += n;
+  }
+
+ private:
+  [[nodiscard]] bool need(std::size_t n) noexcept {
+    if (failed_ || remaining() < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// Bounds-checked cursor for encoding wire formats.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::span<std::uint8_t> data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
+
+  void u8(std::uint8_t v) noexcept {
+    if (need(1)) data_[pos_++] = v;
+  }
+  void be16(std::uint16_t v) noexcept {
+    if (need(2)) {
+      store_be16(data_.data() + pos_, v);
+      pos_ += 2;
+    }
+  }
+  void be32(std::uint32_t v) noexcept {
+    if (need(4)) {
+      store_be32(data_.data() + pos_, v);
+      pos_ += 4;
+    }
+  }
+  void be64(std::uint64_t v) noexcept {
+    if (need(8)) {
+      store_be64(data_.data() + pos_, v);
+      pos_ += 8;
+    }
+  }
+  void bytes(std::span<const std::uint8_t> src) noexcept {
+    if (need(src.size()) && !src.empty()) {
+      std::memcpy(data_.data() + pos_, src.data(), src.size());
+      pos_ += src.size();
+    }
+  }
+  void fill(std::uint8_t v, std::size_t n) noexcept {
+    if (need(n) && n != 0) {
+      std::memset(data_.data() + pos_, v, n);
+      pos_ += n;
+    }
+  }
+
+ private:
+  [[nodiscard]] bool need(std::size_t n) noexcept {
+    if (failed_ || remaining() < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace ldlp

@@ -1,0 +1,72 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ldlp {
+
+LogHistogram::LogHistogram(double lo, double hi, int per_decade)
+    : lo_(lo), hi_(hi) {
+  LDLP_ASSERT(lo > 0.0 && hi > lo && per_decade > 0);
+  log_lo_ = std::log10(lo);
+  log_step_ = 1.0 / per_decade;
+  inv_log_step_ = per_decade;
+  const auto n = static_cast<std::size_t>(
+      std::ceil((std::log10(hi) - log_lo_) * per_decade));
+  buckets_.assign(n + 2, 0);  // +under +over
+}
+
+std::size_t LogHistogram::bucket_for(double value) const noexcept {
+  if (value < lo_) return 0;
+  if (value >= hi_) return buckets_.size() - 1;
+  const auto i = static_cast<std::size_t>(
+      (std::log10(value) - log_lo_) * inv_log_step_);
+  return std::min(i + 1, buckets_.size() - 2);
+}
+
+double LogHistogram::bucket_mid(std::size_t i) const noexcept {
+  if (i == 0) return lo_;
+  if (i == buckets_.size() - 1) return hi_;
+  const double lg = log_lo_ + (static_cast<double>(i - 1) + 0.5) * log_step_;
+  return std::pow(10.0, lg);
+}
+
+void LogHistogram::add(double value) noexcept {
+  ++buckets_[bucket_for(value)];
+  ++total_;
+  sum_ += value;
+  if (value > max_seen_) max_seen_ = value;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  LDLP_ASSERT(buckets_.size() == other.buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+  max_seen_ = std::max(max_seen_, other.max_seen_);
+}
+
+void LogHistogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+  sum_ = 0.0;
+  max_seen_ = 0.0;
+}
+
+double LogHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) return bucket_mid(i);
+  }
+  return hi_;
+}
+
+}  // namespace ldlp

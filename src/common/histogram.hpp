@@ -1,0 +1,51 @@
+// Log-bucketed histogram for latency-style measurements.
+//
+// Values spanning many orders of magnitude (100 us .. 1 s in Figure 6) are
+// recorded into logarithmically spaced buckets so that percentile queries
+// have bounded relative error without storing every sample.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ldlp {
+
+class LogHistogram {
+ public:
+  /// Buckets span [lo, hi) with `per_decade` buckets per factor of 10.
+  /// Values below lo land in an underflow bucket, above hi in overflow.
+  LogHistogram(double lo, double hi, int per_decade = 20);
+
+  void add(double value) noexcept;
+  void merge(const LogHistogram& other);
+  void reset() noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] double mean() const noexcept {
+    return total_ != 0 ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+  [[nodiscard]] double max_seen() const noexcept { return max_seen_; }
+
+  /// Quantile in [0, 1]; returns the geometric midpoint of the bucket that
+  /// contains the q-th sample. q=0.5 gives the median.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
+
+ private:
+  [[nodiscard]] std::size_t bucket_for(double value) const noexcept;
+  [[nodiscard]] double bucket_mid(std::size_t i) const noexcept;
+
+  double lo_;
+  double hi_;
+  double log_lo_;
+  double inv_log_step_;
+  double log_step_;
+  std::vector<std::uint64_t> buckets_;  // [under, b0..bn-1, over]
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace ldlp

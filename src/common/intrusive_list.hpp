@@ -1,0 +1,117 @@
+// Intrusive doubly-linked list.
+//
+// Queues between protocol layers must not allocate per enqueue (the paper's
+// ~40-instruction enqueue/dequeue budget in section 3.2 leaves no room for
+// heap traffic), so list linkage is embedded in the queued objects.
+#pragma once
+
+#include <cstddef>
+
+#include "common/assert.hpp"
+
+namespace ldlp {
+
+struct ListHook {
+  ListHook* prev = nullptr;
+  ListHook* next = nullptr;
+
+  [[nodiscard]] bool linked() const noexcept { return next != nullptr; }
+
+  void unlink() noexcept {
+    LDLP_DASSERT(linked());
+    prev->next = next;
+    next->prev = prev;
+    prev = next = nullptr;
+  }
+};
+
+/// Intrusive list of T, where `Hook` is a pointer-to-member selecting which
+/// ListHook inside T to use (objects can sit on several lists at once).
+template <typename T, ListHook T::* Hook = &T::hook>
+class IntrusiveList {
+ public:
+  IntrusiveList() noexcept { head_.prev = head_.next = &head_; }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  ~IntrusiveList() { clear(); }
+
+  [[nodiscard]] bool empty() const noexcept { return head_.next == &head_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void push_back(T& item) noexcept {
+    ListHook& h = item.*Hook;
+    LDLP_DASSERT(!h.linked());
+    h.prev = head_.prev;
+    h.next = &head_;
+    head_.prev->next = &h;
+    head_.prev = &h;
+    ++size_;
+  }
+
+  void push_front(T& item) noexcept {
+    ListHook& h = item.*Hook;
+    LDLP_DASSERT(!h.linked());
+    h.next = head_.next;
+    h.prev = &head_;
+    head_.next->prev = &h;
+    head_.next = &h;
+    ++size_;
+  }
+
+  [[nodiscard]] T* front() noexcept {
+    return empty() ? nullptr : owner(head_.next);
+  }
+  [[nodiscard]] T* back() noexcept {
+    return empty() ? nullptr : owner(head_.prev);
+  }
+
+  T* pop_front() noexcept {
+    if (empty()) return nullptr;
+    T* item = owner(head_.next);
+    (item->*Hook).unlink();
+    --size_;
+    return item;
+  }
+
+  void remove(T& item) noexcept {
+    (item.*Hook).unlink();
+    --size_;
+  }
+
+  /// Unlinks every element; does not destroy them (list does not own).
+  void clear() noexcept {
+    while (pop_front() != nullptr) {
+    }
+  }
+
+  /// Moves all elements of `other` onto the back of this list.
+  void splice_back(IntrusiveList& other) noexcept {
+    while (T* item = other.pop_front()) push_back(*item);
+  }
+
+  template <typename F>
+  void for_each(F&& fn) {
+    for (ListHook* h = head_.next; h != &head_;) {
+      ListHook* next = h->next;  // fn may unlink h
+      fn(*owner(h));
+      h = next;
+    }
+  }
+
+ private:
+  [[nodiscard]] static T* owner(ListHook* h) noexcept {
+    // Standard container_of computation via pointer-to-member offset.
+    alignas(T) static char probe_storage[sizeof(T)];
+    T* probe = reinterpret_cast<T*>(probe_storage);
+    const auto offset = reinterpret_cast<char*>(&(probe->*Hook)) -
+                        reinterpret_cast<char*>(probe);
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(h) - offset);
+  }
+
+  ListHook head_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ldlp

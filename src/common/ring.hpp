@@ -1,0 +1,59 @@
+// Fixed-capacity ring buffer (single producer / single consumer semantics
+// within one thread; the simulators are single-threaded by design).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace ldlp {
+
+template <typename T, std::size_t Capacity>
+class Ring {
+  static_assert(Capacity > 0);
+
+ public:
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return count_ == Capacity; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] static constexpr std::size_t capacity() noexcept {
+    return Capacity;
+  }
+
+  /// Returns false (and drops the item) when full.
+  [[nodiscard]] bool push(T value) noexcept {
+    if (full()) return false;
+    slots_[tail_] = std::move(value);
+    tail_ = (tail_ + 1) % Capacity;
+    ++count_;
+    return true;
+  }
+
+  [[nodiscard]] std::optional<T> pop() noexcept {
+    if (empty()) return std::nullopt;
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % Capacity;
+    --count_;
+    return value;
+  }
+
+  [[nodiscard]] T& front() noexcept {
+    LDLP_DASSERT(!empty());
+    return slots_[head_];
+  }
+
+  void clear() noexcept {
+    while (!empty()) (void)pop();
+  }
+
+ private:
+  std::array<T, Capacity> slots_{};
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace ldlp

@@ -1,0 +1,44 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ldlp {
+
+std::uint64_t Rng::bounded(std::uint64_t bound) noexcept {
+  LDLP_DASSERT(bound != 0);
+  // Lemire's nearly-divisionless method; the rejection loop runs at most a
+  // handful of times even for adversarial bounds.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
+  LDLP_DASSERT(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(bounded(span));
+}
+
+double Rng::exponential(double mean) noexcept {
+  LDLP_DASSERT(mean > 0.0);
+  // uniform() can return exactly 0; 1-u is in (0, 1].
+  return -mean * std::log(1.0 - uniform());
+}
+
+double Rng::pareto(double alpha, double xm) noexcept {
+  LDLP_DASSERT(alpha > 0.0 && xm > 0.0);
+  return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+}  // namespace ldlp

@@ -1,0 +1,31 @@
+#include "core/blocking.hpp"
+
+#include <algorithm>
+
+namespace ldlp::core {
+
+BlockingEstimate estimate_blocking(const StackFootprint& stack,
+                                   const sim::CacheConfig& icache,
+                                   const sim::CacheConfig& dcache) noexcept {
+  BlockingEstimate out;
+  out.layer_fits_icache = stack.layer_code_bytes <= icache.size_bytes;
+  out.layers_in_icache =
+      stack.layer_code_bytes != 0
+          ? icache.size_bytes / stack.layer_code_bytes
+          : stack.num_layers;
+
+  // Data cache must hold every layer's mutable data plus the batch of
+  // messages being carried through the stack.
+  const std::uint64_t layers_data =
+      static_cast<std::uint64_t>(stack.num_layers) * stack.layer_data_bytes;
+  if (layers_data >= dcache.size_bytes || stack.message_bytes == 0) {
+    out.batch_limit = 1;
+    return out;
+  }
+  const std::uint64_t room = dcache.size_bytes - layers_data;
+  out.batch_limit = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, room / stack.message_bytes));
+  return out;
+}
+
+}  // namespace ldlp::core

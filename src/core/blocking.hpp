@@ -1,0 +1,38 @@
+// Blocking-factor estimation (section 3.2).
+//
+// "For many signalling protocols, just one layer will fit in the
+// instruction cache, while several messages fit in the data cache. For
+// this special case, implementation is especially simple. Messages are
+// processed in batches consisting of as many available messages as will
+// fit in the data cache."
+//
+// estimate_batch_limit computes that bound: how many messages fit in the
+// data cache alongside the layers' own data working sets. The Lam-style
+// refinement (does one layer's code even fit in the I-cache? how many
+// layers could share it?) is exposed for diagnostics.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cache.hpp"
+
+namespace ldlp::core {
+
+struct StackFootprint {
+  std::uint32_t num_layers = 5;
+  std::uint32_t layer_code_bytes = 6 * 1024;  ///< Per layer.
+  std::uint32_t layer_data_bytes = 256;       ///< Per layer.
+  std::uint32_t message_bytes = 552;
+};
+
+struct BlockingEstimate {
+  std::uint32_t batch_limit = 1;       ///< Messages per batch.
+  std::uint32_t layers_in_icache = 0;  ///< How many layers' code fits at once.
+  bool layer_fits_icache = false;      ///< Does a single layer's code fit?
+};
+
+[[nodiscard]] BlockingEstimate estimate_blocking(
+    const StackFootprint& stack, const sim::CacheConfig& icache,
+    const sim::CacheConfig& dcache) noexcept;
+
+}  // namespace ldlp::core

@@ -1,0 +1,32 @@
+#include "core/grouping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ldlp::core {
+
+std::vector<std::uint32_t> plan_groups(
+    const std::vector<std::uint32_t>& layer_code_bytes,
+    std::uint32_t icache_bytes, double occupancy) {
+  LDLP_ASSERT(occupancy > 0.0 && occupancy <= 1.0);
+  const auto budget = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(icache_bytes) * occupancy));
+  std::vector<std::uint32_t> groups;
+  std::uint64_t used = 0;
+  std::uint32_t count = 0;
+  for (const std::uint32_t code : layer_code_bytes) {
+    if (count != 0 && used + code > budget) {
+      groups.push_back(count);
+      used = 0;
+      count = 0;
+    }
+    used += code;
+    ++count;
+  }
+  if (count != 0) groups.push_back(count);
+  return groups;
+}
+
+}  // namespace ldlp::core

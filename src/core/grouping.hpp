@@ -1,0 +1,36 @@
+// Layer grouping (paper section 6).
+//
+// "A reasonable procedure when implementing protocol stacks from scratch
+// is to write layers as independent units, measure their working sets,
+// and then decide how to group them to maximize locality."
+//
+// plan_groups() is that decision: partition the (ordered) layer stack
+// into consecutive groups whose combined code working set fits the
+// instruction cache. Within a group, layers run back-to-back per message
+// (conventional order — their code is co-resident, so nothing is lost and
+// per-layer queue hand-offs are saved); across groups, processing is
+// blocked LDLP-style. Group size 1 everywhere degenerates to pure LDLP;
+// one group holding every layer degenerates to the conventional schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ldlp::core {
+
+/// Greedy bottom-up partition: each group takes consecutive layers while
+/// their summed code fits `icache_bytes * occupancy` (a layer larger than
+/// that budget gets a group of its own). Returns the group sizes, in
+/// stack order, summing to layer_code_bytes.size().
+///
+/// The occupancy margin matters: filling a set-associative cache to the
+/// brim still overflows individual sets (and filling a direct-mapped one
+/// conflicts almost surely under uncontrolled placement), at which point
+/// the group thrashes per message and grouping backfires. 0.75 is a safe
+/// default for 4-way caches; callers with Cord-style layout control can
+/// raise it.
+[[nodiscard]] std::vector<std::uint32_t> plan_groups(
+    const std::vector<std::uint32_t>& layer_code_bytes,
+    std::uint32_t icache_bytes, double occupancy = 0.75);
+
+}  // namespace ldlp::core

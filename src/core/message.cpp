@@ -1,0 +1,3 @@
+#include "core/message.hpp"
+
+// Header-only; anchors the translation unit.

@@ -1,0 +1,31 @@
+// Message: the unit of work passed between layers.
+//
+// Owns its packet (mbuf chain hand-off discipline, section 3.2) and
+// carries the bookkeeping the schedulers and measurements need: arrival
+// time for latency accounting and a flow id for demultiplexing layers.
+#pragma once
+
+#include <cstdint>
+
+#include "buf/packet.hpp"
+#include "eventsim/event_queue.hpp"
+
+namespace ldlp::core {
+
+struct Message {
+  buf::Packet packet;
+  eventsim::SimTime arrival = 0.0;
+  std::uint64_t flow_id = 0;
+  std::uint32_t aux = 0;  ///< Layer-private scratch (e.g. parsed offsets).
+
+  Message() = default;
+  explicit Message(buf::Packet pkt, eventsim::SimTime when = 0.0)
+      : packet(std::move(pkt)), arrival(when) {}
+
+  Message(Message&&) noexcept = default;
+  Message& operator=(Message&&) noexcept = default;
+  Message(const Message&) = delete;
+  Message& operator=(const Message&) = delete;
+};
+
+}  // namespace ldlp::core

@@ -1,0 +1,96 @@
+#include "core/stack_graph.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ldlp::core {
+
+LayerId StackGraph::add_layer(Layer& layer) {
+  LDLP_ASSERT_MSG(layer.graph_ == nullptr,
+                  "layer already registered with a graph");
+  const auto id = static_cast<LayerId>(nodes_.size());
+  nodes_.push_back(Node{&layer, {}, {}});
+  layers_.push_back(&layer);
+  layer.graph_ = this;
+  layer.id_ = id;
+  return id;
+}
+
+void StackGraph::connect(LayerId lower, LayerId upper, int port) {
+  LDLP_ASSERT(lower < nodes_.size() && upper < nodes_.size());
+  LDLP_ASSERT_MSG(find_edge(lower, port) == kNoLayer,
+                  "port already connected");
+  Node& node = nodes_[lower];
+  node.out_edges.emplace_back(port, upper);
+  if (std::find(node.above.begin(), node.above.end(), upper) ==
+      node.above.end())
+    node.above.push_back(upper);
+}
+
+LayerId StackGraph::find_edge(LayerId from, int port) const noexcept {
+  for (const auto& [p, to] : nodes_[from].out_edges) {
+    if (p == port) return to;
+  }
+  return kNoLayer;
+}
+
+void StackGraph::route(LayerId from, int port, Message msg) {
+  const LayerId to = find_edge(from, port);
+  if (to == kNoLayer) return;  // top of stack or unconnected port: consume
+  Layer& target = *nodes_[to].layer;
+  if (mode_ == SchedMode::kConventional) {
+    target.process_now(std::move(msg));
+  } else {
+    target.enqueue(std::move(msg));
+  }
+}
+
+void StackGraph::inject(LayerId id, Message msg) {
+  LDLP_ASSERT(id < nodes_.size());
+  Layer& target = *nodes_[id].layer;
+  if (mode_ == SchedMode::kConventional) {
+    target.process_now(std::move(msg));
+  } else {
+    target.enqueue(std::move(msg));
+  }
+}
+
+std::size_t StackGraph::drain_upward(LayerId id) {
+  Node& node = nodes_[id];
+  std::size_t processed = node.layer->drain(SIZE_MAX);
+  // "Then, it invokes all layers that can be directly above it (there can
+  // be more than one) to process the messages in their queues."
+  for (const LayerId up : node.above) processed += drain_upward(up);
+  return processed;
+}
+
+std::size_t StackGraph::run() {
+  if (mode_ == SchedMode::kConventional) return 0;
+  std::size_t total = 0;
+  for (;;) {
+    bool any = false;
+    // Bottom-most layers are those with queued work; the entry layer
+    // yields after batch_limit messages, everything above runs to
+    // completion (higher priority).
+    for (LayerId id = 0; id < nodes_.size(); ++id) {
+      Layer& layer = *nodes_[id].layer;
+      if (layer.queue_len() == 0) continue;
+      any = true;
+      const std::size_t limit = batch_limit_ == 0 ? SIZE_MAX : batch_limit_;
+      std::size_t processed = layer.drain(limit);
+      for (const LayerId up : nodes_[id].above) processed += drain_upward(up);
+      total += processed;
+    }
+    if (!any) break;
+  }
+  return total;
+}
+
+std::size_t StackGraph::backlog() const noexcept {
+  std::size_t total = 0;
+  for (const Node& node : nodes_) total += node.layer->queue_len();
+  return total;
+}
+
+}  // namespace ldlp::core

@@ -1,0 +1,95 @@
+// StackGraph: wires layers together and schedules them.
+//
+// The graph owns the topology ("directly above" edges, which may fan out —
+// a demultiplexing layer has several upper neighbours) and the scheduling
+// policy:
+//
+//  * kConventional — classic procedure-call layering: a message entering
+//    the bottom is carried through every layer before the next message is
+//    looked at. This is the paper's baseline (and the ALF ordering).
+//
+//  * kLdlp — locality-driven layer processing (section 3.1): messages
+//    entering the graph are queued at the bottom layer; when the graph
+//    runs, the bottom layer processes at most `batch_limit` messages
+//    (bounding the batch by what fits in the data cache), then every layer
+//    above runs to completion, higher layers first, before the bottom
+//    layer is given the CPU again. Under light load batches degenerate to
+//    a single message; under heavy load each layer's code is loaded into
+//    the I-cache once per batch instead of once per message.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/layer.hpp"
+
+namespace ldlp::core {
+
+enum class SchedMode : std::uint8_t { kConventional, kLdlp };
+
+class StackGraph {
+ public:
+  StackGraph() = default;
+  StackGraph(const StackGraph&) = delete;
+  StackGraph& operator=(const StackGraph&) = delete;
+
+  /// Register a layer (non-owning: layers typically live in the host
+  /// object that also owns PCBs etc.). The layer must outlive the graph.
+  LayerId add_layer(Layer& layer);
+
+  /// Connect `lower`'s output `port` to `upper`'s input.
+  void connect(LayerId lower, LayerId upper, int port = 0);
+
+  void set_mode(SchedMode mode) noexcept { mode_ = mode; }
+  [[nodiscard]] SchedMode mode() const noexcept { return mode_; }
+
+  /// Bound on messages the *entry* layer processes per activation (the
+  /// paper: "made to yield the CPU after processing as many messages as
+  /// will fit in the data cache"). 0 means unlimited.
+  void set_batch_limit(std::size_t limit) noexcept { batch_limit_ = limit; }
+  [[nodiscard]] std::size_t batch_limit() const noexcept {
+    return batch_limit_;
+  }
+
+  /// Hand a message to `layer`. Conventional mode processes it through the
+  /// whole stack immediately; LDLP mode enqueues it for the next run().
+  void inject(LayerId layer, Message msg);
+
+  /// LDLP mode: drain all queues per the schedule above. Returns messages
+  /// processed across all layers. No-op (returns 0) in conventional mode,
+  /// where inject() already did the work.
+  std::size_t run();
+
+  [[nodiscard]] Layer& layer(LayerId id) { return *layers_.at(id); }
+  [[nodiscard]] std::size_t layer_count() const noexcept {
+    return layers_.size();
+  }
+
+  /// Total messages currently queued anywhere in the graph.
+  [[nodiscard]] std::size_t backlog() const noexcept;
+
+ private:
+  friend class Layer;
+
+  /// Route a message emitted by `from` out of `port`.
+  void route(LayerId from, int port, Message msg);
+
+  /// Run `id` to completion, then every layer directly above it (depth-
+  /// first, following the paper's description).
+  std::size_t drain_upward(LayerId id);
+
+  struct Node {
+    Layer* layer = nullptr;
+    std::vector<std::pair<int, LayerId>> out_edges;
+    std::vector<LayerId> above;  ///< Unique upper neighbours, in port order.
+  };
+
+  [[nodiscard]] LayerId find_edge(LayerId from, int port) const noexcept;
+
+  std::vector<Node> nodes_;
+  std::vector<Layer*> layers_;
+  SchedMode mode_ = SchedMode::kConventional;
+  std::size_t batch_limit_ = 0;
+};
+
+}  // namespace ldlp::core

@@ -1,0 +1,240 @@
+#include "dns/dns_msg.hpp"
+
+#include <cctype>
+
+#include "common/byteorder.hpp"
+
+namespace ldlp::dns {
+
+namespace {
+constexpr std::uint16_t kClassIn = 1;
+constexpr std::uint8_t kPointerTag = 0xc0;
+}  // namespace
+
+std::string normalize_name(std::string name) {
+  for (char& c : name) c = static_cast<char>(std::tolower(c));
+  if (!name.empty() && name.back() == '.') name.pop_back();
+  return name;
+}
+
+bool encode_name(const std::string& name, std::vector<std::uint8_t>& out) {
+  if (name.size() > kMaxNameLen) return false;
+  std::size_t start = 0;
+  while (start <= name.size()) {
+    std::size_t dot = name.find('.', start);
+    if (dot == std::string::npos) dot = name.size();
+    const std::size_t len = dot - start;
+    if (len == 0 || len > 63) {
+      if (len == 0 && name.empty()) break;  // root name
+      return false;
+    }
+    out.push_back(static_cast<std::uint8_t>(len));
+    out.insert(out.end(), name.begin() + static_cast<long>(start),
+               name.begin() + static_cast<long>(dot));
+    if (dot == name.size()) break;
+    start = dot + 1;
+  }
+  out.push_back(0);
+  return true;
+}
+
+std::optional<std::string> decode_name(std::span<const std::uint8_t> msg,
+                                       std::size_t& pos) {
+  std::string out;
+  std::size_t cursor = pos;
+  bool jumped = false;
+  int jumps = 0;
+  for (;;) {
+    if (cursor >= msg.size()) return std::nullopt;
+    const std::uint8_t len = msg[cursor];
+    if ((len & kPointerTag) == kPointerTag) {
+      // Compression pointer: 14-bit offset.
+      if (cursor + 1 >= msg.size()) return std::nullopt;
+      if (++jumps > 16) return std::nullopt;  // loop protection
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3f) << 8) | msg[cursor + 1];
+      if (!jumped) pos = cursor + 2;
+      jumped = true;
+      if (target >= msg.size()) return std::nullopt;
+      cursor = target;
+      continue;
+    }
+    if (len > 63) return std::nullopt;
+    ++cursor;
+    if (len == 0) break;
+    if (cursor + len > msg.size()) return std::nullopt;
+    if (!out.empty()) out += '.';
+    out.append(reinterpret_cast<const char*>(msg.data() + cursor), len);
+    cursor += len;
+    if (out.size() > kMaxNameLen) return std::nullopt;
+  }
+  if (!jumped) pos = cursor;
+  return normalize_name(std::move(out));
+}
+
+ResourceRecord ResourceRecord::a(std::string name, std::uint32_t ip,
+                                 std::uint32_t ttl) {
+  ResourceRecord rr;
+  rr.name = normalize_name(std::move(name));
+  rr.type = RType::kA;
+  rr.ttl = ttl;
+  rr.rdata.resize(4);
+  store_be32(rr.rdata.data(), ip);
+  return rr;
+}
+
+ResourceRecord ResourceRecord::cname(std::string name,
+                                     const std::string& target,
+                                     std::uint32_t ttl) {
+  ResourceRecord rr;
+  rr.name = normalize_name(std::move(name));
+  rr.type = RType::kCname;
+  rr.ttl = ttl;
+  (void)encode_name(normalize_name(target), rr.rdata);
+  return rr;
+}
+
+std::optional<std::uint32_t> ResourceRecord::a_addr() const noexcept {
+  if (type != RType::kA || rdata.size() != 4) return std::nullopt;
+  return load_be32(rdata.data());
+}
+
+std::optional<std::string> ResourceRecord::target_name() const {
+  if (type != RType::kCname && type != RType::kNs && type != RType::kPtr)
+    return std::nullopt;
+  std::size_t pos = 0;
+  return decode_name(rdata, pos);
+}
+
+DnsMessage DnsMessage::query(std::uint16_t id, std::string name, RType type) {
+  DnsMessage msg;
+  msg.id = id;
+  msg.questions.push_back(Question{normalize_name(std::move(name)), type});
+  return msg;
+}
+
+DnsMessage DnsMessage::response_to(const DnsMessage& q) {
+  DnsMessage msg;
+  msg.id = q.id;
+  msg.is_response = true;
+  msg.recursion_desired = q.recursion_desired;
+  msg.questions = q.questions;
+  return msg;
+}
+
+namespace {
+
+bool encode_rr(const ResourceRecord& rr, std::vector<std::uint8_t>& out) {
+  if (!encode_name(rr.name, out)) return false;
+  std::uint8_t fixed[10];
+  store_be16(fixed, static_cast<std::uint16_t>(rr.type));
+  store_be16(fixed + 2, kClassIn);
+  store_be32(fixed + 4, rr.ttl);
+  store_be16(fixed + 8, static_cast<std::uint16_t>(rr.rdata.size()));
+  out.insert(out.end(), fixed, fixed + 10);
+  out.insert(out.end(), rr.rdata.begin(), rr.rdata.end());
+  return true;
+}
+
+std::optional<ResourceRecord> decode_rr(std::span<const std::uint8_t> msg,
+                                        std::size_t& pos) {
+  ResourceRecord rr;
+  auto name = decode_name(msg, pos);
+  if (!name.has_value()) return std::nullopt;
+  rr.name = std::move(*name);
+  if (pos + 10 > msg.size()) return std::nullopt;
+  rr.type = static_cast<RType>(load_be16(msg.data() + pos));
+  const std::uint16_t rclass = load_be16(msg.data() + pos + 2);
+  rr.ttl = load_be32(msg.data() + pos + 4);
+  const std::uint16_t rdlen = load_be16(msg.data() + pos + 8);
+  pos += 10;
+  if (rclass != kClassIn || pos + rdlen > msg.size()) return std::nullopt;
+  if (rr.type == RType::kCname || rr.type == RType::kNs ||
+      rr.type == RType::kPtr) {
+    // Decompress the embedded name so rdata is self-contained.
+    std::size_t rpos = pos;
+    const auto target = decode_name(msg, rpos);
+    if (!target.has_value()) return std::nullopt;
+    if (!encode_name(*target, rr.rdata)) return std::nullopt;
+  } else {
+    rr.rdata.assign(msg.begin() + static_cast<long>(pos),
+                    msg.begin() + static_cast<long>(pos) + rdlen);
+  }
+  pos += rdlen;
+  return rr;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const DnsMessage& msg) {
+  std::vector<std::uint8_t> out(kHeaderLen);
+  store_be16(out.data(), msg.id);
+  std::uint16_t flags = 0;
+  if (msg.is_response) flags |= 0x8000;
+  if (msg.authoritative) flags |= 0x0400;
+  if (msg.recursion_desired) flags |= 0x0100;
+  if (msg.recursion_available) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(msg.rcode) & 0x0f;
+  store_be16(out.data() + 2, flags);
+  store_be16(out.data() + 4, static_cast<std::uint16_t>(msg.questions.size()));
+  store_be16(out.data() + 6, static_cast<std::uint16_t>(msg.answers.size()));
+  store_be16(out.data() + 8, static_cast<std::uint16_t>(msg.authority.size()));
+  store_be16(out.data() + 10, 0);  // no additional records
+
+  for (const Question& q : msg.questions) {
+    if (!encode_name(q.name, out)) return {};
+    std::uint8_t fixed[4];
+    store_be16(fixed, static_cast<std::uint16_t>(q.type));
+    store_be16(fixed + 2, kClassIn);
+    out.insert(out.end(), fixed, fixed + 4);
+  }
+  for (const ResourceRecord& rr : msg.answers) {
+    if (!encode_rr(rr, out)) return {};
+  }
+  for (const ResourceRecord& rr : msg.authority) {
+    if (!encode_rr(rr, out)) return {};
+  }
+  return out;
+}
+
+std::optional<DnsMessage> decode(std::span<const std::uint8_t> data) {
+  if (data.size() < kHeaderLen) return std::nullopt;
+  DnsMessage msg;
+  msg.id = load_be16(data.data());
+  const std::uint16_t flags = load_be16(data.data() + 2);
+  msg.is_response = (flags & 0x8000) != 0;
+  msg.authoritative = (flags & 0x0400) != 0;
+  msg.recursion_desired = (flags & 0x0100) != 0;
+  msg.recursion_available = (flags & 0x0080) != 0;
+  msg.rcode = static_cast<Rcode>(flags & 0x0f);
+  const std::uint16_t qd = load_be16(data.data() + 4);
+  const std::uint16_t an = load_be16(data.data() + 6);
+  const std::uint16_t ns = load_be16(data.data() + 8);
+  if (qd > 32 || an > 64 || ns > 64) return std::nullopt;  // sanity bounds
+
+  std::size_t pos = kHeaderLen;
+  for (std::uint16_t i = 0; i < qd; ++i) {
+    Question q;
+    auto name = decode_name(data, pos);
+    if (!name.has_value() || pos + 4 > data.size()) return std::nullopt;
+    q.name = std::move(*name);
+    q.type = static_cast<RType>(load_be16(data.data() + pos));
+    const std::uint16_t qclass = load_be16(data.data() + pos + 2);
+    pos += 4;
+    if (qclass != kClassIn) return std::nullopt;
+    msg.questions.push_back(std::move(q));
+  }
+  for (std::uint16_t i = 0; i < an; ++i) {
+    auto rr = decode_rr(data, pos);
+    if (!rr.has_value()) return std::nullopt;
+    msg.answers.push_back(std::move(*rr));
+  }
+  for (std::uint16_t i = 0; i < ns; ++i) {
+    auto rr = decode_rr(data, pos);
+    if (!rr.has_value()) return std::nullopt;
+    msg.authority.push_back(std::move(*rr));
+  }
+  return msg;
+}
+
+}  // namespace ldlp::dns

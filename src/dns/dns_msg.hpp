@@ -1,0 +1,93 @@
+// DNS wire format (RFC 1035 subset).
+//
+// DNS is the first small-message protocol the paper names: ~30-200 byte
+// queries and responses whose processing cost is all header parsing and
+// table lookups — exactly the regime where code locality dominates. This
+// codec covers the header, questions, and A/CNAME/PTR resource records,
+// including decoding of name compression pointers (servers here emit
+// uncompressed names, but must parse compressed ones).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ldlp::dns {
+
+inline constexpr std::size_t kHeaderLen = 12;
+inline constexpr std::size_t kMaxNameLen = 255;
+
+enum class RType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kPtr = 12,
+};
+
+enum class Rcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImpl = 4,
+  kRefused = 5,
+};
+
+struct Question {
+  std::string name;  ///< Dotted lowercase, no trailing dot ("a.example").
+  RType type = RType::kA;
+};
+
+struct ResourceRecord {
+  std::string name;
+  RType type = RType::kA;
+  std::uint32_t ttl = 0;
+  std::vector<std::uint8_t> rdata;  ///< 4-byte address for A; encoded
+                                    ///< name for CNAME/NS/PTR.
+
+  [[nodiscard]] static ResourceRecord a(std::string name, std::uint32_t ip,
+                                        std::uint32_t ttl);
+  [[nodiscard]] static ResourceRecord cname(std::string name,
+                                            const std::string& target,
+                                            std::uint32_t ttl);
+  /// For A records: the packed IPv4 address.
+  [[nodiscard]] std::optional<std::uint32_t> a_addr() const noexcept;
+  /// For CNAME/NS/PTR: the (uncompressed) target name.
+  [[nodiscard]] std::optional<std::string> target_name() const;
+};
+
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  bool authoritative = false;
+  bool recursion_desired = true;
+  bool recursion_available = false;
+  Rcode rcode = Rcode::kNoError;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authority;
+
+  [[nodiscard]] static DnsMessage query(std::uint16_t id, std::string name,
+                                        RType type = RType::kA);
+  [[nodiscard]] static DnsMessage response_to(const DnsMessage& q);
+};
+
+/// Encode; empty vector if a name is malformed (too long, empty label).
+[[nodiscard]] std::vector<std::uint8_t> encode(const DnsMessage& msg);
+
+/// Decode; handles compression pointers (with loop protection).
+[[nodiscard]] std::optional<DnsMessage> decode(
+    std::span<const std::uint8_t> data);
+
+/// Name codec helpers, exposed for tests.
+[[nodiscard]] bool encode_name(const std::string& name,
+                               std::vector<std::uint8_t>& out);
+[[nodiscard]] std::optional<std::string> decode_name(
+    std::span<const std::uint8_t> msg, std::size_t& pos);
+
+/// Case-insensitive name normalisation (RFC 1035 §2.3.3).
+[[nodiscard]] std::string normalize_name(std::string name);
+
+}  // namespace ldlp::dns

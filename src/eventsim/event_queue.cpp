@@ -1,0 +1,25 @@
+#include "eventsim/event_queue.hpp"
+
+#include <limits>
+
+namespace ldlp::eventsim {
+
+void EventQueue::schedule_at(SimTime when, Callback fn) {
+  LDLP_ASSERT_MSG(when >= now_, "cannot schedule into the past");
+  heap_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::run_until(SimTime horizon) {
+  while (!heap_.empty() && heap_.top().when <= horizon) {
+    // priority_queue::top() is const; move via const_cast is the standard
+    // idiom to avoid copying the std::function.
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    now_ = entry.when;
+    entry.fn();
+  }
+  if (heap_.empty() && horizon != std::numeric_limits<SimTime>::infinity())
+    now_ = std::max(now_, horizon);
+}
+
+}  // namespace ldlp::eventsim

@@ -1,0 +1,61 @@
+// Discrete-event simulation core.
+//
+// A minimal calendar: events are (time, sequence, callback); the sequence
+// number makes simultaneous events fire in scheduling order so runs are
+// fully deterministic. Time is double seconds of simulated time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace ldlp::eventsim {
+
+using SimTime = double;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Schedule `fn` at absolute time `when` (>= now).
+  void schedule_at(SimTime when, Callback fn);
+
+  /// Schedule `fn` `delay` seconds from now.
+  void schedule_in(SimTime delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run events until the queue is empty or the horizon is passed. Events
+  /// scheduled exactly at the horizon still run; later ones remain queued.
+  void run_until(SimTime horizon);
+
+  /// Run everything (caller must guarantee termination).
+  void run() { run_until(std::numeric_limits<SimTime>::infinity()); }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ldlp::eventsim

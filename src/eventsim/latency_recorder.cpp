@@ -1,0 +1,3 @@
+#include "eventsim/latency_recorder.hpp"
+
+// Header-only; anchors the translation unit.

@@ -1,0 +1,51 @@
+// Latency and drop accounting for queueing simulations.
+//
+// Records per-message sojourn time (arrival to completion of processing),
+// drops, and throughput over a measurement window. Figures 6 and 7 plot
+// the mean; percentiles are kept as well since batching shifts the tail.
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.hpp"
+#include "common/stats.hpp"
+#include "eventsim/event_queue.hpp"
+
+namespace ldlp::eventsim {
+
+class LatencyRecorder {
+ public:
+  /// Histogram spans 1 us .. 100 s, which covers Figure 6's axis with room.
+  LatencyRecorder() : histogram_(1e-6, 100.0) {}
+
+  void record_completion(SimTime arrival, SimTime completion) {
+    const double latency = completion - arrival;
+    stats_.add(latency);
+    histogram_.add(latency);
+  }
+
+  void record_drop() noexcept { ++drops_; }
+
+  void merge(const LatencyRecorder& other) {
+    stats_.merge(other.stats_);
+    histogram_.merge(other.histogram_);
+    drops_ += other.drops_;
+  }
+
+  [[nodiscard]] std::uint64_t completed() const noexcept {
+    return stats_.count();
+  }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] double mean_latency() const noexcept { return stats_.mean(); }
+  [[nodiscard]] double max_latency() const noexcept { return stats_.max(); }
+  [[nodiscard]] double p50_latency() const noexcept { return histogram_.p50(); }
+  [[nodiscard]] double p99_latency() const noexcept { return histogram_.p99(); }
+  [[nodiscard]] const RunningStats& stats() const noexcept { return stats_; }
+
+ private:
+  RunningStats stats_;
+  LogHistogram histogram_;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace ldlp::eventsim

@@ -1,0 +1,94 @@
+#include "rpc/rpc_msg.hpp"
+
+namespace ldlp::rpc {
+
+namespace {
+constexpr std::uint32_t kAuthNone = 0;
+constexpr std::uint32_t kReplyAccepted = 0;
+}  // namespace
+
+std::vector<std::uint8_t> encode_call(const RpcCall& call) {
+  XdrWriter w;
+  w.u32(call.xid);
+  w.u32(static_cast<std::uint32_t>(MsgKind::kCall));
+  w.u32(kRpcVersion);
+  w.u32(call.prog);
+  w.u32(call.vers);
+  w.u32(call.proc);
+  // Credential and verifier: AUTH_NONE with empty bodies.
+  w.u32(kAuthNone);
+  w.u32(0);
+  w.u32(kAuthNone);
+  w.u32(0);
+  w.opaque_fixed(call.args);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_reply(const RpcReply& reply) {
+  XdrWriter w;
+  w.u32(reply.xid);
+  w.u32(static_cast<std::uint32_t>(MsgKind::kReply));
+  w.u32(kReplyAccepted);
+  // Verifier: AUTH_NONE.
+  w.u32(kAuthNone);
+  w.u32(0);
+  w.u32(static_cast<std::uint32_t>(reply.stat));
+  if (reply.stat == AcceptStat::kSuccess) w.opaque_fixed(reply.results);
+  return w.take();
+}
+
+std::optional<DecodedRpc> decode_rpc(std::span<const std::uint8_t> data) {
+  XdrReader r(data);
+  const auto xid = r.u32();
+  const auto kind = r.u32();
+  if (!xid.has_value() || !kind.has_value()) return std::nullopt;
+
+  DecodedRpc out;
+  if (*kind == static_cast<std::uint32_t>(MsgKind::kCall)) {
+    RpcCall call;
+    call.xid = *xid;
+    const auto rpcvers = r.u32();
+    const auto prog = r.u32();
+    const auto vers = r.u32();
+    const auto proc = r.u32();
+    if (!rpcvers.has_value() || *rpcvers != kRpcVersion || !prog.has_value() ||
+        !vers.has_value() || !proc.has_value())
+      return std::nullopt;
+    call.prog = *prog;
+    call.vers = *vers;
+    call.proc = *proc;
+    // Credential + verifier: flavor and opaque body, both skipped.
+    for (int i = 0; i < 2; ++i) {
+      const auto flavor = r.u32();
+      const auto body = r.opaque(400);
+      if (!flavor.has_value() || !body.has_value()) return std::nullopt;
+    }
+    const auto rest = r.opaque_fixed(static_cast<std::uint32_t>(r.remaining()));
+    if (!rest.has_value()) return std::nullopt;
+    call.args = std::move(*rest);
+    out.call = std::move(call);
+    return out;
+  }
+  if (*kind == static_cast<std::uint32_t>(MsgKind::kReply)) {
+    RpcReply reply;
+    reply.xid = *xid;
+    const auto reply_stat = r.u32();
+    if (!reply_stat.has_value() || *reply_stat != kReplyAccepted)
+      return std::nullopt;  // MSG_DENIED unsupported (never sent here)
+    const auto flavor = r.u32();
+    const auto body = r.opaque(400);
+    const auto stat = r.u32();
+    if (!flavor.has_value() || !body.has_value() || !stat.has_value() ||
+        *stat > static_cast<std::uint32_t>(AcceptStat::kSystemErr))
+      return std::nullopt;
+    reply.stat = static_cast<AcceptStat>(*stat);
+    const auto rest = r.opaque_fixed(static_cast<std::uint32_t>(r.remaining()));
+    if (!rest.has_value()) return std::nullopt;
+    reply.results = std::move(*rest);
+    out.reply = std::move(reply);
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ldlp::rpc

@@ -1,0 +1,54 @@
+// ONC RPC message layer (RFC 1831 subset): CALL and REPLY framing with
+// AUTH_NONE credentials — the transport under NFS and the other Sun
+// services whose messages the paper counts among its small-message
+// workloads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rpc/xdr.hpp"
+
+namespace ldlp::rpc {
+
+inline constexpr std::uint32_t kRpcVersion = 2;
+
+enum class MsgKind : std::uint32_t { kCall = 0, kReply = 1 };
+
+enum class AcceptStat : std::uint32_t {
+  kSuccess = 0,
+  kProgUnavail = 1,
+  kProgMismatch = 2,
+  kProcUnavail = 3,
+  kGarbageArgs = 4,
+  kSystemErr = 5,
+};
+
+struct RpcCall {
+  std::uint32_t xid = 0;
+  std::uint32_t prog = 0;
+  std::uint32_t vers = 0;
+  std::uint32_t proc = 0;
+  std::vector<std::uint8_t> args;  ///< XDR-encoded procedure arguments.
+};
+
+struct RpcReply {
+  std::uint32_t xid = 0;
+  AcceptStat stat = AcceptStat::kSuccess;
+  std::vector<std::uint8_t> results;  ///< XDR-encoded results (kSuccess).
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_call(const RpcCall& call);
+[[nodiscard]] std::vector<std::uint8_t> encode_reply(const RpcReply& reply);
+
+/// Decode either kind; exactly one of the optionals is set on success.
+struct DecodedRpc {
+  std::optional<RpcCall> call;
+  std::optional<RpcReply> reply;
+};
+[[nodiscard]] std::optional<DecodedRpc> decode_rpc(
+    std::span<const std::uint8_t> data);
+
+}  // namespace ldlp::rpc

@@ -1,0 +1,80 @@
+#include "rpc/xdr.hpp"
+
+#include "common/byteorder.hpp"
+
+namespace ldlp::rpc {
+
+void XdrWriter::pad() {
+  while (out_.size() % 4 != 0) out_.push_back(0);
+}
+
+void XdrWriter::u32(std::uint32_t v) {
+  std::uint8_t b[4];
+  store_be32(b, v);
+  out_.insert(out_.end(), b, b + 4);
+}
+
+void XdrWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void XdrWriter::opaque(std::span<const std::uint8_t> data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  out_.insert(out_.end(), data.begin(), data.end());
+  pad();
+}
+
+void XdrWriter::str(const std::string& s) {
+  opaque({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+void XdrWriter::opaque_fixed(std::span<const std::uint8_t> data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+  pad();
+}
+
+std::optional<std::uint32_t> XdrReader::u32() {
+  if (remaining() < 4) return std::nullopt;
+  const std::uint32_t v = load_be32(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> XdrReader::u64() {
+  const auto hi = u32();
+  const auto lo = u32();
+  if (!hi.has_value() || !lo.has_value()) return std::nullopt;
+  return (static_cast<std::uint64_t>(*hi) << 32) | *lo;
+}
+
+std::optional<bool> XdrReader::boolean() {
+  const auto v = u32();
+  if (!v.has_value() || (*v != 0 && *v != 1)) return std::nullopt;
+  return *v == 1;
+}
+
+std::optional<std::vector<std::uint8_t>> XdrReader::opaque(
+    std::uint32_t max_len) {
+  const auto len = u32();
+  if (!len.has_value() || *len > max_len) return std::nullopt;
+  return opaque_fixed(*len);
+}
+
+std::optional<std::string> XdrReader::str(std::uint32_t max_len) {
+  const auto bytes = opaque(max_len);
+  if (!bytes.has_value()) return std::nullopt;
+  return std::string(bytes->begin(), bytes->end());
+}
+
+std::optional<std::vector<std::uint8_t>> XdrReader::opaque_fixed(
+    std::uint32_t len) {
+  const std::uint32_t padded = (len + 3) / 4 * 4;
+  if (remaining() < padded) return std::nullopt;
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<long>(pos_),
+                                data_.begin() + static_cast<long>(pos_) + len);
+  pos_ += padded;
+  return out;
+}
+
+}  // namespace ldlp::rpc

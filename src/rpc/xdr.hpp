@@ -1,0 +1,65 @@
+// XDR (RFC 1832 subset): the external data representation under ONC RPC.
+//
+// Everything is big-endian and padded to 4-byte boundaries; opaque data
+// and strings carry a length word. Bounds-checked on decode — RPC servers
+// parse hostile bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ldlp::rpc {
+
+class XdrWriter {
+ public:
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void boolean(bool v) { u32(v ? 1 : 0); }
+  /// Variable-length opaque: length word + bytes + pad to 4.
+  void opaque(std::span<const std::uint8_t> data);
+  void str(const std::string& s);
+  /// Fixed-length opaque: bytes + pad, no length word.
+  void opaque_fixed(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return out_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(out_);
+  }
+
+ private:
+  void pad();
+  std::vector<std::uint8_t> out_;
+};
+
+class XdrReader {
+ public:
+  explicit XdrReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  [[nodiscard]] std::optional<std::uint32_t> u32();
+  [[nodiscard]] std::optional<std::uint64_t> u64();
+  [[nodiscard]] std::optional<bool> boolean();
+  /// Variable-length opaque with a sanity cap on the length word.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> opaque(
+      std::uint32_t max_len = 1 << 20);
+  [[nodiscard]] std::optional<std::string> str(std::uint32_t max_len = 4096);
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> opaque_fixed(
+      std::uint32_t len);
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ldlp::rpc

@@ -1,0 +1,144 @@
+#include "signal/call_control.hpp"
+
+namespace ldlp::signal {
+
+CallControl::CallControl(std::uint16_t vci_base, std::uint16_t vci_count) {
+  free_vcis_.reserve(vci_count);
+  // LIFO pool: lowest VCI on top for deterministic assignment in tests.
+  for (std::uint16_t i = vci_count; i > 0; --i)
+    free_vcis_.push_back(static_cast<std::uint16_t>(vci_base + i - 1));
+}
+
+std::optional<ConnectionId> CallControl::alloc_vc() {
+  if (free_vcis_.empty()) return std::nullopt;
+  const std::uint16_t vci = free_vcis_.back();
+  free_vcis_.pop_back();
+  return ConnectionId{0, vci};
+}
+
+void CallControl::free_vc(const ConnectionId& cid) {
+  free_vcis_.push_back(cid.vci);
+}
+
+std::uint32_t CallControl::originate(std::span<const std::uint8_t> called,
+                                     std::span<const std::uint8_t> calling,
+                                     const TrafficDescriptor& td) {
+  const std::uint32_t ref = next_call_ref_++ & 0x007fffff;
+  Call call;
+  call.call_ref = ref;
+  call.state = CallState::kCallInitiated;
+  call.originator = true;
+  calls_[ref] = call;
+  ++stats_.setups_sent;
+  if (send_) send_(make_setup(ref, called, calling, td));
+  return ref;
+}
+
+void CallControl::release(std::uint32_t call_ref, Cause cause) {
+  const auto it = calls_.find(call_ref);
+  if (it == calls_.end() || it->second.state != CallState::kActive) {
+    ++stats_.protocol_errors;
+    return;
+  }
+  it->second.state = CallState::kReleaseRequest;
+  ++stats_.releases;
+  if (send_) send_(make_release(call_ref, cause, it->second.originator));
+}
+
+void CallControl::on_message(const SigMessage& msg) {
+  switch (msg.type) {
+    case MsgType::kSetup: handle_setup(msg); break;
+    case MsgType::kConnect: handle_connect(msg); break;
+    case MsgType::kRelease: handle_release(msg); break;
+    case MsgType::kReleaseComplete: handle_release_complete(msg); break;
+    default:
+      ++stats_.protocol_errors;
+      break;
+  }
+}
+
+void CallControl::handle_setup(const SigMessage& msg) {
+  ++stats_.setups_received;
+  if (calls_.count(msg.call_ref) != 0) {
+    ++stats_.protocol_errors;
+    return;
+  }
+  const auto vc = alloc_vc();
+  if (!vc.has_value()) {
+    ++stats_.rejected;
+    if (send_) {
+      SigMessage rc = make_release_complete(msg.call_ref, false);
+      rc.ies.push_back(make_cause(Cause::kResourceUnavailable));
+      send_(rc);
+    }
+    return;
+  }
+  Call call;
+  call.call_ref = msg.call_ref;
+  call.state = CallState::kActive;
+  call.originator = false;
+  call.vc = vc;
+  calls_[msg.call_ref] = call;
+  ++stats_.connects;
+  ++stats_.active_calls;
+  if (send_) send_(make_connect(msg.call_ref, *vc));
+  if (on_active_) on_active_(calls_[msg.call_ref]);
+}
+
+void CallControl::handle_connect(const SigMessage& msg) {
+  const auto it = calls_.find(msg.call_ref);
+  if (it == calls_.end() || it->second.state != CallState::kCallInitiated) {
+    ++stats_.protocol_errors;
+    return;
+  }
+  if (const Ie* ie = msg.find(IeId::kConnectionId)) {
+    it->second.vc = parse_connection_id(*ie);
+  }
+  it->second.state = CallState::kActive;
+  ++stats_.active_calls;
+  if (on_active_) on_active_(it->second);
+}
+
+void CallControl::handle_release(const SigMessage& msg) {
+  const auto it = calls_.find(msg.call_ref);
+  if (it == calls_.end()) {
+    ++stats_.protocol_errors;
+    // Stateless courtesy reply so the peer clears.
+    if (send_) send_(make_release_complete(msg.call_ref, false));
+    return;
+  }
+  ++stats_.release_completes;
+  if (send_)
+    send_(make_release_complete(msg.call_ref, !it->second.originator));
+  clear_call(msg.call_ref);
+}
+
+void CallControl::handle_release_complete(const SigMessage& msg) {
+  const auto it = calls_.find(msg.call_ref);
+  if (it == calls_.end()) return;  // already cleared; benign
+  clear_call(msg.call_ref);
+}
+
+void CallControl::clear_call(std::uint32_t call_ref) {
+  const auto it = calls_.find(call_ref);
+  if (it == calls_.end()) return;
+  if (it->second.state == CallState::kActive ||
+      it->second.state == CallState::kReleaseRequest) {
+    --stats_.active_calls;
+  }
+  if (it->second.vc.has_value() && !it->second.originator)
+    free_vc(*it->second.vc);
+  Call cleared = it->second;
+  cleared.state = CallState::kNull;
+  calls_.erase(it);
+  if (on_cleared_) on_cleared_(cleared);
+}
+
+std::optional<CallState> CallControl::state(
+    std::uint32_t call_ref) const noexcept {
+  const auto it = calls_.find(call_ref);
+  if (it == calls_.end()) return std::nullopt;
+  return it->second.state;
+}
+
+}  // namespace ldlp::signal

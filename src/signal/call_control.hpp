@@ -1,0 +1,101 @@
+// Call control: the Q.93B connection state machines.
+//
+// Two roles share one engine:
+//  * the switch side answers SETUP with CONNECT (allocating a VPI/VCI from
+//    its pool) and RELEASE with RELEASE_COMPLETE;
+//  * the user side originates calls and releases them.
+//
+// The paper's performance goal — 10 000 setup/teardown pairs per second at
+// ~100 us per message on a workstation CPU — is exercised against this
+// engine by examples/signalling_switch.cpp and bench/native_micro.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "signal/message.hpp"
+
+namespace ldlp::signal {
+
+enum class CallState : std::uint8_t {
+  kNull,
+  kCallInitiated,    ///< SETUP sent, awaiting CONNECT.
+  kCallPresent,      ///< SETUP received (transient on the switch side).
+  kActive,
+  kReleaseRequest,   ///< RELEASE sent, awaiting RELEASE_COMPLETE.
+};
+
+struct Call {
+  std::uint32_t call_ref = 0;
+  CallState state = CallState::kNull;
+  bool originator = false;
+  std::optional<ConnectionId> vc;
+};
+
+struct CallControlStats {
+  std::uint64_t setups_sent = 0;
+  std::uint64_t setups_received = 0;
+  std::uint64_t connects = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t release_completes = 0;
+  std::uint64_t rejected = 0;     ///< SETUPs refused (no VC available).
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t active_calls = 0;
+};
+
+class CallControl {
+ public:
+  using SendFn = std::function<void(const SigMessage&)>;
+  /// Fired when a call this side originated becomes active / is cleared.
+  using CallEventFn = std::function<void(const Call&)>;
+
+  /// `vci_base`/`vci_count` bound the switch-side VC pool.
+  explicit CallControl(std::uint16_t vci_base = 64,
+                       std::uint16_t vci_count = 4096);
+
+  void set_send(SendFn fn) { send_ = std::move(fn); }
+  void set_on_active(CallEventFn fn) { on_active_ = std::move(fn); }
+  void set_on_cleared(CallEventFn fn) { on_cleared_ = std::move(fn); }
+
+  /// User side: originate a call. Returns the call reference.
+  std::uint32_t originate(std::span<const std::uint8_t> called,
+                          std::span<const std::uint8_t> calling,
+                          const TrafficDescriptor& td);
+
+  /// User side: clear an active call.
+  void release(std::uint32_t call_ref, Cause cause = Cause::kNormalClearing);
+
+  /// Both sides: feed a decoded message.
+  void on_message(const SigMessage& msg);
+
+  [[nodiscard]] const CallControlStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::optional<CallState> state(
+      std::uint32_t call_ref) const noexcept;
+  [[nodiscard]] std::size_t call_count() const noexcept {
+    return calls_.size();
+  }
+
+ private:
+  void handle_setup(const SigMessage& msg);
+  void handle_connect(const SigMessage& msg);
+  void handle_release(const SigMessage& msg);
+  void handle_release_complete(const SigMessage& msg);
+  void clear_call(std::uint32_t call_ref);
+  [[nodiscard]] std::optional<ConnectionId> alloc_vc();
+  void free_vc(const ConnectionId& cid);
+
+  SendFn send_;
+  CallEventFn on_active_;
+  CallEventFn on_cleared_;
+  std::unordered_map<std::uint32_t, Call> calls_;
+  std::vector<std::uint16_t> free_vcis_;
+  std::uint32_t next_call_ref_ = 1;
+  CallControlStats stats_;
+};
+
+}  // namespace ldlp::signal

@@ -1,0 +1,83 @@
+#include "signal/ie.hpp"
+
+#include "common/byteorder.hpp"
+
+namespace ldlp::signal {
+
+Ie make_connection_id(const ConnectionId& cid) {
+  Ie ie;
+  ie.id = IeId::kConnectionId;
+  ie.value.resize(4);
+  store_be16(ie.value.data(), cid.vpi);
+  store_be16(ie.value.data() + 2, cid.vci);
+  return ie;
+}
+
+Ie make_traffic_descriptor(const TrafficDescriptor& td) {
+  Ie ie;
+  ie.id = IeId::kTrafficDescriptor;
+  ie.value.resize(8);
+  store_be32(ie.value.data(), td.peak_cell_rate);
+  store_be32(ie.value.data() + 4, td.sustained_cell_rate);
+  return ie;
+}
+
+Ie make_cause(Cause cause) {
+  Ie ie;
+  ie.id = IeId::kCause;
+  ie.value.push_back(static_cast<std::uint8_t>(cause));
+  return ie;
+}
+
+Ie make_number(IeId id, std::span<const std::uint8_t> digits) {
+  Ie ie;
+  ie.id = id;
+  ie.value.assign(digits.begin(), digits.end());
+  return ie;
+}
+
+std::optional<ConnectionId> parse_connection_id(const Ie& ie) {
+  if (ie.id != IeId::kConnectionId || ie.value.size() != 4)
+    return std::nullopt;
+  ConnectionId cid;
+  cid.vpi = load_be16(ie.value.data());
+  cid.vci = load_be16(ie.value.data() + 2);
+  return cid;
+}
+
+std::optional<TrafficDescriptor> parse_traffic_descriptor(const Ie& ie) {
+  if (ie.id != IeId::kTrafficDescriptor || ie.value.size() != 8)
+    return std::nullopt;
+  TrafficDescriptor td;
+  td.peak_cell_rate = load_be32(ie.value.data());
+  td.sustained_cell_rate = load_be32(ie.value.data() + 4);
+  return td;
+}
+
+std::optional<Cause> parse_cause(const Ie& ie) {
+  if (ie.id != IeId::kCause || ie.value.empty()) return std::nullopt;
+  return static_cast<Cause>(ie.value[0]);
+}
+
+void encode_ie(const Ie& ie, std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(ie.id));
+  std::uint8_t len[2];
+  store_be16(len, static_cast<std::uint16_t>(ie.value.size()));
+  out.insert(out.end(), len, len + 2);
+  out.insert(out.end(), ie.value.begin(), ie.value.end());
+}
+
+std::optional<Ie> decode_ie(std::span<const std::uint8_t> data,
+                            std::size_t& pos) {
+  if (pos + 3 > data.size()) return std::nullopt;
+  Ie ie;
+  ie.id = static_cast<IeId>(data[pos]);
+  const std::uint16_t len = load_be16(data.data() + pos + 1);
+  pos += 3;
+  if (pos + len > data.size()) return std::nullopt;
+  ie.value.assign(data.begin() + pos, data.begin() + pos + len);
+  pos += len;
+  return ie;
+}
+
+}  // namespace ldlp::signal

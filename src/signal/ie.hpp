@@ -1,0 +1,65 @@
+// Q.93B/Q.2931-style information elements (TLV bodies).
+//
+// The paper's target workload is ATM connection control: small messages
+// (~100 bytes) made of a fixed header plus a handful of information
+// elements. This is a compact subset sufficient for SETUP / CONNECT /
+// RELEASE flows: each IE is id (1 byte), length (2 bytes big-endian),
+// value.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace ldlp::signal {
+
+enum class IeId : std::uint8_t {
+  kCause = 0x08,
+  kConnectionId = 0x5a,     ///< VPI/VCI assignment.
+  kQosParam = 0x5c,
+  kTrafficDescriptor = 0x59,
+  kCalledNumber = 0x70,
+  kCallingNumber = 0x6c,
+};
+
+struct Ie {
+  IeId id{};
+  std::vector<std::uint8_t> value;
+};
+
+/// Typed views over common IEs.
+struct ConnectionId {
+  std::uint16_t vpi = 0;
+  std::uint16_t vci = 0;
+};
+
+struct TrafficDescriptor {
+  std::uint32_t peak_cell_rate = 0;      ///< cells/sec.
+  std::uint32_t sustained_cell_rate = 0;
+};
+
+enum class Cause : std::uint8_t {
+  kNormalClearing = 16,
+  kUserBusy = 17,
+  kNoRouteToDestination = 3,
+  kResourceUnavailable = 47,
+  kInvalidCallReference = 81,
+};
+
+[[nodiscard]] Ie make_connection_id(const ConnectionId& cid);
+[[nodiscard]] Ie make_traffic_descriptor(const TrafficDescriptor& td);
+[[nodiscard]] Ie make_cause(Cause cause);
+[[nodiscard]] Ie make_number(IeId id, std::span<const std::uint8_t> digits);
+
+[[nodiscard]] std::optional<ConnectionId> parse_connection_id(const Ie& ie);
+[[nodiscard]] std::optional<TrafficDescriptor> parse_traffic_descriptor(
+    const Ie& ie);
+[[nodiscard]] std::optional<Cause> parse_cause(const Ie& ie);
+
+/// Wire helpers used by the message codec.
+void encode_ie(const Ie& ie, std::vector<std::uint8_t>& out);
+[[nodiscard]] std::optional<Ie> decode_ie(std::span<const std::uint8_t> data,
+                                          std::size_t& pos);
+
+}  // namespace ldlp::signal

@@ -1,0 +1,105 @@
+#include "signal/message.hpp"
+
+#include "common/byteorder.hpp"
+
+namespace ldlp::signal {
+
+std::string_view msg_type_name(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kSetup: return "SETUP";
+    case MsgType::kCallProceeding: return "CALL_PROCEEDING";
+    case MsgType::kConnect: return "CONNECT";
+    case MsgType::kConnectAck: return "CONNECT_ACK";
+    case MsgType::kRelease: return "RELEASE";
+    case MsgType::kReleaseComplete: return "RELEASE_COMPLETE";
+    case MsgType::kStatus: return "STATUS";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode(const SigMessage& msg) {
+  std::vector<std::uint8_t> body;
+  for (const Ie& ie : msg.ies) encode_ie(ie, body);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kMsgHeaderLen + body.size());
+  out.push_back(kProtocolDiscriminator);
+  out.push_back(3);  // call reference length
+  const std::uint32_t ref = msg.call_ref & 0x007fffff;
+  out.push_back(static_cast<std::uint8_t>((ref >> 16) |
+                                          (msg.from_originator ? 0 : 0x80)));
+  out.push_back(static_cast<std::uint8_t>(ref >> 8));
+  out.push_back(static_cast<std::uint8_t>(ref));
+  out.push_back(static_cast<std::uint8_t>(msg.type));
+  out.push_back(0);  // spare (Q.2931 has a 1-byte pad here)
+  std::uint8_t len[2];
+  store_be16(len, static_cast<std::uint16_t>(body.size()));
+  out.insert(out.end(), len, len + 2);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<SigMessage> decode(std::span<const std::uint8_t> data) {
+  if (data.size() < kMsgHeaderLen) return std::nullopt;
+  if (data[0] != kProtocolDiscriminator || data[1] != 3) return std::nullopt;
+  SigMessage msg;
+  msg.from_originator = (data[2] & 0x80) == 0;
+  msg.call_ref = (static_cast<std::uint32_t>(data[2] & 0x7f) << 16) |
+                 (static_cast<std::uint32_t>(data[3]) << 8) | data[4];
+  msg.type = static_cast<MsgType>(data[5]);
+  const std::uint16_t body_len = load_be16(data.data() + 7);
+  if (kMsgHeaderLen + body_len > data.size()) return std::nullopt;
+
+  std::size_t pos = kMsgHeaderLen;
+  const auto body = data.subspan(0, kMsgHeaderLen + body_len);
+  while (pos < body.size()) {
+    auto ie = decode_ie(body, pos);
+    if (!ie.has_value()) return std::nullopt;
+    msg.ies.push_back(std::move(*ie));
+  }
+  return msg;
+}
+
+SigMessage make_setup(std::uint32_t call_ref,
+                      std::span<const std::uint8_t> called,
+                      std::span<const std::uint8_t> calling,
+                      const TrafficDescriptor& td) {
+  SigMessage msg;
+  msg.call_ref = call_ref;
+  msg.from_originator = true;
+  msg.type = MsgType::kSetup;
+  msg.ies.push_back(make_number(IeId::kCalledNumber, called));
+  msg.ies.push_back(make_number(IeId::kCallingNumber, calling));
+  msg.ies.push_back(make_traffic_descriptor(td));
+  return msg;
+}
+
+SigMessage make_connect(std::uint32_t call_ref, const ConnectionId& cid) {
+  SigMessage msg;
+  msg.call_ref = call_ref;
+  msg.from_originator = false;
+  msg.type = MsgType::kConnect;
+  msg.ies.push_back(make_connection_id(cid));
+  return msg;
+}
+
+SigMessage make_release(std::uint32_t call_ref, Cause cause,
+                        bool from_originator) {
+  SigMessage msg;
+  msg.call_ref = call_ref;
+  msg.from_originator = from_originator;
+  msg.type = MsgType::kRelease;
+  msg.ies.push_back(make_cause(cause));
+  return msg;
+}
+
+SigMessage make_release_complete(std::uint32_t call_ref,
+                                 bool from_originator) {
+  SigMessage msg;
+  msg.call_ref = call_ref;
+  msg.from_originator = from_originator;
+  msg.type = MsgType::kReleaseComplete;
+  return msg;
+}
+
+}  // namespace ldlp::signal

@@ -1,0 +1,65 @@
+// Q.93B-style signalling message codec.
+//
+// Header: protocol discriminator (1), call-reference length (1, always 3
+// here), call reference (3, flag bit in the top bit distinguishes the
+// originating side), message type (1), message length (2). Body: IEs.
+// A typical encoded SETUP is ~60-100 bytes — the paper's canonical small
+// message.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "signal/ie.hpp"
+
+namespace ldlp::signal {
+
+inline constexpr std::uint8_t kProtocolDiscriminator = 0x09;  ///< Q.2931.
+inline constexpr std::size_t kMsgHeaderLen = 9;
+
+enum class MsgType : std::uint8_t {
+  kSetup = 0x05,
+  kCallProceeding = 0x02,
+  kConnect = 0x07,
+  kConnectAck = 0x0f,
+  kRelease = 0x4d,
+  kReleaseComplete = 0x5a,
+  kStatus = 0x7d,
+};
+
+[[nodiscard]] std::string_view msg_type_name(MsgType type) noexcept;
+
+struct SigMessage {
+  std::uint32_t call_ref = 0;  ///< 23-bit value.
+  bool from_originator = true;  ///< Call-reference flag.
+  MsgType type = MsgType::kSetup;
+  std::vector<Ie> ies;
+
+  [[nodiscard]] const Ie* find(IeId id) const noexcept {
+    for (const Ie& ie : ies) {
+      if (ie.id == id) return &ie;
+    }
+    return nullptr;
+  }
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const SigMessage& msg);
+[[nodiscard]] std::optional<SigMessage> decode(
+    std::span<const std::uint8_t> data);
+
+/// Convenience builders for the standard call flow.
+[[nodiscard]] SigMessage make_setup(std::uint32_t call_ref,
+                                    std::span<const std::uint8_t> called,
+                                    std::span<const std::uint8_t> calling,
+                                    const TrafficDescriptor& td);
+[[nodiscard]] SigMessage make_connect(std::uint32_t call_ref,
+                                      const ConnectionId& cid);
+[[nodiscard]] SigMessage make_release(std::uint32_t call_ref, Cause cause,
+                                      bool from_originator);
+[[nodiscard]] SigMessage make_release_complete(std::uint32_t call_ref,
+                                               bool from_originator);
+
+}  // namespace ldlp::signal

@@ -1,0 +1,141 @@
+#include "signal/node.hpp"
+
+#include "buf/packet.hpp"
+#include "common/assert.hpp"
+
+namespace ldlp::signal {
+
+// ---- Layers ---------------------------------------------------------------
+
+/// Bottom: raw PDUs into SSCOP; in-order payloads continue upward.
+class SignallingNode::LinkLayer final : public core::Layer {
+ public:
+  explicit LinkLayer(SignallingNode& node)
+      : core::Layer("sscop"), node_(node) {}
+
+ protected:
+  void process(core::Message msg) override {
+    std::vector<std::uint8_t> pdu(msg.packet.length());
+    if (!msg.packet.copy_out(0, pdu)) return;
+    const double arrival = msg.arrival;
+    node_.link_.set_deliver([this, arrival](std::vector<std::uint8_t> payload) {
+      buf::Packet pkt = buf::Packet::from_bytes(node_.pool_, payload);
+      if (!pkt) return;
+      core::Message up(std::move(pkt), arrival);
+      emit(std::move(up), 0);
+    });
+    node_.link_.on_pdu(pdu, node_.now_);
+  }
+
+ private:
+  SignallingNode& node_;
+};
+
+/// Middle: Q.93B syntax validation (header shape, IE well-formedness).
+class SignallingNode::CodecLayer final : public core::Layer {
+ public:
+  explicit CodecLayer(SignallingNode& node)
+      : core::Layer("q93b-codec"), node_(node) {}
+
+ protected:
+  void process(core::Message msg) override {
+    std::vector<std::uint8_t> bytes(msg.packet.length());
+    if (!msg.packet.copy_out(0, bytes)) return;
+    if (!decode(bytes).has_value()) {
+      ++node_.stats_.codec_errors;
+      return;
+    }
+    emit(std::move(msg), 0);
+  }
+
+ private:
+  SignallingNode& node_;
+};
+
+/// Top: the call state machines.
+class SignallingNode::CallLayer final : public core::Layer {
+ public:
+  explicit CallLayer(SignallingNode& node)
+      : core::Layer("call-control"), node_(node) {}
+
+ protected:
+  void process(core::Message msg) override {
+    std::vector<std::uint8_t> bytes(msg.packet.length());
+    if (!msg.packet.copy_out(0, bytes)) return;
+    const auto decoded = decode(bytes);
+    if (!decoded.has_value()) return;  // codec layer already validated
+    node_.call_control_.on_message(*decoded);
+  }
+
+ private:
+  SignallingNode& node_;
+};
+
+// ---- Node -----------------------------------------------------------------
+
+SignallingNode::SignallingNode(std::string name, core::SchedMode mode,
+                               std::size_t batch_limit)
+    : name_(std::move(name)), pool_(2048, 256) {
+  link_layer_ = std::make_unique<LinkLayer>(*this);
+  codec_layer_ = std::make_unique<CodecLayer>(*this);
+  call_layer_ = std::make_unique<CallLayer>(*this);
+
+  link_id_ = graph_.add_layer(*link_layer_);
+  const core::LayerId codec_id = graph_.add_layer(*codec_layer_);
+  const core::LayerId call_id = graph_.add_layer(*call_layer_);
+  graph_.connect(link_id_, codec_id, 0);
+  graph_.connect(codec_id, call_id, 0);
+  graph_.set_mode(mode);
+  graph_.set_batch_limit(batch_limit);
+
+  link_.set_transmit([this](std::vector<std::uint8_t> pdu) {
+    ++stats_.pdus_out;
+    if (peer_ != nullptr) peer_->enqueue_from_peer(std::move(pdu));
+  });
+  call_control_.set_send([this](const SigMessage& msg) {
+    (void)link_.send(encode(msg), now_);
+  });
+}
+
+SignallingNode::~SignallingNode() = default;
+
+void SignallingNode::connect(SignallingNode& a, SignallingNode& b) noexcept {
+  a.peer_ = &b;
+  b.peer_ = &a;
+}
+
+void SignallingNode::set_loss_rate(double rate, std::uint64_t seed) noexcept {
+  loss_rate_ = rate;
+  loss_rng_.reseed(seed);
+}
+
+void SignallingNode::enqueue_from_peer(std::vector<std::uint8_t> pdu) {
+  if (loss_rate_ > 0.0 && loss_rng_.chance(loss_rate_)) {
+    ++stats_.pdus_lost;
+    return;
+  }
+  inbox_.push_back(std::move(pdu));
+}
+
+std::size_t SignallingNode::pump(std::size_t max_pdus) {
+  std::size_t handled = 0;
+  bool any = false;
+  while (handled < max_pdus && !inbox_.empty()) {
+    buf::Packet pkt = buf::Packet::from_bytes(pool_, inbox_.front());
+    inbox_.pop_front();
+    ++stats_.pdus_in;
+    if (!pkt) continue;
+    graph_.inject(link_id_, core::Message(std::move(pkt), now_));
+    ++handled;
+    any = true;
+  }
+  if (any && graph_.mode() == core::SchedMode::kLdlp) graph_.run();
+  return handled;
+}
+
+void SignallingNode::advance(double dt_sec) {
+  now_ += dt_sec;
+  link_.on_timer(now_);
+}
+
+}  // namespace ldlp::signal

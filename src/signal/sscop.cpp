@@ -1,0 +1,104 @@
+#include "signal/sscop.hpp"
+
+#include "common/byteorder.hpp"
+
+namespace ldlp::signal {
+
+namespace {
+constexpr std::size_t kPduHeader = 5;  ///< type (1) + seq (4).
+}  // namespace
+
+void SscopLink::emit_sd(std::uint32_t seq,
+                        std::span<const std::uint8_t> payload) {
+  if (!transmit_) return;
+  std::vector<std::uint8_t> pdu(kPduHeader + payload.size());
+  pdu[0] = static_cast<std::uint8_t>(PduType::kSd);
+  store_be32(pdu.data() + 1, seq);
+  std::copy(payload.begin(), payload.end(), pdu.begin() + kPduHeader);
+  transmit_(std::move(pdu));
+}
+
+void SscopLink::emit_stat() {
+  if (!transmit_) return;
+  ++stats_.stats_pdus;
+  std::vector<std::uint8_t> pdu(kPduHeader);
+  pdu[0] = static_cast<std::uint8_t>(PduType::kStat);
+  store_be32(pdu.data() + 1, vr_r_);
+  transmit_(std::move(pdu));
+}
+
+bool SscopLink::send(std::vector<std::uint8_t> payload, double now_sec) {
+  if (rtxq_.size() >= cfg_.window) return false;
+  const std::uint32_t seq = vt_s_++;
+  emit_sd(seq, payload);
+  ++stats_.sd_sent;
+  rtxq_.push_back(Unacked{seq, std::move(payload), now_sec});
+  return true;
+}
+
+void SscopLink::on_pdu(std::span<const std::uint8_t> pdu, double now_sec) {
+  if (pdu.size() < kPduHeader) return;
+  const auto type = static_cast<PduType>(pdu[0]);
+  const std::uint32_t seq = load_be32(pdu.data() + 1);
+  switch (type) {
+    case PduType::kSd: {
+      ++stats_.sd_received;
+      if (seq != vr_r_) {
+        // Out of order: drop and report our position so the peer
+        // retransmits (simpler than Q.2110's selective USTAT and
+        // sufficient for in-order pipes with loss).
+        ++stats_.sd_out_of_order;
+        emit_stat();
+        return;
+      }
+      ++vr_r_;
+      ++stats_.delivered;
+      if (deliver_)
+        deliver_(std::vector<std::uint8_t>(pdu.begin() + kPduHeader,
+                                           pdu.end()));
+      if (cfg_.stat_every != 0 && ++sds_since_stat_ >= cfg_.stat_every) {
+        sds_since_stat_ = 0;
+        emit_stat();
+      }
+      break;
+    }
+    case PduType::kPoll: {
+      emit_stat();
+      break;
+    }
+    case PduType::kStat: {
+      // Cumulative ack: everything below seq is confirmed.
+      while (!rtxq_.empty() &&
+             static_cast<std::int32_t>(rtxq_.front().seq - seq) < 0) {
+        rtxq_.pop_front();
+      }
+      vt_a_ = seq;
+      (void)now_sec;
+      break;
+    }
+  }
+}
+
+void SscopLink::on_timer(double now_sec) {
+  // Retransmit stale PDUs.
+  for (Unacked& u : rtxq_) {
+    if (now_sec - u.sent_at >= cfg_.retransmit_after_sec) {
+      emit_sd(u.seq, u.payload);
+      u.sent_at = now_sec;
+      ++stats_.retransmits;
+    }
+  }
+  // Periodic POLL keeps STATs flowing when data is one-way.
+  if (!rtxq_.empty() && now_sec - last_poll_ >= cfg_.poll_interval_sec) {
+    last_poll_ = now_sec;
+    ++stats_.polls;
+    if (transmit_) {
+      std::vector<std::uint8_t> pdu(kPduHeader);
+      pdu[0] = static_cast<std::uint8_t>(PduType::kPoll);
+      store_be32(pdu.data() + 1, vt_s_);
+      transmit_(std::move(pdu));
+    }
+  }
+}
+
+}  // namespace ldlp::signal

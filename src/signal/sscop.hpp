@@ -1,0 +1,92 @@
+// SSCOP-lite: the reliable link under Q.93B signalling.
+//
+// A trimmed Q.2110: sequenced data PDUs (SD) with cumulative
+// acknowledgments (STAT), sender-driven POLL on a timer, and
+// retransmission of unacknowledged PDUs. Enough to guarantee in-order,
+// loss-free delivery of signalling messages over an unreliable byte pipe,
+// and to give the signalling stack a genuine link layer whose code
+// footprint matters for LDLP.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace ldlp::signal {
+
+enum class PduType : std::uint8_t {
+  kSd = 1,    ///< Sequenced data: header + payload.
+  kPoll = 2,  ///< Sender asks "what have you got?".
+  kStat = 3,  ///< Receiver answers with cumulative next-expected.
+};
+
+struct SscopConfig {
+  double poll_interval_sec = 0.05;
+  double retransmit_after_sec = 0.2;
+  std::size_t window = 256;      ///< Max unacknowledged SDs.
+  std::uint32_t stat_every = 8;  ///< Unsolicited STAT after this many
+                                 ///< in-order SDs (keeps the sender's
+                                 ///< window open without waiting for a
+                                 ///< POLL timer).
+};
+
+struct SscopStats {
+  std::uint64_t sd_sent = 0;
+  std::uint64_t sd_received = 0;
+  std::uint64_t sd_out_of_order = 0;  ///< Dropped (sender retransmits).
+  std::uint64_t retransmits = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t stats_pdus = 0;
+  std::uint64_t delivered = 0;
+};
+
+class SscopLink {
+ public:
+  using TransmitFn = std::function<void(std::vector<std::uint8_t>)>;
+  using DeliverFn = std::function<void(std::vector<std::uint8_t>)>;
+
+  explicit SscopLink(SscopConfig config = {}) : cfg_(config) {}
+
+  /// Downward path: how encoded PDUs leave this node.
+  void set_transmit(TransmitFn fn) { transmit_ = std::move(fn); }
+  /// Upward path: in-order payloads for the layer above.
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Send a message reliably. Returns false when the window is full.
+  [[nodiscard]] bool send(std::vector<std::uint8_t> payload, double now_sec);
+
+  /// Feed a received PDU (possibly reordered/dropped by the pipe).
+  void on_pdu(std::span<const std::uint8_t> pdu, double now_sec);
+
+  /// Drive poll/retransmit timers.
+  void on_timer(double now_sec);
+
+  [[nodiscard]] const SscopStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t unacked() const noexcept { return rtxq_.size(); }
+
+ private:
+  struct Unacked {
+    std::uint32_t seq;
+    std::vector<std::uint8_t> payload;
+    double sent_at;
+  };
+
+  void emit_sd(std::uint32_t seq, std::span<const std::uint8_t> payload);
+  void emit_stat();
+
+  SscopConfig cfg_;
+  TransmitFn transmit_;
+  DeliverFn deliver_;
+  std::uint32_t vt_s_ = 0;   ///< Next send sequence.
+  std::uint32_t vr_r_ = 0;   ///< Next expected receive sequence.
+  std::uint32_t vt_a_ = 0;   ///< Oldest unacknowledged.
+  std::uint32_t sds_since_stat_ = 0;
+  std::deque<Unacked> rtxq_;
+  double last_poll_ = 0.0;
+  SscopStats stats_;
+};
+
+}  // namespace ldlp::signal

@@ -1,0 +1,57 @@
+#include "sim/address_space.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace ldlp::sim {
+
+AddressSpace::AddressSpace(std::uint64_t span_bytes, std::uint64_t align)
+    : span_(span_bytes), align_(align) {
+  LDLP_ASSERT(span_bytes > 0 && align > 0);
+}
+
+bool AddressSpace::collides(const Region& candidate) const noexcept {
+  for (const auto& r : regions_) {
+    if (r.overlaps(candidate)) return true;
+  }
+  return false;
+}
+
+Region AddressSpace::allocate(std::string name, std::uint64_t size, Rng& rng) {
+  LDLP_ASSERT(size > 0 && size <= span_);
+  const std::uint64_t slots = (span_ - size) / align_ + 1;
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    Region candidate{std::move(name), rng.bounded(slots) * align_, size};
+    if (!collides(candidate)) {
+      regions_.push_back(candidate);
+      return candidate;
+    }
+    name = std::move(candidate.name);  // reuse for next attempt
+  }
+  LDLP_ASSERT_MSG(false, "address space too crowded for random placement");
+  return {};
+}
+
+Region AddressSpace::allocate_sequential(std::string name,
+                                         std::uint64_t size) {
+  LDLP_ASSERT(size > 0 && size <= span_);
+  std::uint64_t base = 0;
+  for (;;) {
+    Region candidate{name, base, size};
+    if (!collides(candidate)) {
+      candidate.name = std::move(name);
+      regions_.push_back(candidate);
+      return regions_.back();
+    }
+    // Jump past the earliest region that blocked us.
+    std::uint64_t next = base + align_;
+    for (const auto& r : regions_) {
+      if (r.overlaps(candidate)) next = std::max(next, r.end());
+    }
+    base = (next + align_ - 1) / align_ * align_;
+    LDLP_ASSERT_MSG(base + size <= span_, "address space exhausted");
+  }
+}
+
+}  // namespace ldlp::sim

@@ -1,0 +1,97 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace ldlp::sim {
+
+bool CacheConfig::valid() const noexcept {
+  if (size_bytes == 0 || line_bytes == 0 || ways == 0) return false;
+  if (!std::has_single_bit(size_bytes) || !std::has_single_bit(line_bytes) ||
+      !std::has_single_bit(ways))
+    return false;
+  if (line_bytes > size_bytes) return false;
+  return num_lines() % ways == 0 && num_sets() >= 1;
+}
+
+Cache::Cache(CacheConfig cfg) : cfg_(cfg) {
+  LDLP_ASSERT_MSG(cfg_.valid(), "cache geometry must be powers of two");
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(cfg_.line_bytes));
+  set_mask_ = cfg_.num_sets() - 1;
+  ways_.resize(static_cast<std::size_t>(cfg_.num_sets()) * cfg_.ways);
+}
+
+bool Cache::access(std::uint64_t addr) noexcept {
+  const std::uint64_t line = line_of(addr);
+  const auto set = static_cast<std::uint32_t>(line) & set_mask_;
+  const std::uint64_t tag = line >> std::countr_zero(cfg_.num_sets());
+  Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
+
+  // Direct-mapped fast path: no LRU bookkeeping needed.
+  if (cfg_.ways == 1) {
+    if (base->valid && base->tag == tag) {
+      ++stats_.hits;
+      return true;
+    }
+    base->valid = true;
+    base->tag = tag;
+    ++stats_.misses;
+    return false;
+  }
+
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = ++lru_clock_;
+      ++stats_.hits;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = ++lru_clock_;
+  ++stats_.misses;
+  return false;
+}
+
+std::uint32_t Cache::access_range(std::uint64_t addr,
+                                  std::uint64_t len) noexcept {
+  if (len == 0) return 0;
+  std::uint32_t misses = 0;
+  const std::uint64_t first = line_of(addr);
+  const std::uint64_t last = line_of(addr + len - 1);
+  for (std::uint64_t line = first; line <= last; ++line) {
+    if (!access(line << line_shift_)) ++misses;
+  }
+  return misses;
+}
+
+bool Cache::contains(std::uint64_t addr) const noexcept {
+  const std::uint64_t line = line_of(addr);
+  const auto set = static_cast<std::uint32_t>(line) & set_mask_;
+  const std::uint64_t tag = line >> std::countr_zero(cfg_.num_sets());
+  const Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::flush() noexcept {
+  for (auto& way : ways_) way.valid = false;
+}
+
+std::uint32_t Cache::resident_lines() const noexcept {
+  std::uint32_t n = 0;
+  for (const auto& way : ways_) n += way.valid ? 1u : 0u;
+  return n;
+}
+
+}  // namespace ldlp::sim

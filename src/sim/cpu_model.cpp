@@ -1,0 +1,5 @@
+#include "sim/cpu_model.hpp"
+
+// CpuModel is header-only today; this translation unit anchors the library
+// and will hold out-of-line definitions if the model grows (e.g. TLB or
+// second-level cache charging).

@@ -1,0 +1,69 @@
+#include "sim/memory_system.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace ldlp::sim {
+
+MemorySystem::MemorySystem(MemoryConfig cfg)
+    : cfg_(cfg), icache_(cfg.icache), dcache_(cfg.dcache) {
+  if (cfg_.l2.has_value()) l2_ = std::make_unique<Cache>(*cfg_.l2);
+  if (cfg_.tlb_enabled) {
+    LDLP_ASSERT(std::has_single_bit(cfg_.tlb_page_bytes) &&
+                std::has_single_bit(cfg_.tlb_entries));
+    // Fully associative page cache: one set, `tlb_entries` ways.
+    tlb_ = std::make_unique<Cache>(CacheConfig{
+        cfg_.tlb_page_bytes * cfg_.tlb_entries, cfg_.tlb_page_bytes,
+        cfg_.tlb_entries});
+  }
+}
+
+std::uint64_t MemorySystem::access(Access kind, std::uint64_t addr,
+                                   std::uint64_t len) noexcept {
+  if (len == 0) return 0;
+  Cache& target = (kind == Access::kIFetch) ? icache_ : dcache();
+  std::uint64_t stall = 0;
+
+  if (tlb_ != nullptr) {
+    const std::uint64_t first_page = addr / cfg_.tlb_page_bytes;
+    const std::uint64_t last_page = (addr + len - 1) / cfg_.tlb_page_bytes;
+    for (std::uint64_t page = first_page; page <= last_page; ++page) {
+      if (!tlb_->access(page * cfg_.tlb_page_bytes))
+        stall += cfg_.tlb_miss_cycles;
+    }
+  }
+
+  const std::uint32_t line = target.config().line_bytes;
+  const std::uint64_t first = addr / line;
+  const std::uint64_t last = (addr + len - 1) / line;
+  for (std::uint64_t ln = first; ln <= last; ++ln) {
+    const std::uint64_t line_addr = ln * line;
+    if (target.access(line_addr)) continue;
+    if (l2_ != nullptr) {
+      stall += l2_->access(line_addr) ? cfg_.l2_hit_cycles
+                                      : cfg_.miss_penalty_cycles;
+    } else {
+      stall += cfg_.miss_penalty_cycles;
+    }
+  }
+  stall_cycles_ += stall;
+  return stall;
+}
+
+void MemorySystem::flush() noexcept {
+  icache_.flush();
+  if (!cfg_.unified) dcache_.flush();
+  if (l2_ != nullptr) l2_->flush();
+  if (tlb_ != nullptr) tlb_->flush();
+}
+
+void MemorySystem::reset_stats() noexcept {
+  icache_.reset_stats();
+  if (!cfg_.unified) dcache_.reset_stats();
+  if (l2_ != nullptr) l2_->reset_stats();
+  if (tlb_ != nullptr) tlb_->reset_stats();
+  stall_cycles_ = 0;
+}
+
+}  // namespace ldlp::sim

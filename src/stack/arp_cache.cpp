@@ -1,0 +1,36 @@
+#include "stack/arp_cache.hpp"
+
+namespace ldlp::stack {
+
+std::optional<wire::MacAddr> ArpCache::lookup(std::uint32_t ip) const noexcept {
+  const auto it = table_.find(ip);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ArpCache::insert(std::uint32_t ip, const wire::MacAddr& mac) {
+  table_[ip] = mac;
+}
+
+bool ArpCache::hold(std::uint32_t ip, buf::Packet pkt) {
+  PendingState& state = pending_[ip];
+  if (state.packets.size() >= max_pending_) return false;
+  state.packets.push_back(std::move(pkt));
+  return true;
+}
+
+bool ArpCache::should_request(std::uint32_t ip) {
+  PendingState& state = pending_[ip];
+  ++state.parks;
+  return state.parks % 2 == 1;
+}
+
+std::vector<buf::Packet> ArpCache::take_pending(std::uint32_t ip) {
+  const auto it = pending_.find(ip);
+  if (it == pending_.end()) return {};
+  std::vector<buf::Packet> out = std::move(it->second.packets);
+  pending_.erase(it);
+  return out;
+}
+
+}  // namespace ldlp::stack

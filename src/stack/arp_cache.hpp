@@ -1,0 +1,50 @@
+// ARP cache with pending-resolution queues.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "buf/packet.hpp"
+#include "wire/ethernet.hpp"
+
+namespace ldlp::stack {
+
+class ArpCache {
+ public:
+  explicit ArpCache(std::size_t max_pending_per_ip = 8)
+      : max_pending_(max_pending_per_ip) {}
+
+  [[nodiscard]] std::optional<wire::MacAddr> lookup(
+      std::uint32_t ip) const noexcept;
+
+  void insert(std::uint32_t ip, const wire::MacAddr& mac);
+
+  /// Park a packet until `ip` resolves. Returns false (packet dropped)
+  /// when the per-IP pending queue is full.
+  [[nodiscard]] bool hold(std::uint32_t ip, buf::Packet pkt);
+
+  /// Rate-limit policy for requests on an unresolved IP: returns true
+  /// when a (re)request should go on the wire — the first time a packet
+  /// is parked and every second park thereafter, so a lost request is
+  /// retried as soon as traffic shows the resolution is still wanted.
+  [[nodiscard]] bool should_request(std::uint32_t ip);
+
+  /// Remove and return the packets parked on `ip` (called on resolution).
+  [[nodiscard]] std::vector<buf::Packet> take_pending(std::uint32_t ip);
+
+  [[nodiscard]] std::size_t entries() const noexcept { return table_.size(); }
+
+ private:
+  struct PendingState {
+    std::vector<buf::Packet> packets;
+    std::uint32_t parks = 0;  ///< Packets parked since creation.
+  };
+
+  std::size_t max_pending_;
+  std::unordered_map<std::uint32_t, wire::MacAddr> table_;
+  std::unordered_map<std::uint32_t, PendingState> pending_;
+};
+
+}  // namespace ldlp::stack

@@ -1,0 +1,82 @@
+#include "stack/host.hpp"
+
+#include "stack/footprints.hpp"
+
+namespace ldlp::stack {
+
+Host::Host(HostConfig config)
+    : cfg_(std::move(config)),
+      pool_(cfg_.pool_mbufs, cfg_.pool_clusters),
+      dev_(cfg_.name + ".le0", cfg_.mac, pool_) {
+  eth_ = std::make_unique<EthLayer>(dev_, cfg_.ip);
+  ip_ = std::make_unique<Ip4Layer>(*eth_, cfg_.ip, cfg_.mtu);
+  sock_ = std::make_unique<SocketLayer>();
+  tcp_ = std::make_unique<TcpLayer>(*ip_, *sock_, cfg_.tcp);
+  udp_ = std::make_unique<UdpLayer>(*ip_, *sock_);
+
+  ip_->set_clock(&now_);
+  tcp_->set_clock(&now_);
+  igmp_ = std::make_unique<IgmpHost>(*ip_, &now_);
+  ip_->set_igmp(igmp_.get());
+
+  eth_id_ = graph_.add_layer(*eth_);
+  const core::LayerId ip_id = graph_.add_layer(*ip_);
+  const core::LayerId tcp_id = graph_.add_layer(*tcp_);
+  const core::LayerId udp_id = graph_.add_layer(*udp_);
+  const core::LayerId sock_id = graph_.add_layer(*sock_);
+
+  graph_.connect(eth_id_, ip_id, ethports::kIp);
+  graph_.connect(ip_id, tcp_id, ipports::kTcp);
+  graph_.connect(ip_id, udp_id, ipports::kUdp);
+  graph_.connect(tcp_id, sock_id, 0);
+
+  graph_.set_mode(cfg_.mode);
+  graph_.set_batch_limit(cfg_.batch_limit);
+}
+
+void Host::advance(double dt_sec) {
+  now_ += dt_sec;
+  tcp_->on_timer();
+  igmp_->on_timer();
+  ip_->expire_reassembly();
+}
+
+std::size_t Host::pump(std::size_t max_frames) {
+  std::size_t handled = 0;
+  bool any = false;
+  while (handled < max_frames && dev_.rx_pending() > 0) {
+    // Device interrupt path: vector through the interrupt glue, copy the
+    // frame out of device memory into a fresh mbuf chain.
+    trace_fn(Fn::kXentInt);
+    trace_fn(Fn::kInterrupt);
+    trace_fn(Fn::kPalSwpIpl);
+    trace_fn(Fn::kAsicIntr);
+    trace_fn(Fn::kTcIoIntr);
+    trace_fn(Fn::kLeIntr);
+    trace_fn(Fn::kCopyFromBufGap2);
+    trace_fn(Fn::kCopyFromBufGap16);
+    trace_fn(Fn::kMalloc);
+    trace_rgn(Rgn::kDevConfigRo);
+    trace_rgn(Rgn::kDevRingMut);
+    trace_rgn(Rgn::kBufFreelistMut);
+    trace_rgn(Rgn::kBufBucketsRo, 0.5);
+
+    buf::Packet frame = dev_.receive();
+    if (!frame) break;  // pool exhausted; leave frames in device memory
+    trace_pkt(trace::RefKind::kWrite, frame.length());
+
+    // Post-interrupt softirq dispatch.
+    trace_fn(Fn::kDoSir);
+    trace_fn(Fn::kSpl0);
+    trace_fn(Fn::kRei);
+
+    core::Message msg(std::move(frame), now_);
+    graph_.inject(eth_id_, std::move(msg));
+    ++handled;
+    any = true;
+  }
+  if (any && cfg_.mode == core::SchedMode::kLdlp) graph_.run();
+  return handled;
+}
+
+}  // namespace ldlp::stack

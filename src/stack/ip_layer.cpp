@@ -1,0 +1,210 @@
+#include "stack/ip_layer.hpp"
+
+#include <algorithm>
+
+#include "common/byteorder.hpp"
+#include "stack/footprints.hpp"
+#include "wire/checksum.hpp"
+
+namespace ldlp::stack {
+
+namespace {
+constexpr std::uint8_t kIcmpEchoRequest = 8;
+constexpr std::uint8_t kIcmpEchoReply = 0;
+}  // namespace
+
+Ip4Layer::Ip4Layer(EthLayer& eth, std::uint32_t my_ip, std::uint16_t mtu)
+    : core::Layer("ip"), eth_(eth), my_ip_(my_ip), mtu_(mtu) {}
+
+void Ip4Layer::process(core::Message msg) {
+  trace_fn(Fn::kIpIntr);
+  trace_fn(Fn::kNetIntr);
+  trace_rgn(Rgn::kIpStateMut);
+  ++stats_.rx;
+
+  // Headers may straddle mbufs after driver copies; pull them contiguous.
+  std::uint8_t* base = msg.packet.pullup(wire::kIpMinHeaderLen);
+  if (base == nullptr) {
+    ++stats_.rx_bad;
+    return;
+  }
+  const std::uint32_t ihl_bytes = (base[0] & 0x0f) * 4u;
+  if (ihl_bytes > wire::kIpMinHeaderLen) {  // options present
+    base = msg.packet.pullup(ihl_bytes);
+    if (base == nullptr) {
+      ++stats_.rx_bad;
+      return;
+    }
+  }
+  const auto header =
+      wire::parse_ipv4({base, msg.packet.head()->len()});
+  if (!header.has_value()) {
+    ++stats_.rx_bad;
+    return;
+  }
+  trace_pkt(trace::RefKind::kRead, header->header_len());
+  if (header->ttl == 0) {
+    ++stats_.rx_bad;
+    return;
+  }
+  if (header->dst != my_ip_ && header->dst != 0xffffffff) {
+    trace_fn(Fn::kInBroadcast);
+    // Multicast: accept all-hosts always, joined groups when IGMP is up.
+    const bool multicast_ok =
+        is_multicast(header->dst) &&
+        (header->dst == kAllHostsGroup ||
+         (igmp_ != nullptr && igmp_->is_member(header->dst)));
+    if (!multicast_ok) {
+      ++stats_.rx_not_mine;
+      return;  // No forwarding: this is a host stack.
+    }
+    ++stats_.rx_multicast;
+  }
+  // Drop any link padding (minimum-size Ethernet frames) then strip the
+  // header.
+  const std::uint32_t have = msg.packet.length();
+  if (have < header->total_len) {
+    ++stats_.rx_bad;
+    return;
+  }
+  if (have > header->total_len)
+    msg.packet.adj(-static_cast<std::int32_t>(have - header->total_len));
+  msg.packet.adj(static_cast<std::int32_t>(header->header_len()));
+  trace_fn(Fn::kMAdj);
+
+  if (header->is_fragment()) {
+    ++stats_.rx_fragments;
+    const double now = now_sec_ != nullptr ? *now_sec_ : 0.0;
+    auto whole = reasm_.offer(*header, std::move(msg.packet), now);
+    if (!whole.has_value()) return;
+    ++stats_.rx_reassembled;
+    msg.packet = std::move(*whole);
+  }
+
+  deliver_local(*header, std::move(msg));
+}
+
+void Ip4Layer::deliver_local(const wire::Ipv4Header& header,
+                             core::Message msg) {
+  msg.flow_id = make_flow(header.src, header.dst);
+  msg.aux = header.protocol;
+  switch (static_cast<wire::IpProto>(header.protocol)) {
+    case wire::IpProto::kTcp:
+      emit(std::move(msg), ipports::kTcp);
+      break;
+    case wire::IpProto::kUdp:
+      emit(std::move(msg), ipports::kUdp);
+      break;
+    case wire::IpProto::kIcmp:
+      handle_icmp(header, std::move(msg.packet));
+      break;
+    case wire::IpProto::kIgmp: {
+      ++stats_.rx_igmp;
+      if (igmp_ == nullptr) break;
+      std::uint8_t bytes[kIgmpLen];
+      if (!msg.packet.copy_out(0, bytes)) break;
+      if (const auto igmp_msg = parse_igmp(bytes)) {
+        igmp_->on_message(*igmp_msg, header.src);
+      }
+      break;
+    }
+    default:
+      ++stats_.rx_bad;
+      break;
+  }
+}
+
+void Ip4Layer::handle_icmp(const wire::Ipv4Header& header, buf::Packet pkt) {
+  // Echo request -> echo reply with the same payload; everything else is
+  // consumed silently (this host sends no errors).
+  std::uint8_t head[8];
+  if (!pkt.copy_out(0, head)) return;
+  if (head[0] != kIcmpEchoRequest || head[1] != 0) return;
+  if (wire::cksum_packet(pkt, 0, pkt.length()) != 0) return;
+  ++stats_.rx_icmp_echo;
+
+  head[0] = kIcmpEchoReply;
+  store_be16(head + 2, 0);  // zero checksum field before recompute
+  if (!pkt.copy_in(0, head)) return;
+  const std::uint16_t sum = wire::cksum_packet(pkt, 0, pkt.length());
+  store_be16(head + 2, sum);
+  if (!pkt.copy_in(0, head)) return;
+  output(std::move(pkt), header.src, wire::IpProto::kIcmp, 64);
+}
+
+std::uint32_t Ip4Layer::next_hop(std::uint32_t dst) const noexcept {
+  for (const Route& route : routes_) {
+    if ((dst & route.mask) == (route.prefix & route.mask))
+      return route.gateway != 0 ? route.gateway : dst;
+  }
+  return dst;  // No table: assume on-link, like a host with one interface.
+}
+
+void Ip4Layer::output(buf::Packet payload, std::uint32_t dst,
+                      wire::IpProto proto, std::uint8_t ttl) {
+  trace_fn(Fn::kIpOutput);
+  trace_rgn(Rgn::kIpRouteRo);
+  ++stats_.tx;
+
+  const std::uint32_t hop = next_hop(dst);
+  const std::uint32_t total_payload = payload.length();
+  const std::uint32_t max_frag_payload =
+      (static_cast<std::uint32_t>(mtu_) - wire::kIpMinHeaderLen) / 8 * 8;
+  const std::uint16_t ident = next_ident_++;
+
+  if (total_payload + wire::kIpMinHeaderLen <= mtu_) {
+    wire::Ipv4Header header;
+    header.total_len =
+        static_cast<std::uint16_t>(wire::kIpMinHeaderLen + total_payload);
+    header.ident = ident;
+    header.ttl = ttl;
+    header.protocol = static_cast<std::uint8_t>(proto);
+    header.src = my_ip_;
+    header.dst = dst;
+    std::uint8_t* front = payload.prepend(wire::kIpMinHeaderLen);
+    if (front == nullptr) return;
+    wire::write_ipv4(header, {front, wire::kIpMinHeaderLen});
+    payload.sync_pkt_len();
+    eth_.output_ip(std::move(payload), hop);
+    return;
+  }
+
+  // Fragment: split the payload into MTU-sized, 8-byte-aligned pieces.
+  ++stats_.tx_fragmented;
+  std::uint32_t offset = 0;
+  while (payload.length() > 0) {
+    const std::uint32_t remaining = payload.length();
+    const std::uint32_t take = std::min(remaining, max_frag_payload);
+    buf::Packet frag;
+    if (take == remaining) {
+      frag = std::move(payload);
+      payload = {};
+    } else {
+      buf::Packet rest = payload.split(take);
+      frag = std::move(payload);
+      payload = std::move(rest);
+    }
+    wire::Ipv4Header header;
+    header.total_len =
+        static_cast<std::uint16_t>(wire::kIpMinHeaderLen + take);
+    header.ident = ident;
+    header.ttl = ttl;
+    header.protocol = static_cast<std::uint8_t>(proto);
+    header.src = my_ip_;
+    header.dst = dst;
+    header.frag_offset = static_cast<std::uint16_t>(offset / 8);
+    header.more_fragments = payload.length() > 0;
+    std::uint8_t* front = frag.prepend(wire::kIpMinHeaderLen);
+    if (front == nullptr) return;
+    wire::write_ipv4(header, {front, wire::kIpMinHeaderLen});
+    frag.sync_pkt_len();
+    eth_.output_ip(std::move(frag), hop);
+    offset += take;
+  }
+}
+
+void Ip4Layer::expire_reassembly() {
+  reasm_.expire(now_sec_ != nullptr ? *now_sec_ : 0.0);
+}
+
+}  // namespace ldlp::stack

@@ -1,0 +1,100 @@
+// IPv4 layer: input validation and demultiplexing, fragment reassembly,
+// ICMP echo, and the output path with fragmentation and minimal routing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/stack_graph.hpp"
+#include "stack/eth_layer.hpp"
+#include "stack/igmp.hpp"
+#include "stack/reassembly.hpp"
+#include "wire/ipv4.hpp"
+
+namespace ldlp::stack {
+
+/// Output ports of the IP input layer.
+namespace ipports {
+inline constexpr int kTcp = 0;
+inline constexpr int kUdp = 1;
+}  // namespace ipports
+
+/// Convention for messages emitted upward: the IP header is stripped;
+/// flow_id packs (src_ip << 32 | dst_ip); aux holds the protocol number.
+[[nodiscard]] constexpr std::uint64_t make_flow(std::uint32_t src,
+                                                std::uint32_t dst) noexcept {
+  return (static_cast<std::uint64_t>(src) << 32) | dst;
+}
+[[nodiscard]] constexpr std::uint32_t flow_src(std::uint64_t flow) noexcept {
+  return static_cast<std::uint32_t>(flow >> 32);
+}
+[[nodiscard]] constexpr std::uint32_t flow_dst(std::uint64_t flow) noexcept {
+  return static_cast<std::uint32_t>(flow);
+}
+
+struct IpStats {
+  std::uint64_t rx = 0;
+  std::uint64_t rx_bad = 0;        ///< Header/checksum/length failures.
+  std::uint64_t rx_not_mine = 0;
+  std::uint64_t rx_fragments = 0;
+  std::uint64_t rx_reassembled = 0;
+  std::uint64_t rx_icmp_echo = 0;
+  std::uint64_t rx_igmp = 0;
+  std::uint64_t rx_multicast = 0;
+  std::uint64_t tx = 0;
+  std::uint64_t tx_fragmented = 0;  ///< Datagrams that needed splitting.
+  std::uint64_t tx_no_route = 0;
+};
+
+struct Route {
+  std::uint32_t prefix = 0;
+  std::uint32_t mask = 0;      ///< 0 mask = default route.
+  std::uint32_t gateway = 0;   ///< 0 = directly attached (next hop = dst).
+};
+
+class Ip4Layer final : public core::Layer {
+ public:
+  Ip4Layer(EthLayer& eth, std::uint32_t my_ip, std::uint16_t mtu = 1500);
+
+  /// Send `payload` as protocol `proto` from our address to `dst`.
+  /// Fragments when payload + header exceeds the MTU.
+  void output(buf::Packet payload, std::uint32_t dst, wire::IpProto proto,
+              std::uint8_t ttl = 64);
+
+  void add_route(const Route& route) { routes_.push_back(route); }
+  void set_clock(const double* now_sec) noexcept { now_sec_ = now_sec; }
+  /// Attach the IGMP host (enables multicast reception for joined
+  /// groups and protocol-2 delivery).
+  void set_igmp(IgmpHost* igmp) noexcept { igmp_ = igmp; }
+  void expire_reassembly();
+
+  [[nodiscard]] const IpStats& ip_stats() const noexcept { return stats_; }
+  [[nodiscard]] const ReassemblyTable& reassembly() const noexcept {
+    return reasm_;
+  }
+  [[nodiscard]] std::uint32_t ip_addr() const noexcept { return my_ip_; }
+  [[nodiscard]] std::uint16_t mtu() const noexcept { return mtu_; }
+  [[nodiscard]] buf::MbufPool& pool() noexcept {
+    return eth_.device().pool();
+  }
+
+ protected:
+  void process(core::Message msg) override;
+
+ private:
+  void deliver_local(const wire::Ipv4Header& header, core::Message msg);
+  void handle_icmp(const wire::Ipv4Header& header, buf::Packet pkt);
+  [[nodiscard]] std::uint32_t next_hop(std::uint32_t dst) const noexcept;
+
+  EthLayer& eth_;
+  std::uint32_t my_ip_;
+  std::uint16_t mtu_;
+  std::uint16_t next_ident_ = 1;
+  const double* now_sec_ = nullptr;
+  IgmpHost* igmp_ = nullptr;
+  ReassemblyTable reasm_;
+  std::vector<Route> routes_;
+  IpStats stats_;
+};
+
+}  // namespace ldlp::stack

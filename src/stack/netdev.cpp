@@ -1,0 +1,79 @@
+#include "stack/netdev.hpp"
+
+#include <utility>
+
+#include "stack/footprints.hpp"
+
+namespace ldlp::stack {
+
+NetDevice::NetDevice(std::string name, wire::MacAddr mac, buf::MbufPool& pool,
+                     std::size_t rx_ring_slots)
+    : name_(std::move(name)),
+      mac_(mac),
+      pool_(pool),
+      rx_ring_slots_(rx_ring_slots) {}
+
+void NetDevice::connect(NetDevice& a, NetDevice& b) noexcept {
+  a.peer_ = &b;
+  b.peer_ = &a;
+}
+
+bool NetDevice::transmit(buf::Packet frame) noexcept {
+  const std::uint32_t len = frame.length();
+  if (peer_ == nullptr || len < wire::kEthHeaderLen ||
+      len > wire::kEthHeaderLen + wire::kEthMaxPayload) {
+    ++stats_.tx_drops;
+    return false;
+  }
+  // Driver transmit path: stage the frame into device buffer memory.
+  trace_fn(Fn::kLeStart);
+  trace_fn(Fn::kCopyToBufGap2);
+  trace_fn(Fn::kCopyToBufGap16);
+  trace_fn(Fn::kZeroBufGap16);
+  trace_fn(Fn::kLeWriteReg);
+  trace_rgn(Rgn::kDevRingMut, 0.5);
+  trace_pkt(trace::RefKind::kRead, len);
+
+  std::vector<std::uint8_t> bytes(len);
+  if (!frame.copy_out(0, bytes)) {
+    ++stats_.tx_drops;
+    return false;
+  }
+  ++stats_.tx_frames;
+  stats_.tx_bytes += len;
+  peer_->inject(std::move(bytes));
+  return true;
+}
+
+void NetDevice::inject(std::vector<std::uint8_t> frame_bytes) noexcept {
+  if (loss_rate_ > 0.0 && loss_rng_.chance(loss_rate_)) {
+    ++stats_.rx_drops;
+    return;
+  }
+  if (rx_ring_.size() >= rx_ring_slots_) {
+    ++stats_.rx_drops;
+    return;
+  }
+  rx_ring_.push_back(std::move(frame_bytes));
+  if (reorder_rate_ > 0.0 && rx_ring_.size() >= 2 &&
+      reorder_rng_.chance(reorder_rate_)) {
+    std::swap(rx_ring_.back(), rx_ring_[rx_ring_.size() - 2]);
+  }
+}
+
+buf::Packet NetDevice::receive() noexcept {
+  if (rx_ring_.empty()) return {};
+  const std::vector<std::uint8_t>& bytes = rx_ring_.front();
+  buf::Packet pkt = buf::Packet::from_bytes(pool_, bytes);
+  if (!pkt) {
+    // Pool exhausted: leave the frame in device memory for a later pull
+    // (the adaptor keeps buffering, which is what enables batching).
+    return {};
+  }
+  ++stats_.rx_frames;
+  stats_.rx_bytes += bytes.size();
+  rx_ring_.pop_front();
+  return pkt;
+}
+
+}  // namespace ldlp::stack

@@ -1,0 +1,96 @@
+// Simulated network device.
+//
+// Models a Lance-style Ethernet adaptor: received frames wait in device
+// memory (the RX ring) until the host pulls them into mbufs — which is
+// where LDLP's batching naturally begins, since "when the protocol stack
+// is able to accept a new message, it takes all available messages"
+// (section 3.1). Two devices connect back-to-back to form a wire; a frame
+// transmitted on one side is copied into the peer's RX ring (frames cross
+// pools by value, like real DMA).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "buf/packet.hpp"
+#include "common/rng.hpp"
+#include "wire/ethernet.hpp"
+
+namespace ldlp::stack {
+
+struct NetDeviceStats {
+  std::uint64_t tx_frames = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_frames = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t rx_drops = 0;   ///< RX ring overflow.
+  std::uint64_t tx_drops = 0;   ///< No peer / frame too large.
+};
+
+class NetDevice {
+ public:
+  NetDevice(std::string name, wire::MacAddr mac, buf::MbufPool& pool,
+            std::size_t rx_ring_slots = 64);
+
+  NetDevice(const NetDevice&) = delete;
+  NetDevice& operator=(const NetDevice&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const wire::MacAddr& mac() const noexcept { return mac_; }
+  [[nodiscard]] const NetDeviceStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] buf::MbufPool& pool() noexcept { return pool_; }
+
+  /// Join two devices with a full-duplex "wire".
+  static void connect(NetDevice& a, NetDevice& b) noexcept;
+
+  /// Transmit a complete Ethernet frame (header already in place). The
+  /// frame is serialised onto the wire; the packet is always consumed.
+  /// Returns false if it could not be delivered.
+  bool transmit(buf::Packet frame) noexcept;
+
+  /// Frames waiting in the RX ring.
+  [[nodiscard]] std::size_t rx_pending() const noexcept {
+    return rx_ring_.size();
+  }
+
+  /// Pull the next received frame into an mbuf chain from our pool (the
+  /// driver copy: "the message is copied from device memory into the
+  /// mbufs"). Empty packet when the ring is empty or the pool is dry.
+  [[nodiscard]] buf::Packet receive() noexcept;
+
+  /// Deliver raw frame bytes into this device's RX ring (used by the peer
+  /// and by tests to inject crafted frames).
+  void inject(std::vector<std::uint8_t> frame_bytes) noexcept;
+
+  /// Drop a fraction of frames on reception — a lossy wire for exercising
+  /// retransmission. Deterministic in the seed.
+  void set_loss(double rate, std::uint64_t seed = 99) noexcept {
+    loss_rate_ = rate;
+    loss_rng_.reseed(seed);
+  }
+
+  /// Swap a fraction of arriving frames with the frame already at the
+  /// tail of the RX ring — adjacent reordering, the common real-world
+  /// case, which exercises receivers' out-of-order paths.
+  void set_reorder(double rate, std::uint64_t seed = 77) noexcept {
+    reorder_rate_ = rate;
+    reorder_rng_.reseed(seed);
+  }
+
+ private:
+  std::string name_;
+  wire::MacAddr mac_;
+  buf::MbufPool& pool_;
+  std::size_t rx_ring_slots_;
+  std::deque<std::vector<std::uint8_t>> rx_ring_;
+  NetDevice* peer_ = nullptr;
+  double loss_rate_ = 0.0;
+  Rng loss_rng_{99};
+  double reorder_rate_ = 0.0;
+  Rng reorder_rng_{77};
+  NetDeviceStats stats_;
+};
+
+}  // namespace ldlp::stack

@@ -1,0 +1,82 @@
+#include "stack/reassembly.hpp"
+
+#include <algorithm>
+
+namespace ldlp::stack {
+
+std::optional<buf::Packet> ReassemblyTable::offer(
+    const wire::Ipv4Header& header, buf::Packet payload, double now_sec) {
+  ++stats_.fragments_in;
+  const Key key{header.src, header.dst, header.ident, header.protocol};
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    if (table_.size() >= max_datagrams_) {
+      ++stats_.overflows;
+      return std::nullopt;
+    }
+    it = table_.emplace(key, Datagram{}).first;
+    it->second.first_seen = now_sec;
+  }
+  Datagram& datagram = it->second;
+
+  const std::uint16_t offset = header.frag_offset * 8;
+  const std::uint32_t len = payload.length();
+
+  // Reject overlap (legitimate stacks never produce it; drop the dupe).
+  for (const Fragment& frag : datagram.fragments) {
+    const std::uint32_t frag_end = frag.offset_bytes + frag.payload.length();
+    if (offset < frag_end && frag.offset_bytes < offset + len)
+      return std::nullopt;
+  }
+
+  if (!header.more_fragments)
+    datagram.total_len = offset + len;
+
+  Fragment frag{offset, std::move(payload)};
+  datagram.fragments.insert(
+      std::upper_bound(datagram.fragments.begin(), datagram.fragments.end(),
+                       frag,
+                       [](const Fragment& a, const Fragment& b) {
+                         return a.offset_bytes < b.offset_bytes;
+                       }),
+      std::move(frag));
+
+  if (!complete(datagram)) return std::nullopt;
+
+  buf::Packet whole = assemble(datagram);
+  table_.erase(it);
+  ++stats_.datagrams_out;
+  return whole;
+}
+
+bool ReassemblyTable::complete(const Datagram& d) noexcept {
+  if (!d.total_len.has_value()) return false;
+  std::uint32_t expected = 0;
+  for (const Fragment& frag : d.fragments) {
+    if (frag.offset_bytes != expected) return false;
+    expected += frag.payload.length();
+  }
+  return expected == *d.total_len;
+}
+
+buf::Packet ReassemblyTable::assemble(Datagram& d) {
+  buf::Packet whole = std::move(d.fragments.front().payload);
+  for (std::size_t i = 1; i < d.fragments.size(); ++i)
+    whole.cat(std::move(d.fragments[i].payload));
+  whole.sync_pkt_len();
+  d.fragments.clear();
+  return whole;
+}
+
+void ReassemblyTable::expire(double now_sec) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (now_sec - it->second.first_seen > timeout_sec_) {
+      ++stats_.timeouts;
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace ldlp::stack

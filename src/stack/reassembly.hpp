@@ -1,0 +1,76 @@
+// IPv4 fragment reassembly.
+//
+// Classic hole-filling reassembly keyed by (src, dst, ident, protocol),
+// with a per-datagram timeout so lost fragments don't pin buffers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "buf/packet.hpp"
+#include "wire/ipv4.hpp"
+
+namespace ldlp::stack {
+
+struct ReassemblyStats {
+  std::uint64_t fragments_in = 0;
+  std::uint64_t datagrams_out = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t overflows = 0;
+};
+
+class ReassemblyTable {
+ public:
+  explicit ReassemblyTable(std::size_t max_datagrams = 64,
+                           double timeout_sec = 30.0)
+      : max_datagrams_(max_datagrams), timeout_sec_(timeout_sec) {}
+
+  /// Offer a fragment (header already parsed, `payload` is the fragment
+  /// body with IP header stripped). Returns the reassembled payload when
+  /// this fragment completes the datagram.
+  [[nodiscard]] std::optional<buf::Packet> offer(const wire::Ipv4Header& header,
+                                                 buf::Packet payload,
+                                                 double now_sec);
+
+  /// Drop datagrams older than the timeout.
+  void expire(double now_sec);
+
+  [[nodiscard]] const ReassemblyStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::size_t pending() const noexcept { return table_.size(); }
+
+ private:
+  struct Key {
+    std::uint32_t src;
+    std::uint32_t dst;
+    std::uint16_t ident;
+    std::uint8_t proto;
+
+    auto operator<=>(const Key&) const = default;
+  };
+
+  struct Fragment {
+    std::uint16_t offset_bytes;
+    buf::Packet payload;
+  };
+
+  struct Datagram {
+    std::vector<Fragment> fragments;  ///< Sorted by offset, non-overlapping.
+    std::optional<std::uint32_t> total_len;  ///< Known once the last
+                                             ///< fragment arrives.
+    double first_seen = 0.0;
+  };
+
+  [[nodiscard]] static bool complete(const Datagram& d) noexcept;
+  [[nodiscard]] static buf::Packet assemble(Datagram& d);
+
+  std::size_t max_datagrams_;
+  double timeout_sec_;
+  std::map<Key, Datagram> table_;
+  ReassemblyStats stats_;
+};
+
+}  // namespace ldlp::stack

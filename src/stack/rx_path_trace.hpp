@@ -1,0 +1,37 @@
+// The paper's traced scenario (Table 2): a TCP socket receives a segment,
+// delivers the contents to the application, and sends an acknowledgment.
+//
+// Two hosts are connected back to back; a connection is established and
+// primed untraced; then exactly one receive & acknowledge iteration runs
+// under the tracer, split into the three phases of Table 2:
+//   entry     — the process makes a read() call and blocks;
+//   pkt intr  — the segment arrives, is pulled through Ethernet/IP/TCP and
+//               appended to the socket buffer, and the process is woken;
+//   exit      — the process wakes, copies the data out, and TCP sends the
+//               window-update ACK.
+//
+// Protocol-layer references come from the instrumented stack functions
+// actually executing; process-control and kernel-entry overhead (which
+// this library does not literally implement) is scripted against the
+// calibrated footprint table. See DESIGN.md section 2.
+#pragma once
+
+#include "stack/footprints.hpp"
+#include "trace/trace_buffer.hpp"
+
+namespace ldlp::stack {
+
+struct RxTraceOptions {
+  std::uint32_t payload_bytes = 512;  ///< Paper: 512-584 depending on layer.
+  std::uint32_t prime_segments = 2;   ///< Untraced warm-up segments.
+};
+
+/// Runs the scenario and fills `buffer` with the reference trace of one
+/// receive & acknowledge iteration. `tracer` supplies the footprint
+/// calibration. Returns false if the TCP session failed to establish
+/// (indicates a stack bug; tests assert on it).
+[[nodiscard]] bool trace_tcp_receive_ack(StackTracer& tracer,
+                                         trace::TraceBuffer& buffer,
+                                         const RxTraceOptions& options = {});
+
+}  // namespace ldlp::stack

@@ -1,0 +1,117 @@
+#include "stack/socket_layer.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "stack/footprints.hpp"
+
+namespace ldlp::stack {
+
+SocketId SocketLayer::create(SocketKind kind, std::size_t hiwat_bytes) {
+  Socket socket;
+  socket.kind = kind;
+  socket.hiwat = hiwat_bytes;
+  sockets_.push_back(std::move(socket));
+  return static_cast<SocketId>(sockets_.size() - 1);
+}
+
+SocketLayer::Socket& SocketLayer::sock(SocketId id) {
+  LDLP_ASSERT_MSG(id < sockets_.size(), "bad socket id");
+  return sockets_[id];
+}
+
+const SocketLayer::Socket& SocketLayer::sock(SocketId id) const {
+  LDLP_ASSERT_MSG(id < sockets_.size(), "bad socket id");
+  return sockets_[id];
+}
+
+void SocketLayer::set_wakeup(SocketId id, std::function<void(SocketId)> hook) {
+  sock(id).wakeup = std::move(hook);
+}
+
+void SocketLayer::wake(Socket& socket, SocketId id) {
+  trace_fn(Fn::kSoWakeup);
+  trace_fn(Fn::kWakeup);
+  ++socket.stats.wakeups;
+  if (socket.wakeup) socket.wakeup(id);
+}
+
+void SocketLayer::process(core::Message msg) {
+  trace_fn(Fn::kSbAppend);
+  trace_fn(Fn::kSbCompress);
+  trace_rgn(Rgn::kSockBufMut);
+  trace_rgn(Rgn::kSockLowRo);
+  const auto id = static_cast<SocketId>(msg.flow_id);
+  if (id >= sockets_.size()) return;
+  Socket& socket = sockets_[id];
+  LDLP_DASSERT(socket.kind == SocketKind::kStream);
+
+  const std::uint32_t len = msg.packet.length();
+  if (socket.stream.size() + len > socket.hiwat) {
+    ++socket.stats.overflows;
+    return;  // TCP's window should prevent this; drop defensively.
+  }
+  // sbappend: copy mbuf bytes into the socket buffer.
+  std::vector<std::uint8_t> bytes(len);
+  if (!msg.packet.copy_out(0, bytes)) return;
+  trace_pkt(trace::RefKind::kRead, len);
+  socket.stream.insert(socket.stream.end(), bytes.begin(), bytes.end());
+  socket.stats.appended_bytes += len;
+  wake(socket, id);
+}
+
+void SocketLayer::deliver_datagram(SocketId id, Datagram dgram) {
+  Socket& socket = sock(id);
+  LDLP_DASSERT(socket.kind == SocketKind::kDatagram);
+  std::size_t queued = 0;
+  for (const Datagram& d : socket.dgrams) queued += d.payload.size();
+  if (queued + dgram.payload.size() > socket.hiwat) {
+    ++socket.stats.overflows;
+    return;
+  }
+  socket.stats.appended_bytes += dgram.payload.size();
+  socket.dgrams.push_back(std::move(dgram));
+  wake(socket, id);
+}
+
+std::size_t SocketLayer::read(SocketId id, std::span<std::uint8_t> dst) {
+  trace_fn(Fn::kSoReceive);
+  trace_fn(Fn::kSooRead);
+  trace_fn(Fn::kUiomove);
+  trace_fn(Fn::kCopyout);
+  Socket& socket = sock(id);
+  const std::size_t n = std::min(dst.size(), socket.stream.size());
+  std::copy_n(socket.stream.begin(), n, dst.begin());
+  socket.stream.erase(socket.stream.begin(),
+                      socket.stream.begin() + static_cast<std::ptrdiff_t>(n));
+  socket.stats.read_bytes += n;
+  return n;
+}
+
+std::optional<Datagram> SocketLayer::read_datagram(SocketId id) {
+  Socket& socket = sock(id);
+  if (socket.dgrams.empty()) return std::nullopt;
+  Datagram out = std::move(socket.dgrams.front());
+  socket.dgrams.pop_front();
+  socket.stats.read_bytes += out.payload.size();
+  return out;
+}
+
+std::size_t SocketLayer::readable_bytes(SocketId id) const {
+  return sock(id).stream.size();
+}
+
+std::size_t SocketLayer::pending_datagrams(SocketId id) const {
+  return sock(id).dgrams.size();
+}
+
+const SocketStats& SocketLayer::socket_stats(SocketId id) const {
+  return sock(id).stats;
+}
+
+std::size_t SocketLayer::room(SocketId id) const {
+  const Socket& socket = sock(id);
+  return socket.hiwat - std::min(socket.hiwat, socket.stream.size());
+}
+
+}  // namespace ldlp::stack

@@ -1,0 +1,86 @@
+// Socket layer: receive buffering and application wakeups.
+//
+// The "socket low" half (sbappend/sowakeup in Table 1) runs as a Layer so
+// the scheduler treats it like every other layer; the "socket high" half
+// (soreceive/read) is the API the application calls. Stream sockets byte-
+// buffer (TCP); datagram sockets preserve message boundaries and sender
+// addresses (UDP).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/stack_graph.hpp"
+
+namespace ldlp::stack {
+
+using SocketId = std::uint32_t;
+inline constexpr SocketId kNoSocket = ~SocketId{0};
+
+enum class SocketKind : std::uint8_t { kStream, kDatagram };
+
+struct Datagram {
+  std::vector<std::uint8_t> payload;
+  std::uint32_t from_ip = 0;
+  std::uint16_t from_port = 0;
+};
+
+struct SocketStats {
+  std::uint64_t appended_bytes = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t wakeups = 0;
+  std::uint64_t overflows = 0;  ///< Data dropped: receive buffer full.
+};
+
+class SocketLayer final : public core::Layer {
+ public:
+  SocketLayer() : core::Layer("socket") {}
+
+  [[nodiscard]] SocketId create(SocketKind kind,
+                                std::size_t hiwat_bytes = 16 * 1024);
+
+  /// Called whenever data arrives on the socket (sowakeup). The paper's
+  /// blocked process is modelled by the caller polling or by this hook.
+  void set_wakeup(SocketId id, std::function<void(SocketId)> hook);
+
+  /// soreceive for stream sockets: copy out up to dst.size() bytes.
+  [[nodiscard]] std::size_t read(SocketId id, std::span<std::uint8_t> dst);
+
+  /// recvfrom for datagram sockets.
+  [[nodiscard]] std::optional<Datagram> read_datagram(SocketId id);
+
+  [[nodiscard]] std::size_t readable_bytes(SocketId id) const;
+  [[nodiscard]] std::size_t pending_datagrams(SocketId id) const;
+  [[nodiscard]] const SocketStats& socket_stats(SocketId id) const;
+  [[nodiscard]] std::size_t room(SocketId id) const;  ///< Receive window.
+
+  /// Datagram-side delivery (UDP calls this directly; stream data arrives
+  /// as Messages through process()).
+  void deliver_datagram(SocketId id, Datagram dgram);
+
+ protected:
+  /// Stream delivery: msg.flow_id is the SocketId, packet holds payload.
+  void process(core::Message msg) override;
+
+ private:
+  struct Socket {
+    SocketKind kind = SocketKind::kStream;
+    std::size_t hiwat = 0;
+    std::deque<std::uint8_t> stream;
+    std::deque<Datagram> dgrams;
+    std::function<void(SocketId)> wakeup;
+    SocketStats stats;
+  };
+
+  [[nodiscard]] Socket& sock(SocketId id);
+  [[nodiscard]] const Socket& sock(SocketId id) const;
+  void wake(Socket& socket, SocketId id);
+
+  std::vector<Socket> sockets_;
+};
+
+}  // namespace ldlp::stack

@@ -1,0 +1,662 @@
+#include "stack/tcp_layer.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/byteorder.hpp"
+#include "stack/footprints.hpp"
+#include "wire/checksum.hpp"
+#include "wire/tcp.hpp"
+
+namespace ldlp::stack {
+
+using wire::tcpflags::kAck;
+using wire::tcpflags::kFin;
+using wire::tcpflags::kPsh;
+using wire::tcpflags::kRst;
+using wire::tcpflags::kSyn;
+
+TcpLayer::TcpLayer(Ip4Layer& ip, SocketLayer& sockets, TcpConfig config)
+    : core::Layer("tcp"), ip_(ip), sockets_(sockets), cfg_(config) {}
+
+TcpPcb& TcpLayer::pcb(PcbId id) {
+  LDLP_ASSERT_MSG(id < pcbs_.size(), "bad pcb id");
+  return *pcbs_[id];
+}
+
+const TcpPcb& TcpLayer::pcb(PcbId id) const {
+  LDLP_ASSERT_MSG(id < pcbs_.size(), "bad pcb id");
+  return *pcbs_[id];
+}
+
+PcbId TcpLayer::alloc_pcb() {
+  for (PcbId id = 0; id < pcbs_.size(); ++id) {
+    if (pcbs_[id]->is_free()) {
+      *pcbs_[id] = TcpPcb{};
+      return id;
+    }
+  }
+  pcbs_.push_back(std::make_unique<TcpPcb>());
+  return static_cast<PcbId>(pcbs_.size() - 1);
+}
+
+std::uint32_t TcpLayer::next_iss() noexcept {
+  iss_counter_ += 64000;
+  return iss_counter_;
+}
+
+PcbId TcpLayer::listen(std::uint16_t port) {
+  const PcbId id = alloc_pcb();
+  TcpPcb& p = pcb(id);
+  p.state = TcpState::kListen;
+  p.local_ip = ip_.ip_addr();
+  p.local_port = port;
+  return id;
+}
+
+PcbId TcpLayer::connect(std::uint32_t dst_ip, std::uint16_t dst_port) {
+  trace_fn(Fn::kTcpUsrreq);
+  const PcbId id = alloc_pcb();
+  TcpPcb& p = pcb(id);
+  p.state = TcpState::kSynSent;
+  p.local_ip = ip_.ip_addr();
+  p.local_port = next_ephemeral_++;
+  if (next_ephemeral_ == 0) next_ephemeral_ = 49152;
+  p.remote_ip = dst_ip;
+  p.remote_port = dst_port;
+  p.iss = next_iss();
+  p.snd_una = p.iss;
+  p.snd_nxt = p.iss;
+  p.snd_wnd = 1;  // enough for the handshake; real window arrives with it
+  p.mss = cfg_.mss;
+  p.rto_sec = cfg_.rto_initial_sec;
+  p.socket = sockets_.create(SocketKind::kStream);
+  send_segment(id, kSyn, {}, /*retransmission=*/false);
+  return id;
+}
+
+bool TcpLayer::send(PcbId id, std::span<const std::uint8_t> data) {
+  trace_fn(Fn::kTcpUsrreq);
+  TcpPcb& p = pcb(id);
+  if (p.state != TcpState::kEstablished && p.state != TcpState::kCloseWait &&
+      p.state != TcpState::kSynSent && p.state != TcpState::kSynReceived)
+    return false;
+  if (p.fin_queued) return false;
+  if (p.send_buffer.size() + data.size() > cfg_.send_buffer_bytes)
+    return false;
+  p.send_buffer.insert(p.send_buffer.end(), data.begin(), data.end());
+  if (p.state == TcpState::kEstablished || p.state == TcpState::kCloseWait)
+    try_send_data(id);
+  return true;
+}
+
+void TcpLayer::close(PcbId id) {
+  trace_fn(Fn::kTcpUsrreq);
+  TcpPcb& p = pcb(id);
+  switch (p.state) {
+    case TcpState::kListen:
+    case TcpState::kSynSent:
+      p.state = TcpState::kClosed;
+      break;
+    case TcpState::kSynReceived:
+    case TcpState::kEstablished:
+    case TcpState::kCloseWait:
+      p.fin_queued = true;
+      try_send_data(id);
+      break;
+    default:
+      break;  // Already closing.
+  }
+}
+
+void TcpLayer::abort(PcbId id) {
+  TcpPcb& p = pcb(id);
+  if (p.state != TcpState::kClosed && p.state != TcpState::kListen) {
+    send_rst(p.remote_ip, p.remote_port, p.local_ip, p.local_port, p.snd_nxt,
+             0, false);
+  }
+  reset_connection(id);
+}
+
+TcpState TcpLayer::state(PcbId id) const { return pcb(id).state; }
+SocketId TcpLayer::socket_of(PcbId id) const { return pcb(id).socket; }
+const TcpPcbStats& TcpLayer::pcb_stats(PcbId id) const {
+  return pcb(id).stats;
+}
+
+PcbId TcpLayer::demux(std::uint32_t src_ip, std::uint16_t src_port,
+                      std::uint32_t dst_ip, std::uint16_t dst_port) {
+  // Single-entry PCB cache: the common case — a long exchange with one
+  // peer — hits here without touching the PCB list (Table 2: "the
+  // single-entry PCB cache hits").
+  if (last_pcb_ != kNoPcb && last_pcb_ < pcbs_.size() &&
+      pcbs_[last_pcb_]->matches(src_ip, src_port, dst_ip, dst_port)) {
+    ++stats_.pcb_cache_hits;
+    return last_pcb_;
+  }
+  ++stats_.pcb_cache_misses;
+  for (PcbId id = 0; id < pcbs_.size(); ++id) {
+    if (pcbs_[id]->matches(src_ip, src_port, dst_ip, dst_port)) {
+      last_pcb_ = id;
+      return id;
+    }
+  }
+  // Fall back to a listener on the destination port.
+  for (PcbId id = 0; id < pcbs_.size(); ++id) {
+    if (pcbs_[id]->state == TcpState::kListen &&
+        pcbs_[id]->local_port == dst_port) {
+      return id;
+    }
+  }
+  return kNoPcb;
+}
+
+std::uint16_t TcpLayer::advertised_window(const TcpPcb& p) const {
+  if (p.socket == kNoSocket) return 16 * 1024;
+  return static_cast<std::uint16_t>(
+      std::min<std::size_t>(sockets_.room(p.socket), 65535));
+}
+
+void TcpLayer::process(core::Message msg) {
+  trace_fn(Fn::kTcpInput);
+  trace_rgn(Rgn::kTcpTablesRo);
+  trace_rgn(Rgn::kTcpPcbMut);
+  ++stats_.segs_in;
+
+  const std::uint32_t src_ip = flow_src(msg.flow_id);
+  const std::uint32_t dst_ip = flow_dst(msg.flow_id);
+  const std::uint32_t total_len = msg.packet.length();
+
+  std::uint8_t* base = msg.packet.pullup(wire::kTcpMinHeaderLen);
+  if (base == nullptr) {
+    ++stats_.bad_header;
+    return;
+  }
+  const std::uint32_t doff = (base[12] >> 4) * 4u;
+  if (doff > wire::kTcpMinHeaderLen) {
+    base = msg.packet.pullup(doff);
+    if (base == nullptr) {
+      ++stats_.bad_header;
+      return;
+    }
+  }
+  const auto header = wire::parse_tcp({base, msg.packet.head()->len()});
+  if (!header.has_value() || header->header_len() > total_len) {
+    ++stats_.bad_header;
+    return;
+  }
+
+  // in_cksum over the whole segment (the paper's fast path computes this
+  // for every received segment).
+  trace_fn(Fn::kInCksum, 1.0, 2.0 + total_len / 64.0);
+  trace_pkt(trace::RefKind::kRead, total_len);
+  if (wire::transport_cksum(msg.packet, 0, total_len, src_ip, dst_ip,
+                            static_cast<std::uint8_t>(wire::IpProto::kTcp)) !=
+      0) {
+    ++stats_.bad_checksum;
+    return;
+  }
+
+  const std::uint32_t payload_len = total_len - header->header_len();
+  const PcbId id = demux(src_ip, header->src_port, dst_ip, header->dst_port);
+  if (id == kNoPcb) {
+    ++stats_.no_pcb;
+    if (!header->has(kRst)) {
+      if (header->has(kAck)) {
+        send_rst(src_ip, header->src_port, dst_ip, header->dst_port,
+                 header->ack, 0, false);
+      } else {
+        const std::uint32_t ack = header->seq + payload_len +
+                                  (header->has(kSyn) ? 1 : 0) +
+                                  (header->has(kFin) ? 1 : 0);
+        send_rst(src_ip, header->src_port, dst_ip, header->dst_port, 0, ack,
+                 true);
+      }
+    }
+    return;
+  }
+
+  TcpPcb& p = pcb(id);
+  ++p.stats.segs_in;
+
+  // ---- LISTEN ----------------------------------------------------------
+  if (p.state == TcpState::kListen) {
+    if (header->has(kRst)) return;
+    if (header->has(kAck)) {
+      send_rst(src_ip, header->src_port, dst_ip, header->dst_port,
+               header->ack, 0, false);
+      return;
+    }
+    if (!header->has(kSyn)) return;
+    const PcbId child_id = alloc_pcb();
+    TcpPcb& child = pcb(child_id);
+    child.state = TcpState::kSynReceived;
+    child.local_ip = dst_ip;
+    child.local_port = header->dst_port;
+    child.remote_ip = src_ip;
+    child.remote_port = header->src_port;
+    child.irs = header->seq;
+    child.rcv_nxt = header->seq + 1;
+    child.iss = next_iss();
+    child.snd_una = child.iss;
+    child.snd_nxt = child.iss;
+    child.snd_wnd = header->window;
+    child.mss = std::min(cfg_.mss, header->mss.value_or(536));
+    child.rto_sec = cfg_.rto_initial_sec;
+    child.socket = sockets_.create(SocketKind::kStream);
+    send_segment(child_id, static_cast<std::uint8_t>(kSyn | kAck), {},
+                 /*retransmission=*/false);
+    return;
+  }
+
+  // ---- SYN_SENT --------------------------------------------------------
+  if (p.state == TcpState::kSynSent) {
+    if (header->has(kAck) &&
+        (seq_leq(header->ack, p.iss) || seq_gt(header->ack, p.snd_nxt))) {
+      if (!header->has(kRst)) {
+        send_rst(src_ip, header->src_port, dst_ip, header->dst_port,
+                 header->ack, 0, false);
+      }
+      return;
+    }
+    if (header->has(kRst)) {
+      if (header->has(kAck)) reset_connection(id);
+      return;
+    }
+    if (!header->has(kSyn)) return;
+    p.irs = header->seq;
+    p.rcv_nxt = header->seq + 1;
+    if (header->mss.has_value()) p.mss = std::min(p.mss, *header->mss);
+    if (header->has(kAck)) {
+      process_ack(id, header->ack, header->window);
+      enter_established(id);
+      send_ack(id);
+    } else {
+      // Simultaneous open.
+      p.state = TcpState::kSynReceived;
+      send_segment(id, static_cast<std::uint8_t>(kSyn | kAck), {},
+                   /*retransmission=*/true, p.iss);
+    }
+    return;
+  }
+
+  // ---- Synchronized states ---------------------------------------------
+
+  // Header-prediction fast path (4.4BSD tcp_input): established, exactly
+  // ACK (data may carry PSH), next expected sequence, sane ACK.
+  const std::uint8_t interesting =
+      header->flags & static_cast<std::uint8_t>(kSyn | kFin | kRst);
+  if (p.state == TcpState::kEstablished && interesting == 0 &&
+      header->has(kAck) && header->seq == p.rcv_nxt &&
+      seq_geq(header->ack, p.snd_una) && seq_leq(header->ack, p.snd_nxt)) {
+    ++p.stats.fast_path;
+    process_ack(id, header->ack, header->window);
+    if (payload_len != 0) {
+      std::vector<std::uint8_t> bytes(payload_len);
+      if (!msg.packet.copy_out(header->header_len(), bytes)) return;
+      deliver_payload(id, std::move(bytes));
+      // Drain any out-of-order data this made contiguous.
+      auto it = p.ooo.begin();
+      while (it != p.ooo.end() && seq_leq(it->first, p.rcv_nxt)) {
+        if (seq_geq(it->first + it->second.size(), p.rcv_nxt)) {
+          const std::uint32_t skip = p.rcv_nxt - it->first;
+          deliver_payload(id, {it->second.begin() + skip, it->second.end()});
+        }
+        it = p.ooo.erase(it);
+      }
+      // ACK every second data segment (the measured 4.4BSD behaviour).
+      ++p.segs_since_ack;
+      if (p.segs_since_ack >= cfg_.delack_every) {
+        send_ack(id);
+      } else {
+        p.delack_deadline = now() + cfg_.delack_timeout_sec;
+      }
+    }
+    return;
+  }
+
+  ++p.stats.slow_path;
+
+  // Sequence acceptability: anything entirely left of rcv_nxt is a
+  // duplicate; answer with an ACK so the peer resynchronises.
+  const std::uint32_t seg_space =
+      payload_len + (header->has(kSyn) ? 1 : 0) + (header->has(kFin) ? 1 : 0);
+  if (seg_space != 0 && seq_leq(header->seq + seg_space, p.rcv_nxt)) {
+    ++p.stats.dup_acks_sent;
+    send_ack(id);
+    return;
+  }
+
+  if (header->has(kRst)) {
+    reset_connection(id);
+    return;
+  }
+  if (header->has(kSyn)) {
+    // SYN in window: fatal.
+    send_rst(src_ip, header->src_port, dst_ip, header->dst_port, p.snd_nxt, 0,
+             false);
+    reset_connection(id);
+    return;
+  }
+  if (!header->has(kAck)) return;
+
+  if (seq_gt(header->ack, p.snd_nxt)) {
+    send_ack(id);  // ACK for data we have not sent.
+    return;
+  }
+  const bool fin_was_outstanding =
+      (p.state == TcpState::kFinWait1 || p.state == TcpState::kLastAck ||
+       p.state == TcpState::kClosing);
+  process_ack(id, header->ack, header->window);
+  const bool our_fin_acked =
+      fin_was_outstanding && p.snd_una == p.snd_nxt && p.rtx.empty();
+
+  if (p.state == TcpState::kSynReceived &&
+      seq_geq(header->ack, p.iss + 1)) {
+    enter_established(id);
+  }
+  if (our_fin_acked) {
+    switch (p.state) {
+      case TcpState::kFinWait1: p.state = TcpState::kFinWait2; break;
+      case TcpState::kClosing: enter_time_wait(id); break;
+      case TcpState::kLastAck:
+        p.state = TcpState::kClosed;
+        return;
+      default: break;
+    }
+  }
+
+  // Payload.
+  if (payload_len != 0 &&
+      (p.state == TcpState::kEstablished || p.state == TcpState::kFinWait1 ||
+       p.state == TcpState::kFinWait2)) {
+    std::vector<std::uint8_t> bytes(payload_len);
+    if (!msg.packet.copy_out(header->header_len(), bytes)) return;
+    if (header->seq == p.rcv_nxt) {
+      deliver_payload(id, std::move(bytes));
+      auto it = p.ooo.begin();
+      while (it != p.ooo.end() && seq_leq(it->first, p.rcv_nxt)) {
+        if (seq_geq(it->first + it->second.size(), p.rcv_nxt)) {
+          const std::uint32_t skip = p.rcv_nxt - it->first;
+          deliver_payload(id, {it->second.begin() + skip, it->second.end()});
+        }
+        it = p.ooo.erase(it);
+      }
+      send_ack(id);
+    } else if (seq_gt(header->seq, p.rcv_nxt)) {
+      // Out of order: buffer (bounded) and ask for what we need.
+      if (p.ooo.size() < 64) {
+        p.ooo.emplace(header->seq, std::move(bytes));
+        ++p.stats.ooo_buffered;
+      }
+      ++p.stats.dup_acks_sent;
+      send_ack(id);
+    } else {
+      // Partially duplicate: trim the prefix we already have.
+      const std::uint32_t skip = p.rcv_nxt - header->seq;
+      deliver_payload(id, {bytes.begin() + skip, bytes.end()});
+      send_ack(id);
+    }
+  }
+
+  // FIN processing (only once all preceding data has arrived).
+  if (header->has(kFin) &&
+      header->seq + payload_len == p.rcv_nxt) {
+    handle_fin(id);
+  }
+}
+
+void TcpLayer::deliver_payload(PcbId id, std::vector<std::uint8_t> bytes) {
+  TcpPcb& p = pcb(id);
+  if (bytes.empty()) return;
+  p.rcv_nxt += static_cast<std::uint32_t>(bytes.size());
+  buf::Packet pkt = buf::Packet::from_bytes(ip_.pool(), bytes);
+  if (!pkt) return;
+  core::Message up(std::move(pkt));
+  up.flow_id = p.socket;
+  emit(std::move(up), 0);
+}
+
+void TcpLayer::handle_fin(PcbId id) {
+  TcpPcb& p = pcb(id);
+  if (p.fin_received) return;
+  p.fin_received = true;
+  ++p.rcv_nxt;
+  send_ack(id);
+  switch (p.state) {
+    case TcpState::kEstablished:
+      p.state = TcpState::kCloseWait;
+      break;
+    case TcpState::kFinWait1:
+      // Our FIN not yet acked: simultaneous close.
+      p.state = TcpState::kClosing;
+      break;
+    case TcpState::kFinWait2:
+      enter_time_wait(id);
+      break;
+    default:
+      break;
+  }
+}
+
+void TcpLayer::process_ack(PcbId id, std::uint32_t ack, std::uint32_t wnd) {
+  TcpPcb& p = pcb(id);
+  p.snd_wnd = wnd;
+  if (seq_gt(ack, p.snd_una) && seq_leq(ack, p.snd_nxt)) {
+    p.snd_una = ack;
+    while (!p.rtx.empty()) {
+      const RtxSegment& seg = p.rtx.front();
+      const std::uint32_t seg_space =
+          seg.len + ((seg.flags & kSyn) != 0 ? 1 : 0) +
+          ((seg.flags & kFin) != 0 ? 1 : 0);
+      if (seq_leq(seg.seq + seg_space, p.snd_una)) {
+        p.rtx.pop_front();
+      } else {
+        break;
+      }
+    }
+    p.retries = 0;
+    p.rto_sec = cfg_.rto_initial_sec;
+    p.rtx_deadline = p.rtx.empty()
+                         ? std::numeric_limits<double>::infinity()
+                         : now() + p.rto_sec;
+  }
+  try_send_data(id);
+}
+
+void TcpLayer::try_send_data(PcbId id) {
+  TcpPcb& p = pcb(id);
+  if (p.state != TcpState::kEstablished && p.state != TcpState::kCloseWait &&
+      p.state != TcpState::kFinWait1 && p.state != TcpState::kLastAck &&
+      p.state != TcpState::kSynReceived)
+    return;
+
+  while (!p.send_buffer.empty() &&
+         (p.state == TcpState::kEstablished ||
+          p.state == TcpState::kCloseWait)) {
+    const std::uint32_t window = p.usable_window();
+    if (window == 0) break;
+    const auto take = static_cast<std::uint32_t>(std::min<std::size_t>(
+        {p.send_buffer.size(), p.mss, window}));
+    if (take == 0) break;
+    std::vector<std::uint8_t> payload(p.send_buffer.begin(),
+                                      p.send_buffer.begin() + take);
+    p.send_buffer.erase(p.send_buffer.begin(),
+                        p.send_buffer.begin() + take);
+    send_segment(id, static_cast<std::uint8_t>(kAck | kPsh),
+                 std::move(payload), /*retransmission=*/false);
+  }
+
+  // FIN once the buffer drains.
+  if (p.fin_queued && p.send_buffer.empty()) {
+    if (p.state == TcpState::kEstablished ||
+        p.state == TcpState::kSynReceived) {
+      send_segment(id, static_cast<std::uint8_t>(kFin | kAck), {},
+                   /*retransmission=*/false);
+      p.state = TcpState::kFinWait1;
+      p.fin_queued = false;
+    } else if (p.state == TcpState::kCloseWait) {
+      send_segment(id, static_cast<std::uint8_t>(kFin | kAck), {},
+                   /*retransmission=*/false);
+      p.state = TcpState::kLastAck;
+      p.fin_queued = false;
+    }
+  }
+}
+
+void TcpLayer::send_segment(PcbId id, std::uint8_t flags,
+                            std::vector<std::uint8_t> payload,
+                            bool retransmission,
+                            std::uint32_t seq_override) {
+  trace_fn(Fn::kTcpOutput);
+  TcpPcb& p = pcb(id);
+  const std::uint32_t seq = retransmission ? seq_override : p.snd_nxt;
+
+  buf::Packet pkt = buf::Packet::make(ip_.pool());
+  if (!pkt) return;
+
+  wire::TcpHeader header;
+  header.src_port = p.local_port;
+  header.dst_port = p.remote_port;
+  header.seq = seq;
+  header.ack = (flags & kAck) != 0 ? p.rcv_nxt : 0;
+  header.flags = flags;
+  header.window = advertised_window(p);
+  if ((flags & kSyn) != 0) header.mss = cfg_.mss;
+
+  std::uint8_t header_bytes[wire::kTcpMinHeaderLen + 4];
+  const std::size_t hlen = wire::write_tcp(header, header_bytes);
+  if (hlen == 0) return;
+  if (!pkt.append({header_bytes, hlen})) return;
+  if (!payload.empty() && !pkt.append(payload)) return;
+  pkt.sync_pkt_len();
+
+  // Patch the checksum now that everything is in place.
+  const std::uint16_t sum = wire::transport_cksum(
+      pkt, 0, pkt.length(), p.local_ip, p.remote_ip,
+      static_cast<std::uint8_t>(wire::IpProto::kTcp));
+  std::uint8_t sum_bytes[2];
+  store_be16(sum_bytes, sum);
+  if (!pkt.copy_in(16, sum_bytes)) return;
+
+  ++p.stats.segs_out;
+  if ((flags & kAck) != 0 && payload.empty() &&
+      (flags & (kSyn | kFin)) == 0) {
+    ++p.stats.acks_sent;  // pure window/ack segment
+  }
+
+  if (!retransmission) {
+    const std::uint32_t seg_space =
+        static_cast<std::uint32_t>(payload.size()) +
+        ((flags & kSyn) != 0 ? 1 : 0) + ((flags & kFin) != 0 ? 1 : 0);
+    if (seg_space != 0) {
+      p.rtx.push_back(RtxSegment{
+          seq, static_cast<std::uint32_t>(payload.size()), flags,
+          std::move(payload)});
+      p.snd_nxt = seq + seg_space;
+      if (p.rtx_deadline == std::numeric_limits<double>::infinity())
+        p.rtx_deadline = now() + p.rto_sec;
+    }
+  } else if (!payload.empty() || (flags & (kSyn | kFin)) != 0) {
+    ++p.stats.retransmits;  // pure ACKs resent via this path don't count
+  }
+
+  // Data or window-bearing segment counts as an ACK of everything seen.
+  p.segs_since_ack = 0;
+  p.delack_deadline = std::numeric_limits<double>::infinity();
+
+  ip_.output(std::move(pkt), p.remote_ip, wire::IpProto::kTcp);
+}
+
+void TcpLayer::send_ack(PcbId id) {
+  send_segment(id, kAck, {}, /*retransmission=*/true,
+               pcb(id).snd_nxt);  // pure ACK consumes no sequence space
+}
+
+void TcpLayer::send_rst(std::uint32_t dst_ip, std::uint16_t dst_port,
+                        std::uint32_t src_ip, std::uint16_t src_port,
+                        std::uint32_t seq, std::uint32_t ack, bool with_ack) {
+  ++stats_.rsts_sent;
+  buf::Packet pkt = buf::Packet::make(ip_.pool());
+  if (!pkt) return;
+  wire::TcpHeader header;
+  header.src_port = src_port;
+  header.dst_port = dst_port;
+  header.seq = seq;
+  header.ack = ack;
+  header.flags = static_cast<std::uint8_t>(kRst | (with_ack ? kAck : 0));
+  std::uint8_t header_bytes[wire::kTcpMinHeaderLen];
+  if (wire::write_tcp(header, header_bytes) == 0) return;
+  if (!pkt.append(header_bytes)) return;
+  const std::uint16_t sum = wire::transport_cksum(
+      pkt, 0, pkt.length(), src_ip, dst_ip,
+      static_cast<std::uint8_t>(wire::IpProto::kTcp));
+  std::uint8_t sum_bytes[2];
+  store_be16(sum_bytes, sum);
+  if (!pkt.copy_in(16, sum_bytes)) return;
+  pkt.sync_pkt_len();
+  ip_.output(std::move(pkt), dst_ip, wire::IpProto::kTcp);
+}
+
+void TcpLayer::enter_established(PcbId id) {
+  TcpPcb& p = pcb(id);
+  if (p.state == TcpState::kEstablished) return;
+  p.state = TcpState::kEstablished;
+  ++stats_.conns_established;
+  last_pcb_ = id;
+  if (accept_hook_) accept_hook_(id);
+  try_send_data(id);
+}
+
+void TcpLayer::enter_time_wait(PcbId id) {
+  TcpPcb& p = pcb(id);
+  p.state = TcpState::kTimeWait;
+  p.time_wait_deadline = now() + cfg_.time_wait_sec;
+}
+
+void TcpLayer::reset_connection(PcbId id) {
+  TcpPcb& p = pcb(id);
+  if (p.state != TcpState::kClosed) ++stats_.conns_reset;
+  if (last_pcb_ == id) last_pcb_ = kNoPcb;
+  p.state = TcpState::kClosed;
+  p.rtx.clear();
+  p.send_buffer.clear();
+  p.ooo.clear();
+}
+
+void TcpLayer::on_timer() {
+  const double t = now();
+  for (PcbId id = 0; id < pcbs_.size(); ++id) {
+    TcpPcb& p = *pcbs_[id];
+    switch (p.state) {
+      case TcpState::kClosed:
+      case TcpState::kListen:
+        continue;
+      case TcpState::kTimeWait:
+        if (t >= p.time_wait_deadline) {
+          if (last_pcb_ == id) last_pcb_ = kNoPcb;
+          p.state = TcpState::kClosed;
+        }
+        continue;
+      default:
+        break;
+    }
+    if (t >= p.delack_deadline) {
+      send_ack(id);
+    }
+    if (!p.rtx.empty() && t >= p.rtx_deadline) {
+      ++p.retries;
+      if (p.retries > cfg_.max_retransmits) {
+        reset_connection(id);
+        continue;
+      }
+      const RtxSegment& seg = p.rtx.front();
+      send_segment(id, seg.flags, seg.payload, /*retransmission=*/true,
+                   seg.seq);
+      p.rto_sec = std::min(p.rto_sec * 2.0, cfg_.rto_max_sec);
+      p.rtx_deadline = t + p.rto_sec;
+    }
+  }
+}
+
+}  // namespace ldlp::stack

@@ -1,0 +1,121 @@
+// TCP layer: demultiplexing (with the single-entry PCB cache the paper's
+// trace exercises), input state machine with header-prediction fast path,
+// output/segmentation, and timers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/stack_graph.hpp"
+#include "stack/ip_layer.hpp"
+#include "stack/socket_layer.hpp"
+#include "stack/tcp_pcb.hpp"
+
+namespace ldlp::stack {
+
+using PcbId = std::uint32_t;
+inline constexpr PcbId kNoPcb = ~PcbId{0};
+
+struct TcpLayerStats {
+  std::uint64_t segs_in = 0;
+  std::uint64_t bad_checksum = 0;
+  std::uint64_t bad_header = 0;
+  std::uint64_t no_pcb = 0;          ///< RST sent / segment dropped.
+  std::uint64_t pcb_cache_hits = 0;  ///< Single-entry cache (paper §2, Table 2).
+  std::uint64_t pcb_cache_misses = 0;
+  std::uint64_t rsts_sent = 0;
+  std::uint64_t conns_established = 0;
+  std::uint64_t conns_reset = 0;
+};
+
+class TcpLayer final : public core::Layer {
+ public:
+  TcpLayer(Ip4Layer& ip, SocketLayer& sockets, TcpConfig config = {});
+
+  void set_clock(const double* now_sec) noexcept { now_sec_ = now_sec; }
+
+  /// Passive open. Connections accepted on this port get fresh PCBs and
+  /// sockets; `on_accept` (if set) fires when they reach ESTABLISHED.
+  [[nodiscard]] PcbId listen(std::uint16_t port);
+  void set_accept_hook(std::function<void(PcbId)> hook) {
+    accept_hook_ = std::move(hook);
+  }
+
+  /// Active open; allocates an ephemeral port and a stream socket.
+  [[nodiscard]] PcbId connect(std::uint32_t dst_ip, std::uint16_t dst_port);
+
+  /// Queue bytes for transmission. Returns false if the send buffer is
+  /// full or the connection cannot send.
+  [[nodiscard]] bool send(PcbId id, std::span<const std::uint8_t> data);
+
+  /// Orderly close (FIN after queued data drains).
+  void close(PcbId id);
+  /// Abortive close (RST).
+  void abort(PcbId id);
+
+  /// Drive retransmit / delayed-ACK / TIME_WAIT timers.
+  void on_timer();
+
+  /// Send an immediate window-update ACK (what 4.4BSD's soreceive triggers
+  /// after the application drains the socket buffer — the "exit" phase ACK
+  /// of the paper's Table 2).
+  void ack_now(PcbId id) { send_ack(id); }
+
+  [[nodiscard]] TcpState state(PcbId id) const;
+  [[nodiscard]] SocketId socket_of(PcbId id) const;
+  [[nodiscard]] const TcpPcbStats& pcb_stats(PcbId id) const;
+  [[nodiscard]] const TcpLayerStats& tcp_stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::size_t pcb_count() const noexcept { return pcbs_.size(); }
+
+ protected:
+  void process(core::Message msg) override;
+
+ private:
+  [[nodiscard]] double now() const noexcept {
+    return now_sec_ != nullptr ? *now_sec_ : 0.0;
+  }
+  [[nodiscard]] TcpPcb& pcb(PcbId id);
+  [[nodiscard]] const TcpPcb& pcb(PcbId id) const;
+  [[nodiscard]] PcbId alloc_pcb();
+  [[nodiscard]] PcbId demux(std::uint32_t src_ip, std::uint16_t src_port,
+                            std::uint32_t dst_ip, std::uint16_t dst_port);
+
+  /// Transmit a segment: flags + up to `payload_len` bytes taken from the
+  /// send buffer at snd_nxt. Handles rtx queueing.
+  void send_segment(PcbId id, std::uint8_t flags,
+                    std::vector<std::uint8_t> payload, bool retransmission,
+                    std::uint32_t seq_override = 0);
+  /// Push send-buffer data within the usable window.
+  void try_send_data(PcbId id);
+  void send_ack(PcbId id);
+  /// Emit a RST to dst; src_* are our side (placed in the header's source
+  /// fields).
+  void send_rst(std::uint32_t dst_ip, std::uint16_t dst_port,
+                std::uint32_t src_ip, std::uint16_t src_port,
+                std::uint32_t seq, std::uint32_t ack, bool with_ack);
+  void enter_established(PcbId id);
+  void enter_time_wait(PcbId id);
+  void reset_connection(PcbId id);
+  void process_ack(PcbId id, std::uint32_t ack, std::uint32_t wnd);
+  void deliver_payload(PcbId id, std::vector<std::uint8_t> bytes);
+  void handle_fin(PcbId id);
+  [[nodiscard]] std::uint16_t advertised_window(const TcpPcb& p) const;
+  [[nodiscard]] std::uint32_t next_iss() noexcept;
+
+  Ip4Layer& ip_;
+  SocketLayer& sockets_;
+  TcpConfig cfg_;
+  const double* now_sec_ = nullptr;
+  std::vector<std::unique_ptr<TcpPcb>> pcbs_;
+  PcbId last_pcb_ = kNoPcb;  ///< Single-entry PCB cache.
+  std::uint16_t next_ephemeral_ = 49152;
+  std::uint32_t iss_counter_ = 0x1000;
+  std::function<void(PcbId)> accept_hook_;
+  TcpLayerStats stats_;
+};
+
+}  // namespace ldlp::stack

@@ -1,0 +1,61 @@
+#include "trace/code_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace ldlp::trace {
+
+FnId CodeMap::define(std::string name, LayerClass layer, std::uint32_t size,
+                     std::uint32_t active_bytes) {
+  LDLP_ASSERT(size > 0);
+  if (active_bytes == 0 || active_bytes > size) active_bytes = size;
+  CodeFn fn;
+  fn.name = std::move(name);
+  fn.layer = layer;
+  fn.size = size;
+  fn.active_bytes = active_bytes;
+  fn.base = text_base_ + next_offset_;
+  // Functions are padded to 16-byte boundaries like real linkers do.
+  next_offset_ += (size + 15u) / 16u * 16u;
+  fns_.push_back(std::move(fn));
+  return static_cast<FnId>(fns_.size() - 1);
+}
+
+FnId CodeMap::find(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < fns_.size(); ++i) {
+    if (fns_[i].name == name) return static_cast<FnId>(i);
+  }
+  return static_cast<FnId>(fns_.size());
+}
+
+void CodeMap::record_call(TraceBuffer& buffer, FnId id, double fraction,
+                          double revisit) const {
+  if (!buffer.enabled()) return;
+  const CodeFn& fn = fns_.at(id);
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto bytes = static_cast<std::uint32_t>(
+      std::lround(fraction * fn.active_bytes));
+  if (bytes == 0) return;
+  // The full-call footprint is a pure function of the function identity
+  // (seeded by its base address); partial calls touch a *prefix* of it.
+  // Two properties follow, both matching real traces: repeated calls touch
+  // the same bytes (re-execution does not grow the working set), and a
+  // partial call's bytes are a subset of a full call's.
+  const auto full =
+      make_intervals(fn.size, fn.active_bytes, sparsity_, fn.base);
+  std::uint32_t budget = bytes;
+  for (const auto& iv : full) {
+    if (budget == 0) break;
+    const std::uint32_t len = std::min(iv.len, budget);
+    budget -= len;
+    const auto weight = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::lround(
+               revisit * static_cast<double>(len) / 4.0)));
+    buffer.record(RefKind::kCode, fn.layer, fn.base + iv.off, len, weight);
+  }
+}
+
+}  // namespace ldlp::trace

@@ -1,0 +1,73 @@
+// Code-footprint registry.
+//
+// Substitute for tracing real kernel text (see DESIGN.md section 2): each
+// instrumented function in the mini-stack registers here with a byte size
+// taken from the paper's Figure 1 (e.g. tcp_input = 11872 bytes) and a
+// layer classification for Table 1. Functions are laid out sequentially in
+// a synthetic text segment. When a function runs, record_call() logs code
+// references over its executed-byte intervals; the fraction of the body
+// executed can vary per call site (a fast-path call through tcp_input
+// touches far less of it than a full call).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/ref.hpp"
+#include "trace/sparsity.hpp"
+#include "trace/trace_buffer.hpp"
+
+namespace ldlp::trace {
+
+using FnId = std::uint32_t;
+
+struct CodeFn {
+  std::string name;
+  LayerClass layer = LayerClass::kOther;
+  std::uint32_t size = 0;          ///< Total body size in bytes.
+  std::uint32_t active_bytes = 0;  ///< Default executed bytes per full call.
+  std::uint64_t base = 0;          ///< Assigned text address.
+};
+
+class CodeMap {
+ public:
+  /// Text segment starts at a recognisable non-zero base so code and data
+  /// addresses never collide.
+  explicit CodeMap(std::uint64_t text_base = 0x1000'0000,
+                   SparsityParams sparsity = {96, 8})
+      : text_base_(text_base), sparsity_(sparsity) {}
+
+  /// Register a function. `active_bytes` defaults to the whole body.
+  FnId define(std::string name, LayerClass layer, std::uint32_t size,
+              std::uint32_t active_bytes = 0);
+
+  [[nodiscard]] const CodeFn& fn(FnId id) const { return fns_.at(id); }
+  [[nodiscard]] std::size_t count() const noexcept { return fns_.size(); }
+  [[nodiscard]] const std::vector<CodeFn>& functions() const noexcept {
+    return fns_;
+  }
+
+  /// Look up by name; returns count() if absent.
+  [[nodiscard]] FnId find(std::string_view name) const noexcept;
+
+  /// Log one call executing `fraction` of the function's active bytes.
+  /// `revisit` scales the reference count (loops re-execute instructions
+  /// without touching new bytes): refs ~= bytes/4 * revisit.
+  void record_call(TraceBuffer& buffer, FnId id, double fraction = 1.0,
+                   double revisit = 1.0) const;
+
+  /// Sum of registered function sizes (the "text segment" extent).
+  [[nodiscard]] std::uint64_t text_bytes() const noexcept {
+    return next_offset_;
+  }
+
+ private:
+  std::uint64_t text_base_;
+  std::uint64_t next_offset_ = 0;
+  SparsityParams sparsity_;
+  std::vector<CodeFn> fns_;
+};
+
+}  // namespace ldlp::trace

@@ -1,0 +1,90 @@
+#include "trace/code_map_render.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+namespace ldlp::trace {
+
+std::string render_code_map(const CodeMap& code, const TraceBuffer& trace,
+                            std::uint32_t line_bytes) {
+  // Unique code bytes touched per (function, phase), line-rasterised.
+  const std::uint32_t shift =
+      static_cast<std::uint32_t>(std::countr_zero(line_bytes));
+
+  struct Row {
+    const CodeFn* fn = nullptr;
+    std::array<std::unordered_set<std::uint64_t>, kNumPhases> lines;
+  };
+  std::vector<Row> rows(code.count());
+  for (std::size_t i = 0; i < code.count(); ++i)
+    rows[i].fn = &code.fn(static_cast<FnId>(i));
+
+  auto row_for = [&](std::uint64_t addr) -> Row* {
+    // Functions are few; linear probe keeps this dependency-free.
+    for (auto& row : rows) {
+      if (addr >= row.fn->base && addr < row.fn->base + row.fn->size)
+        return &row;
+    }
+    return nullptr;
+  };
+
+  for (const MemRef& ref : trace.refs()) {
+    if (ref.kind != RefKind::kCode || ref.len == 0) continue;
+    Row* row = row_for(ref.addr);
+    if (row == nullptr) continue;
+    const std::uint64_t first = ref.addr >> shift;
+    const std::uint64_t last = (ref.addr + ref.len - 1) >> shift;
+    auto& set = row->lines[static_cast<std::size_t>(ref.phase)];
+    for (std::uint64_t line = first; line <= last; ++line) set.insert(line);
+  }
+
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.fn->base < b.fn->base;
+  });
+
+  std::string out;
+  char buf[200];
+  std::snprintf(buf, sizeof buf, "%-24s %7s | %8s %8s %8s   (touched bytes)\n",
+                "function", "size", "entry", "pkt intr", "exit");
+  out += buf;
+  out += std::string(72, '-') + "\n";
+  for (const Row& row : rows) {
+    std::uint64_t touched[kNumPhases];
+    std::uint64_t any = 0;
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      touched[p] = row.lines[p].size() * line_bytes;
+      any += touched[p];
+    }
+    if (any == 0) continue;
+    std::snprintf(buf, sizeof buf, "%-24s %7u | %8llu %8llu %8llu\n",
+                  row.fn->name.c_str(), row.fn->size,
+                  static_cast<unsigned long long>(touched[0]),
+                  static_cast<unsigned long long>(touched[1]),
+                  static_cast<unsigned long long>(touched[2]));
+    out += buf;
+  }
+
+  const auto ws = analyze_working_set(trace, line_bytes);
+  out += std::string(72, '-') + "\n";
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    const PhaseSummary& ph = ws.phases[p];
+    std::snprintf(buf, sizeof buf,
+                  "%-9s Code: %6llu bytes %7llu refs | Read: %6llu/%llu | "
+                  "Write: %6llu/%llu\n",
+                  std::string(phase_name(static_cast<Phase>(p))).c_str(),
+                  static_cast<unsigned long long>(ph.code_bytes),
+                  static_cast<unsigned long long>(ph.code_refs),
+                  static_cast<unsigned long long>(ph.read_bytes),
+                  static_cast<unsigned long long>(ph.read_refs),
+                  static_cast<unsigned long long>(ph.write_bytes),
+                  static_cast<unsigned long long>(ph.write_refs));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ldlp::trace

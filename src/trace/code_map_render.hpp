@@ -1,0 +1,21 @@
+// Figure 1 renderer: the "plot of active code" as a text table.
+//
+// For every registered function, shows its total size and the bytes of it
+// actually touched in each phase of the receive path, followed by the
+// per-phase footers (code/read/write bytes and reference counts) that the
+// paper prints under each column.
+#pragma once
+
+#include <string>
+
+#include "trace/code_map.hpp"
+#include "trace/trace_buffer.hpp"
+#include "trace/working_set.hpp"
+
+namespace ldlp::trace {
+
+[[nodiscard]] std::string render_code_map(const CodeMap& code,
+                                          const TraceBuffer& trace,
+                                          std::uint32_t line_bytes = 32);
+
+}  // namespace ldlp::trace

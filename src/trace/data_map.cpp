@@ -1,0 +1,61 @@
+#include "trace/data_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace ldlp::trace {
+
+RegionId DataMap::define(std::string name, LayerClass layer, DataIntent intent,
+                         std::uint32_t size, std::uint32_t active_bytes) {
+  LDLP_ASSERT(size > 0);
+  if (active_bytes == 0 || active_bytes > size) active_bytes = size;
+  DataRegion region;
+  region.name = std::move(name);
+  region.layer = layer;
+  region.intent = intent;
+  region.size = size;
+  region.active_bytes = active_bytes;
+  region.base = data_base_ + next_offset_;
+  next_offset_ += (size + 15u) / 16u * 16u;
+  regions_.push_back(std::move(region));
+  return static_cast<RegionId>(regions_.size() - 1);
+}
+
+RegionId DataMap::find(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].name == name) return static_cast<RegionId>(i);
+  }
+  return static_cast<RegionId>(regions_.size());
+}
+
+void DataMap::record_touch(TraceBuffer& buffer, RegionId id,
+                           double fraction) const {
+  if (!buffer.enabled()) return;
+  const DataRegion& region = regions_.at(id);
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto bytes = static_cast<std::uint32_t>(
+      std::lround(fraction * region.active_bytes));
+  if (bytes == 0) return;
+  const SparsityParams& sparsity =
+      region.intent == DataIntent::kReadOnly ? ro_sparsity_ : mut_sparsity_;
+  const auto full =
+      make_intervals(region.size, region.active_bytes, sparsity, region.base);
+  std::uint32_t budget = bytes;
+  for (const auto& iv : full) {
+    if (budget == 0) break;
+    const std::uint32_t len = std::min(iv.len, budget);
+    budget -= len;
+    const auto items = std::max<std::uint32_t>(1, len / 8);
+    buffer.record(RefKind::kRead, region.layer, region.base + iv.off, len,
+                  items);
+    if (region.intent == DataIntent::kMutable) {
+      buffer.record(RefKind::kWrite, region.layer, region.base + iv.off, len,
+                    items);
+    }
+  }
+}
+
+}  // namespace ldlp::trace

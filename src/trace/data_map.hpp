@@ -1,0 +1,77 @@
+// Data-footprint registry.
+//
+// Companion to CodeMap for the static and heap data the receive path
+// touches: protocol control blocks, socket buffers, dispatch tables,
+// interrupt vectors, statistics counters. Regions are laid out in a
+// synthetic data segment; a touch logs references over a sparse item
+// pattern (read-only kernel data is typically small items scattered
+// through larger tables — section 2.1 notes it "tends to be sparse").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/ref.hpp"
+#include "trace/sparsity.hpp"
+#include "trace/trace_buffer.hpp"
+
+namespace ldlp::trace {
+
+using RegionId = std::uint32_t;
+
+/// Intent of a data region. The analyzer decides read-only vs mutable from
+/// the observed references (a line is mutable iff something wrote it), so
+/// this only controls which kinds of touches the region emits.
+enum class DataIntent : std::uint8_t { kReadOnly, kMutable };
+
+struct DataRegion {
+  std::string name;
+  LayerClass layer = LayerClass::kOther;
+  DataIntent intent = DataIntent::kReadOnly;
+  std::uint32_t size = 0;          ///< Region extent in bytes.
+  std::uint32_t active_bytes = 0;  ///< Touched bytes per full touch.
+  std::uint64_t base = 0;
+};
+
+class DataMap {
+ public:
+  explicit DataMap(std::uint64_t data_base = 0x4000'0000,
+                   SparsityParams ro_sparsity = {20, 4},
+                   SparsityParams mut_sparsity = {14, 4})
+      : data_base_(data_base),
+        ro_sparsity_(ro_sparsity),
+        mut_sparsity_(mut_sparsity) {}
+
+  RegionId define(std::string name, LayerClass layer, DataIntent intent,
+                  std::uint32_t size, std::uint32_t active_bytes = 0);
+
+  [[nodiscard]] const DataRegion& region(RegionId id) const {
+    return regions_.at(id);
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return regions_.size(); }
+  [[nodiscard]] const std::vector<DataRegion>& regions() const noexcept {
+    return regions_;
+  }
+  [[nodiscard]] RegionId find(std::string_view name) const noexcept;
+
+  /// Log one touch over `fraction` of the region's active bytes. Read-only
+  /// regions emit reads; mutable regions emit a read and a write per item
+  /// (read-modify-write of counters and control blocks).
+  void record_touch(TraceBuffer& buffer, RegionId id,
+                    double fraction = 1.0) const;
+
+  [[nodiscard]] std::uint64_t data_bytes() const noexcept {
+    return next_offset_;
+  }
+
+ private:
+  std::uint64_t data_base_;
+  std::uint64_t next_offset_ = 0;
+  SparsityParams ro_sparsity_;
+  SparsityParams mut_sparsity_;
+  std::vector<DataRegion> regions_;
+};
+
+}  // namespace ldlp::trace

@@ -1,0 +1,35 @@
+#include "trace/ref.hpp"
+
+namespace ldlp::trace {
+
+std::string_view layer_name(LayerClass layer) noexcept {
+  switch (layer) {
+    case LayerClass::kDevice: return "Device";
+    case LayerClass::kEthernet: return "Ethernet";
+    case LayerClass::kIp: return "IP";
+    case LayerClass::kTcp: return "TCP";
+    case LayerClass::kSocketLow: return "Socket low";
+    case LayerClass::kSocketHigh: return "Socket high";
+    case LayerClass::kKernelEntry: return "Kernel entry/exit";
+    case LayerClass::kProcessControl: return "Process control";
+    case LayerClass::kBufferMgmt: return "Buffer mgmt";
+    case LayerClass::kCopyChecksum: return "Copy, checksum";
+    case LayerClass::kPacketData: return "(packet data)";
+    case LayerClass::kStack: return "(stack)";
+    case LayerClass::kOther: return "(other)";
+    case LayerClass::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view phase_name(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kEntry: return "entry";
+    case Phase::kPacketIntr: return "pkt intr";
+    case Phase::kExit: return "exit";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace ldlp::trace

@@ -1,0 +1,67 @@
+// Memory-reference record types for working-set analysis.
+//
+// Mirrors the paper's tracing apparatus (section 2.2): every instruction
+// fetch and data reference on the receive path is logged, tagged with the
+// protocol layer of the code executing at the time and with the phase of
+// the receive path (Table 2: entry / device interrupt / exit).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ldlp::trace {
+
+enum class RefKind : std::uint8_t { kCode, kRead, kWrite };
+
+/// Table 1 row classification. kPacketData and kStack exist so those
+/// references can be recorded but excluded from working-set accounting,
+/// exactly as the paper excludes packet contents and stack accesses.
+enum class LayerClass : std::uint8_t {
+  kDevice,
+  kEthernet,
+  kIp,
+  kTcp,
+  kSocketLow,
+  kSocketHigh,
+  kKernelEntry,
+  kProcessControl,
+  kBufferMgmt,
+  kCopyChecksum,
+  kPacketData,  ///< Message contents; excluded from Table 1.
+  kStack,       ///< Call-stack traffic; excluded from Table 1.
+  kOther,
+  kCount
+};
+
+inline constexpr std::size_t kNumLayerClasses =
+    static_cast<std::size_t>(LayerClass::kCount);
+
+[[nodiscard]] std::string_view layer_name(LayerClass layer) noexcept;
+
+/// Whether the layer participates in Table 1 working-set totals.
+[[nodiscard]] constexpr bool counted_in_working_set(LayerClass layer) noexcept {
+  return layer != LayerClass::kPacketData && layer != LayerClass::kStack;
+}
+
+/// Table 2 phases of the receive & acknowledge path.
+enum class Phase : std::uint8_t { kEntry, kPacketIntr, kExit, kCount };
+
+inline constexpr std::size_t kNumPhases = static_cast<std::size_t>(Phase::kCount);
+
+[[nodiscard]] std::string_view phase_name(Phase phase) noexcept;
+
+/// One logged reference covering the byte interval [addr, addr+len).
+/// `weight` is the number of individual CPU references the record stands
+/// for (a 40-iteration loop over one line is one record with weight 40);
+/// working-set byte/line accounting ignores weight, reference *counts*
+/// (Figure 1 footers) sum it.
+struct MemRef {
+  std::uint64_t addr = 0;
+  std::uint32_t len = 0;
+  std::uint32_t weight = 1;
+  RefKind kind = RefKind::kRead;
+  LayerClass layer = LayerClass::kOther;
+  Phase phase = Phase::kEntry;
+};
+
+}  // namespace ldlp::trace

@@ -1,0 +1,84 @@
+#include "trace/sparsity.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace ldlp::trace {
+
+std::vector<Interval> make_intervals(std::uint32_t region_size,
+                                     std::uint32_t active_bytes,
+                                     const SparsityParams& params,
+                                     std::uint64_t seed) {
+  std::vector<Interval> out;
+  if (region_size == 0 || active_bytes == 0) return out;
+  active_bytes = std::min(active_bytes, region_size);
+
+  if (active_bytes == region_size) {
+    out.push_back(Interval{0, region_size});
+    return out;
+  }
+
+  const std::uint32_t mean_run = std::max(params.mean_run, params.min_run);
+  const auto n_runs = std::max<std::uint32_t>(
+      1, (active_bytes + mean_run / 2) / mean_run);
+
+  // Split active bytes into n runs with +/-50% jitter, then distribute the
+  // slack (gaps) between them with matching jitter. Everything derives from
+  // the seed, so footprints are stable across processes and runs.
+  Rng rng(seed);
+  std::vector<std::uint32_t> run_len(n_runs);
+  std::uint32_t assigned = 0;
+  for (std::uint32_t i = 0; i < n_runs; ++i) {
+    const std::uint32_t remaining_runs = n_runs - i;
+    const std::uint32_t remaining = active_bytes - assigned;
+    std::uint32_t base = remaining / remaining_runs;
+    std::uint32_t jitter =
+        base > params.min_run
+            ? static_cast<std::uint32_t>(rng.bounded(base - params.min_run + 1))
+            : 0;
+    std::uint32_t len = (i + 1 == n_runs)
+                            ? remaining
+                            : std::max(params.min_run, base - jitter / 2);
+    len = std::min(len, remaining);
+    run_len[i] = len;
+    assigned += len;
+  }
+
+  const std::uint32_t total_gap = region_size - active_bytes;
+  // n_runs+1 gap slots (before first run, between runs, after last).
+  const std::uint32_t n_gaps = n_runs + 1;
+  std::vector<std::uint32_t> gap_len(n_gaps);
+  std::uint32_t gap_assigned = 0;
+  for (std::uint32_t i = 0; i < n_gaps; ++i) {
+    const std::uint32_t remaining_gaps = n_gaps - i;
+    const std::uint32_t remaining = total_gap - gap_assigned;
+    std::uint32_t base = remaining / remaining_gaps;
+    std::uint32_t len =
+        (i + 1 == n_gaps)
+            ? remaining
+            : (base != 0 ? static_cast<std::uint32_t>(rng.bounded(2 * base + 1))
+                         : 0);
+    len = std::min(len, remaining);
+    gap_len[i] = len;
+    gap_assigned += len;
+  }
+
+  std::uint32_t cursor = 0;
+  for (std::uint32_t i = 0; i < n_runs; ++i) {
+    cursor += gap_len[i];
+    if (run_len[i] != 0) out.push_back(Interval{cursor, run_len[i]});
+    cursor += run_len[i];
+  }
+  LDLP_DASSERT(cursor + gap_len[n_gaps - 1] == region_size);
+  return out;
+}
+
+std::uint64_t covered_bytes(const std::vector<Interval>& ivs) {
+  std::uint64_t total = 0;
+  for (const auto& iv : ivs) total += iv.len;
+  return total;
+}
+
+}  // namespace ldlp::trace

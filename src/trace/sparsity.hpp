@@ -1,0 +1,47 @@
+// Basic-block sparsity model.
+//
+// The paper observes (section 5.4, Table 3) that only ~75% of instruction
+// bytes fetched into the cache are executed: touched code is a set of runs
+// (executed basic blocks) separated by gaps (error paths, untaken
+// branches). The same holds more strongly for read-only data, which "tends
+// to be sparse" — small items scattered through larger tables.
+//
+// make_intervals() synthesises such a touch pattern: `active_bytes` spread
+// over a `region_size` region as runs with a given mean length, placed
+// deterministically from a seed so the same function always produces the
+// same footprint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ldlp::trace {
+
+struct Interval {
+  std::uint32_t off = 0;
+  std::uint32_t len = 0;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Sparsity knobs per reference class. Means are in bytes. Calibrated in
+/// stack/footprints.cpp so that rasterising at different cache-line sizes
+/// reproduces the paper's Table 3 deltas.
+struct SparsityParams {
+  std::uint32_t mean_run = 96;  ///< Mean executed-run / touched-item length.
+  std::uint32_t min_run = 8;    ///< Shortest run generated.
+};
+
+/// Spread `active_bytes` over [0, region_size) as non-overlapping,
+/// ascending runs. Returns intervals covering exactly min(active_bytes,
+/// region_size) bytes (clamped). Deterministic in (region_size,
+/// active_bytes, params, seed).
+[[nodiscard]] std::vector<Interval> make_intervals(std::uint32_t region_size,
+                                                   std::uint32_t active_bytes,
+                                                   const SparsityParams& params,
+                                                   std::uint64_t seed);
+
+/// Total bytes covered by a set of intervals.
+[[nodiscard]] std::uint64_t covered_bytes(const std::vector<Interval>& ivs);
+
+}  // namespace ldlp::trace

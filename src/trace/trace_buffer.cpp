@@ -1,0 +1,3 @@
+#include "trace/trace_buffer.hpp"
+
+// TraceBuffer is header-only; this file anchors the translation unit.

@@ -1,0 +1,44 @@
+// Trace buffer: an in-memory log of memory references.
+//
+// Equivalent of the paper's kernel trace buffer filled by the Alpha
+// instruction simulator; here the instrumented mini-stack writes into it
+// directly. Tracing can be switched off so the same stack code runs at
+// full speed when no measurement is wanted (the paper's tracing flag).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/ref.hpp"
+
+namespace ldlp::trace {
+
+class TraceBuffer {
+ public:
+  void enable() noexcept { enabled_ = true; }
+  void disable() noexcept { enabled_ = false; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void set_phase(Phase phase) noexcept { phase_ = phase; }
+  [[nodiscard]] Phase phase() const noexcept { return phase_; }
+
+  void record(RefKind kind, LayerClass layer, std::uint64_t addr,
+              std::uint32_t len, std::uint32_t weight = 1) {
+    if (!enabled_) return;
+    refs_.push_back(MemRef{addr, len, weight, kind, layer, phase_});
+  }
+
+  void clear() noexcept { refs_.clear(); }
+
+  [[nodiscard]] const std::vector<MemRef>& refs() const noexcept {
+    return refs_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return refs_.size(); }
+
+ private:
+  std::vector<MemRef> refs_;
+  Phase phase_ = Phase::kEntry;
+  bool enabled_ = false;
+};
+
+}  // namespace ldlp::trace

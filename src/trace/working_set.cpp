@@ -1,0 +1,116 @@
+#include "trace/working_set.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace ldlp::trace {
+
+namespace {
+
+struct LineInfo {
+  LayerClass first_layer = LayerClass::kOther;
+  bool is_code = false;
+  bool written = false;
+};
+
+}  // namespace
+
+WorkingSetAnalysis analyze_working_set(const TraceBuffer& trace,
+                                       std::uint32_t line_bytes) {
+  LDLP_ASSERT_MSG(line_bytes >= 1 && std::has_single_bit(line_bytes),
+                  "line size must be a power of two");
+  const std::uint32_t shift =
+      static_cast<std::uint32_t>(std::countr_zero(line_bytes));
+
+  WorkingSetAnalysis out;
+  out.line_bytes = line_bytes;
+
+  std::unordered_map<std::uint64_t, LineInfo> lines;
+  lines.reserve(trace.size());
+
+  // Per-phase unique-line sets for the Figure 1 footers.
+  std::array<std::array<std::unordered_set<std::uint64_t>, 3>, kNumPhases>
+      phase_lines;
+
+  for (const MemRef& ref : trace.refs()) {
+    if (ref.len == 0) continue;
+    const std::uint64_t first = ref.addr >> shift;
+    const std::uint64_t last = (ref.addr + ref.len - 1) >> shift;
+    const auto phase = static_cast<std::size_t>(ref.phase);
+    const auto kind = static_cast<std::size_t>(ref.kind);
+
+    PhaseSummary& summary = out.phases[phase];
+    switch (ref.kind) {
+      case RefKind::kCode: summary.code_refs += ref.weight; break;
+      case RefKind::kRead: summary.read_refs += ref.weight; break;
+      case RefKind::kWrite: summary.write_refs += ref.weight; break;
+    }
+
+    for (std::uint64_t line = first; line <= last; ++line) {
+      phase_lines[phase][kind].insert(line);
+      auto [it, inserted] = lines.try_emplace(line);
+      LineInfo& info = it->second;
+      if (inserted) {
+        info.first_layer = ref.layer;
+        info.is_code = ref.kind == RefKind::kCode;
+      }
+      if (ref.kind == RefKind::kWrite) info.written = true;
+    }
+  }
+
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    out.phases[p].code_bytes = phase_lines[p][0].size() * line_bytes;
+    out.phases[p].read_bytes = phase_lines[p][1].size() * line_bytes;
+    out.phases[p].write_bytes = phase_lines[p][2].size() * line_bytes;
+  }
+
+  for (const auto& [line, info] : lines) {
+    (void)line;
+    if (!counted_in_working_set(info.first_layer)) continue;
+    LayerWorkingSet& layer = out.layers[static_cast<std::size_t>(info.first_layer)];
+    if (info.is_code) {
+      ++layer.code_lines;
+      ++out.total.code_lines;
+    } else if (info.written) {
+      ++layer.mut_lines;
+      ++out.total.mut_lines;
+    } else {
+      ++layer.ro_lines;
+      ++out.total.ro_lines;
+    }
+  }
+
+  return out;
+}
+
+std::string WorkingSetAnalysis::format_table() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%-20s %10s %10s %10s\n", "Layer", "Code",
+                "RO data", "Mut data");
+  out += buf;
+  for (std::size_t i = 0; i < kNumLayerClasses; ++i) {
+    const auto layer = static_cast<LayerClass>(i);
+    if (!counted_in_working_set(layer)) continue;
+    const LayerWorkingSet& ws = layers[i];
+    if (ws.total_lines() == 0) continue;
+    std::snprintf(buf, sizeof buf, "%-20s %10llu %10llu %10llu\n",
+                  std::string(layer_name(layer)).c_str(),
+                  static_cast<unsigned long long>(ws.code_lines * line_bytes),
+                  static_cast<unsigned long long>(ws.ro_lines * line_bytes),
+                  static_cast<unsigned long long>(ws.mut_lines * line_bytes));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "%-20s %10llu %10llu %10llu\n", "Total",
+                static_cast<unsigned long long>(code_bytes()),
+                static_cast<unsigned long long>(ro_bytes()),
+                static_cast<unsigned long long>(mut_bytes()));
+  out += buf;
+  return out;
+}
+
+}  // namespace ldlp::trace

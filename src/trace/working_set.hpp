@@ -1,0 +1,64 @@
+// Working-set analysis over a reference trace.
+//
+// Implements the paper's Table 1 / Table 3 accounting: rasterise every
+// reference onto cache lines of a chosen size; classify each line as code,
+// read-only data (never written during the trace) or mutable data (written
+// at least once); attribute each line to the layer that touched it first.
+// Packet contents and stack traffic are recorded in the trace but excluded
+// from the totals, as in the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "trace/ref.hpp"
+#include "trace/trace_buffer.hpp"
+
+namespace ldlp::trace {
+
+struct LayerWorkingSet {
+  std::uint64_t code_lines = 0;
+  std::uint64_t ro_lines = 0;
+  std::uint64_t mut_lines = 0;
+
+  [[nodiscard]] std::uint64_t total_lines() const noexcept {
+    return code_lines + ro_lines + mut_lines;
+  }
+};
+
+/// Per-phase footer statistics (Figure 1): unique bytes touched during the
+/// phase (line-rasterised) and total reference counts, split by kind.
+struct PhaseSummary {
+  std::uint64_t code_bytes = 0;
+  std::uint64_t code_refs = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t read_refs = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t write_refs = 0;
+};
+
+struct WorkingSetAnalysis {
+  std::uint32_t line_bytes = 32;
+  std::array<LayerWorkingSet, kNumLayerClasses> layers{};
+  LayerWorkingSet total{};
+  std::array<PhaseSummary, kNumPhases> phases{};
+
+  [[nodiscard]] std::uint64_t code_bytes() const noexcept {
+    return total.code_lines * line_bytes;
+  }
+  [[nodiscard]] std::uint64_t ro_bytes() const noexcept {
+    return total.ro_lines * line_bytes;
+  }
+  [[nodiscard]] std::uint64_t mut_bytes() const noexcept {
+    return total.mut_lines * line_bytes;
+  }
+
+  /// Render the Table 1 layout (per-layer byte counts at this line size).
+  [[nodiscard]] std::string format_table() const;
+};
+
+[[nodiscard]] WorkingSetAnalysis analyze_working_set(const TraceBuffer& trace,
+                                                     std::uint32_t line_bytes);
+
+}  // namespace ldlp::trace

@@ -1,0 +1,60 @@
+#include "traffic/hurst.hpp"
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace ldlp::traffic {
+
+double estimate_hurst_variance_time(const std::vector<PacketArrival>& trace,
+                                    double base_bucket_sec,
+                                    std::size_t min_blocks) {
+  if (trace.size() < 64 || base_bucket_sec <= 0.0) return 0.5;
+
+  const double horizon = trace.back().time;
+  const auto n_buckets =
+      static_cast<std::size_t>(std::ceil(horizon / base_bucket_sec));
+  if (n_buckets < min_blocks * 2) return 0.5;
+
+  std::vector<double> counts(n_buckets, 0.0);
+  for (const auto& arrival : trace) {
+    auto b = static_cast<std::size_t>(arrival.time / base_bucket_sec);
+    if (b >= n_buckets) b = n_buckets - 1;
+    counts[b] += 1.0;
+  }
+
+  // Variance of the aggregated (block-mean) series at levels m = 1,2,4,...
+  std::vector<double> log_m;
+  std::vector<double> log_var;
+  for (std::size_t m = 1; counts.size() / m >= min_blocks; m *= 2) {
+    RunningStats stats;
+    const std::size_t blocks = counts.size() / m;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < m; ++i) sum += counts[b * m + i];
+      stats.add(sum / static_cast<double>(m));
+    }
+    const double var = stats.variance();
+    if (var <= 0.0) break;
+    log_m.push_back(std::log(static_cast<double>(m)));
+    log_var.push_back(std::log(var));
+  }
+  if (log_m.size() < 3) return 0.5;
+
+  // Least-squares slope of log_var against log_m.
+  RunningStats mx;
+  RunningStats my;
+  for (double v : log_m) mx.add(v);
+  for (double v : log_var) my.add(v);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (std::size_t i = 0; i < log_m.size(); ++i) {
+    sxy += (log_m[i] - mx.mean()) * (log_var[i] - my.mean());
+    sxx += (log_m[i] - mx.mean()) * (log_m[i] - mx.mean());
+  }
+  if (sxx == 0.0) return 0.5;
+  const double beta = sxy / sxx;  // expected 2H - 2
+  return 1.0 + beta / 2.0;
+}
+
+}  // namespace ldlp::traffic

@@ -1,0 +1,23 @@
+// Variance-time Hurst parameter estimation.
+//
+// Used by tests to verify that SelfSimilarSource actually produces
+// long-range-dependent counts (H well above the 0.5 of a Poisson stream):
+// bucket the arrival counts, aggregate at growing block sizes m, and fit
+// log Var(X^(m)) ~ (2H - 2) log m, the classic variance-time plot from the
+// Leland et al. paper.
+#pragma once
+
+#include <vector>
+
+#include "traffic/arrivals.hpp"
+
+namespace ldlp::traffic {
+
+/// Estimate H from a trace. `base_bucket_sec` is the finest bucketing;
+/// aggregation levels double until fewer than `min_blocks` blocks remain.
+/// Returns 0.5 for degenerate inputs (empty or near-empty traces).
+[[nodiscard]] double estimate_hurst_variance_time(
+    const std::vector<PacketArrival>& trace, double base_bucket_sec = 0.1,
+    std::size_t min_blocks = 16);
+
+}  // namespace ldlp::traffic

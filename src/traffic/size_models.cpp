@@ -1,0 +1,51 @@
+#include "traffic/size_models.hpp"
+
+#include "common/assert.hpp"
+
+namespace ldlp::traffic {
+
+MixtureSize::MixtureSize(std::vector<Component> components)
+    : cdf_(std::move(components)) {
+  LDLP_ASSERT(!cdf_.empty());
+  double total = 0.0;
+  mean_ = 0.0;
+  for (const auto& c : cdf_) {
+    LDLP_ASSERT(c.weight > 0.0);
+    total += c.weight;
+  }
+  double cum = 0.0;
+  for (auto& c : cdf_) {
+    mean_ += static_cast<double>(c.bytes) * (c.weight / total);
+    cum += c.weight / total;
+    c.weight = cum;
+  }
+  cdf_.back().weight = 1.0;  // guard against rounding
+}
+
+std::uint32_t MixtureSize::sample(Rng& rng) {
+  const double u = rng.uniform();
+  for (const auto& c : cdf_) {
+    if (u <= c.weight) return c.bytes;
+  }
+  return cdf_.back().bytes;
+}
+
+std::unique_ptr<SizeModel> ethernet1989_sizes() {
+  // Approximates the published size histogram of the Bellcore August/
+  // October 1989 traces: ~40% minimum-size frames, ~30% near-maximum
+  // (1072-byte NFS-era data frames and 1518 max), remainder spread.
+  return std::make_unique<MixtureSize>(std::vector<MixtureSize::Component>{
+      {64, 0.40},
+      {144, 0.11},
+      {288, 0.08},
+      {552, 0.11},
+      {1072, 0.22},
+      {1518, 0.08},
+  });
+}
+
+std::unique_ptr<SizeModel> internet552_sizes() {
+  return std::make_unique<FixedSize>(552);
+}
+
+}  // namespace ldlp::traffic

@@ -1,0 +1,57 @@
+// Packet-size models.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ldlp::traffic {
+
+class SizeModel {
+ public:
+  virtual ~SizeModel() = default;
+  [[nodiscard]] virtual std::uint32_t sample(Rng& rng) = 0;
+  [[nodiscard]] virtual double mean() const = 0;
+};
+
+/// Every packet the same size. The paper's Figures 5/6 use 552 bytes
+/// ("a common packet size in IP internetworks").
+class FixedSize final : public SizeModel {
+ public:
+  explicit FixedSize(std::uint32_t bytes) : bytes_(bytes) {}
+  [[nodiscard]] std::uint32_t sample(Rng&) override { return bytes_; }
+  [[nodiscard]] double mean() const override { return bytes_; }
+
+ private:
+  std::uint32_t bytes_;
+};
+
+/// Discrete mixture of sizes with weights.
+class MixtureSize final : public SizeModel {
+ public:
+  struct Component {
+    std::uint32_t bytes;
+    double weight;
+  };
+
+  explicit MixtureSize(std::vector<Component> components);
+
+  [[nodiscard]] std::uint32_t sample(Rng& rng) override;
+  [[nodiscard]] double mean() const override { return mean_; }
+
+ private:
+  std::vector<Component> cdf_;  ///< weight field holds cumulative prob.
+  double mean_;
+};
+
+/// Size mixture approximating the 1989 Bellcore Ethernet traces the paper
+/// uses for Figure 7: strongly bimodal — a mass of minimum-size packets
+/// (acks, control) and a mass of large data packets, with a thin middle.
+[[nodiscard]] std::unique_ptr<SizeModel> ethernet1989_sizes();
+
+/// The paper's fixed 552-byte internet packet.
+[[nodiscard]] std::unique_ptr<SizeModel> internet552_sizes();
+
+}  // namespace ldlp::traffic

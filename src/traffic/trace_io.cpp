@@ -1,0 +1,42 @@
+#include "traffic/trace_io.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+namespace ldlp::traffic {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+bool save_trace(const std::string& path,
+                const std::vector<PacketArrival>& trace) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) return false;
+  for (const auto& arrival : trace) {
+    if (std::fprintf(f.get(), "%.9f %" PRIu32 "\n", arrival.time,
+                     arrival.size_bytes) < 0)
+      return false;
+  }
+  return true;
+}
+
+std::vector<PacketArrival> load_trace(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  std::vector<PacketArrival> out;
+  if (f == nullptr) return out;
+  double time = 0.0;
+  std::uint32_t size = 0;
+  while (std::fscanf(f.get(), "%lf %" SCNu32, &time, &size) == 2) {
+    out.push_back(PacketArrival{time, size});
+  }
+  return out;
+}
+
+}  // namespace ldlp::traffic

@@ -1,0 +1,24 @@
+// Arrival-trace persistence.
+//
+// Simple line-oriented text format ("<time_sec> <size_bytes>\n") so traces
+// can be saved once, inspected with standard tools, and replayed across
+// benchmark runs exactly — the paper's Figure 7 replays a fixed trace while
+// sweeping CPU speed, and reproducibility requires the same property here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "traffic/arrivals.hpp"
+
+namespace ldlp::traffic {
+
+/// Returns false on I/O failure.
+[[nodiscard]] bool save_trace(const std::string& path,
+                              const std::vector<PacketArrival>& trace);
+
+/// Returns an empty vector on I/O failure or parse error (a valid trace is
+/// never empty in practice; callers that care can check file existence).
+[[nodiscard]] std::vector<PacketArrival> load_trace(const std::string& path);
+
+}  // namespace ldlp::traffic

@@ -1,0 +1,56 @@
+#include "wire/arp.hpp"
+
+#include <cstring>
+
+#include "common/byteorder.hpp"
+
+namespace ldlp::wire {
+
+namespace {
+constexpr std::uint16_t kHwEthernet = 1;
+constexpr std::uint16_t kProtoIpv4 = 0x0800;
+}  // namespace
+
+std::optional<ArpPacket> parse_arp(
+    std::span<const std::uint8_t> data) noexcept {
+  ByteReader r(data);
+  const std::uint16_t hw = r.be16();
+  const std::uint16_t proto = r.be16();
+  const std::uint8_t hlen = r.u8();
+  const std::uint8_t plen = r.u8();
+  const std::uint16_t op = r.be16();
+  if (!r.ok() || hw != kHwEthernet || proto != kProtoIpv4 || hlen != 6 ||
+      plen != 4)
+    return std::nullopt;
+  if (op != static_cast<std::uint16_t>(ArpOp::kRequest) &&
+      op != static_cast<std::uint16_t>(ArpOp::kReply))
+    return std::nullopt;
+
+  ArpPacket pkt;
+  pkt.op = static_cast<ArpOp>(op);
+  auto smac = r.bytes(6);
+  pkt.sender_ip = r.be32();
+  auto tmac = r.bytes(6);
+  pkt.target_ip = r.be32();
+  if (!r.ok()) return std::nullopt;
+  std::memcpy(pkt.sender_mac.data(), smac.data(), 6);
+  std::memcpy(pkt.target_mac.data(), tmac.data(), 6);
+  return pkt;
+}
+
+std::size_t write_arp(const ArpPacket& pkt,
+                      std::span<std::uint8_t> out) noexcept {
+  ByteWriter w(out);
+  w.be16(kHwEthernet);
+  w.be16(kProtoIpv4);
+  w.u8(6);
+  w.u8(4);
+  w.be16(static_cast<std::uint16_t>(pkt.op));
+  w.bytes({pkt.sender_mac.data(), 6});
+  w.be32(pkt.sender_ip);
+  w.bytes({pkt.target_mac.data(), 6});
+  w.be32(pkt.target_ip);
+  return w.ok() ? w.position() : 0;
+}
+
+}  // namespace ldlp::wire

@@ -1,0 +1,30 @@
+// ARP for IPv4 over Ethernet (RFC 826, the subset a host needs).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "wire/ethernet.hpp"
+
+namespace ldlp::wire {
+
+inline constexpr std::size_t kArpLen = 28;
+
+enum class ArpOp : std::uint16_t { kRequest = 1, kReply = 2 };
+
+struct ArpPacket {
+  ArpOp op = ArpOp::kRequest;
+  MacAddr sender_mac{};
+  std::uint32_t sender_ip = 0;
+  MacAddr target_mac{};
+  std::uint32_t target_ip = 0;
+};
+
+[[nodiscard]] std::optional<ArpPacket> parse_arp(
+    std::span<const std::uint8_t> data) noexcept;
+
+std::size_t write_arp(const ArpPacket& pkt,
+                      std::span<std::uint8_t> out) noexcept;
+
+}  // namespace ldlp::wire

@@ -1,0 +1,168 @@
+#include "wire/checksum.hpp"
+
+#include "common/assert.hpp"
+
+namespace ldlp::wire {
+
+namespace {
+
+/// Fold a 64-bit one's-complement accumulator to 16 bits.
+[[nodiscard]] std::uint16_t fold(std::uint64_t sum) noexcept {
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(sum);
+}
+
+/// Simple loop: big-endian 16-bit words, one at a time.
+[[nodiscard]] std::uint64_t sum_simple(const std::uint8_t* p,
+                                       std::size_t len) noexcept {
+  std::uint64_t sum = 0;
+  while (len >= 2) {
+    sum += static_cast<std::uint64_t>(p[0]) << 8 | p[1];
+    p += 2;
+    len -= 2;
+  }
+  if (len != 0) sum += static_cast<std::uint64_t>(p[0]) << 8;
+  return sum;
+}
+
+/// Elaborate loop: alignment prologue, then 16 words (32 bytes — one cache
+/// line on the paper's machine) per iteration.
+[[nodiscard]] std::uint64_t sum_unrolled(const std::uint8_t* p,
+                                         std::size_t len) noexcept {
+  std::uint64_t sum = 0;
+  // Prologue: odd leading byte.
+  if (len != 0 && (reinterpret_cast<std::uintptr_t>(p) & 1) != 0) {
+    // A misaligned start swaps byte significance for the rest of the
+    // buffer; handle by summing the first byte as low-order and marking
+    // the swap. For simplicity (and identical results) we fall back to
+    // word-at-a-time summing without alignment tricks — the unrolling is
+    // what matters for the code-size experiment.
+  }
+  while (len >= 32) {
+    sum += static_cast<std::uint64_t>(p[0]) << 8 | p[1];
+    sum += static_cast<std::uint64_t>(p[2]) << 8 | p[3];
+    sum += static_cast<std::uint64_t>(p[4]) << 8 | p[5];
+    sum += static_cast<std::uint64_t>(p[6]) << 8 | p[7];
+    sum += static_cast<std::uint64_t>(p[8]) << 8 | p[9];
+    sum += static_cast<std::uint64_t>(p[10]) << 8 | p[11];
+    sum += static_cast<std::uint64_t>(p[12]) << 8 | p[13];
+    sum += static_cast<std::uint64_t>(p[14]) << 8 | p[15];
+    sum += static_cast<std::uint64_t>(p[16]) << 8 | p[17];
+    sum += static_cast<std::uint64_t>(p[18]) << 8 | p[19];
+    sum += static_cast<std::uint64_t>(p[20]) << 8 | p[21];
+    sum += static_cast<std::uint64_t>(p[22]) << 8 | p[23];
+    sum += static_cast<std::uint64_t>(p[24]) << 8 | p[25];
+    sum += static_cast<std::uint64_t>(p[26]) << 8 | p[27];
+    sum += static_cast<std::uint64_t>(p[28]) << 8 | p[29];
+    sum += static_cast<std::uint64_t>(p[30]) << 8 | p[31];
+    p += 32;
+    len -= 32;
+  }
+  while (len >= 8) {
+    sum += static_cast<std::uint64_t>(p[0]) << 8 | p[1];
+    sum += static_cast<std::uint64_t>(p[2]) << 8 | p[3];
+    sum += static_cast<std::uint64_t>(p[4]) << 8 | p[5];
+    sum += static_cast<std::uint64_t>(p[6]) << 8 | p[7];
+    p += 8;
+    len -= 8;
+  }
+  while (len >= 2) {
+    sum += static_cast<std::uint64_t>(p[0]) << 8 | p[1];
+    p += 2;
+    len -= 2;
+  }
+  if (len != 0) sum += static_cast<std::uint64_t>(p[0]) << 8;
+  return sum;
+}
+
+}  // namespace
+
+void CksumAccumulator::add(std::span<const std::uint8_t> data,
+                           bool simple) noexcept {
+  if (data.empty()) return;
+  const std::uint8_t* p = data.data();
+  std::size_t len = data.size();
+  if (offset_odd) {
+    // Previous segment ended mid-word: this byte is the low-order half.
+    sum += p[0];
+    ++p;
+    --len;
+    offset_odd = false;
+  }
+  sum += simple ? sum_simple(p, len) : sum_unrolled(p, len);
+  if (len % 2 != 0) {
+    // sum_* already added the trailing byte as high-order; remember the
+    // parity so the next segment's first byte lands low-order.
+    offset_odd = true;
+  }
+}
+
+std::uint16_t CksumAccumulator::finish() const noexcept {
+  return static_cast<std::uint16_t>(~fold(sum));
+}
+
+std::uint16_t cksum_simple(std::span<const std::uint8_t> data) noexcept {
+  return static_cast<std::uint16_t>(~fold(sum_simple(data.data(), data.size())));
+}
+
+std::uint16_t cksum_unrolled(std::span<const std::uint8_t> data) noexcept {
+  return static_cast<std::uint16_t>(
+      ~fold(sum_unrolled(data.data(), data.size())));
+}
+
+std::uint16_t cksum_packet(const buf::Packet& pkt, std::uint32_t off,
+                           std::uint32_t len, bool simple) noexcept {
+  CksumAccumulator acc;
+  const buf::Mbuf* m = pkt.head();
+  while (m != nullptr && off >= m->len()) {
+    off -= m->len();
+    m = m->next();
+  }
+  std::uint32_t remaining = len;
+  while (m != nullptr && remaining > 0) {
+    const std::uint32_t take = std::min(remaining, m->len() - off);
+    acc.add({m->data() + off, take}, simple);
+    remaining -= take;
+    off = 0;
+    m = m->next();
+  }
+  LDLP_DASSERT(remaining == 0);
+  return acc.finish();
+}
+
+std::uint64_t pseudo_header_sum(std::uint32_t src_ip, std::uint32_t dst_ip,
+                                std::uint8_t protocol,
+                                std::uint16_t length) noexcept {
+  std::uint64_t sum = 0;
+  sum += (src_ip >> 16) + (src_ip & 0xffff);
+  sum += (dst_ip >> 16) + (dst_ip & 0xffff);
+  sum += protocol;
+  sum += length;
+  return sum;
+}
+
+std::uint16_t transport_cksum(const buf::Packet& pkt, std::uint32_t off,
+                              std::uint32_t len, std::uint32_t src_ip,
+                              std::uint32_t dst_ip,
+                              std::uint8_t protocol) noexcept {
+  CksumAccumulator acc;
+  acc.sum = pseudo_header_sum(src_ip, dst_ip, protocol,
+                              static_cast<std::uint16_t>(len));
+  const buf::Mbuf* m = pkt.head();
+  std::uint32_t skip = off;
+  while (m != nullptr && skip >= m->len()) {
+    skip -= m->len();
+    m = m->next();
+  }
+  std::uint32_t remaining = len;
+  while (m != nullptr && remaining > 0) {
+    const std::uint32_t take = std::min(remaining, m->len() - skip);
+    acc.add({m->data() + skip, take}, /*simple=*/false);
+    remaining -= take;
+    skip = 0;
+    m = m->next();
+  }
+  return acc.finish();
+}
+
+}  // namespace ldlp::wire

@@ -1,0 +1,36 @@
+#include "wire/ethernet.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/byteorder.hpp"
+
+namespace ldlp::wire {
+
+std::optional<EthHeader> parse_eth(
+    std::span<const std::uint8_t> frame) noexcept {
+  if (frame.size() < kEthHeaderLen) return std::nullopt;
+  EthHeader h;
+  std::memcpy(h.dst.data(), frame.data(), 6);
+  std::memcpy(h.src.data(), frame.data() + 6, 6);
+  h.ether_type = load_be16(frame.data() + 12);
+  return h;
+}
+
+std::size_t write_eth(const EthHeader& header,
+                      std::span<std::uint8_t> out) noexcept {
+  if (out.size() < kEthHeaderLen) return 0;
+  std::memcpy(out.data(), header.dst.data(), 6);
+  std::memcpy(out.data() + 6, header.src.data(), 6);
+  store_be16(out.data() + 12, header.ether_type);
+  return kEthHeaderLen;
+}
+
+std::string mac_to_string(const MacAddr& mac) {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", mac[0],
+                mac[1], mac[2], mac[3], mac[4], mac[5]);
+  return buf;
+}
+
+}  // namespace ldlp::wire

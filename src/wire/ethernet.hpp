@@ -1,0 +1,44 @@
+// Ethernet II framing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace ldlp::wire {
+
+using MacAddr = std::array<std::uint8_t, 6>;
+
+inline constexpr MacAddr kBroadcastMac{0xff, 0xff, 0xff, 0xff, 0xff, 0xff};
+inline constexpr std::size_t kEthHeaderLen = 14;
+inline constexpr std::size_t kEthMinFrame = 60;    ///< Without FCS.
+inline constexpr std::size_t kEthMaxPayload = 1500;
+
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+};
+
+struct EthHeader {
+  MacAddr dst{};
+  MacAddr src{};
+  std::uint16_t ether_type = 0;
+
+  [[nodiscard]] bool is_broadcast() const noexcept {
+    return dst == kBroadcastMac;
+  }
+};
+
+/// Parse from the front of `frame`; nullopt when the frame is too short.
+[[nodiscard]] std::optional<EthHeader> parse_eth(
+    std::span<const std::uint8_t> frame) noexcept;
+
+/// Serialize into `out` (must be >= kEthHeaderLen). Returns bytes written.
+std::size_t write_eth(const EthHeader& header,
+                      std::span<std::uint8_t> out) noexcept;
+
+[[nodiscard]] std::string mac_to_string(const MacAddr& mac);
+
+}  // namespace ldlp::wire

@@ -1,0 +1,39 @@
+#include "wire/hexdump.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <vector>
+
+namespace ldlp::wire {
+
+std::string hexdump(std::span<const std::uint8_t> data,
+                    std::size_t bytes_per_line) {
+  std::string out;
+  char buf[24];
+  for (std::size_t line = 0; line < data.size(); line += bytes_per_line) {
+    std::snprintf(buf, sizeof buf, "%06zx  ", line);
+    out += buf;
+    const std::size_t end = std::min(line + bytes_per_line, data.size());
+    for (std::size_t i = line; i < end; ++i) {
+      std::snprintf(buf, sizeof buf, "%02x ", data[i]);
+      out += buf;
+    }
+    for (std::size_t i = end; i < line + bytes_per_line; ++i) out += "   ";
+    out += " |";
+    for (std::size_t i = line; i < end; ++i) {
+      out += std::isprint(data[i]) != 0 ? static_cast<char>(data[i]) : '.';
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string hexdump(const buf::Packet& pkt, std::size_t max_bytes) {
+  const std::size_t n =
+      std::min<std::size_t>(max_bytes, pkt.length());
+  std::vector<std::uint8_t> bytes(n);
+  if (!pkt.copy_out(0, bytes)) return "<short packet>\n";
+  return hexdump(bytes);
+}
+
+}  // namespace ldlp::wire

@@ -1,0 +1,19 @@
+// Debug hex dump of packet bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "buf/packet.hpp"
+
+namespace ldlp::wire {
+
+[[nodiscard]] std::string hexdump(std::span<const std::uint8_t> data,
+                                  std::size_t bytes_per_line = 16);
+
+/// Dump the first `max_bytes` of a packet chain.
+[[nodiscard]] std::string hexdump(const buf::Packet& pkt,
+                                  std::size_t max_bytes = 128);
+
+}  // namespace ldlp::wire

@@ -1,0 +1,79 @@
+#include "wire/ipv4.hpp"
+
+#include <cstdio>
+
+#include "common/byteorder.hpp"
+#include "wire/checksum.hpp"
+
+namespace ldlp::wire {
+
+std::optional<Ipv4Header> parse_ipv4(
+    std::span<const std::uint8_t> data) noexcept {
+  if (data.size() < kIpMinHeaderLen) return std::nullopt;
+  Ipv4Header h;
+  const std::uint8_t vihl = data[0];
+  h.version = vihl >> 4;
+  h.ihl = vihl & 0x0f;
+  if (h.version != 4 || h.ihl < 5) return std::nullopt;
+  if (data.size() < h.header_len()) return std::nullopt;
+  h.tos = data[1];
+  h.total_len = load_be16(data.data() + 2);
+  if (h.total_len < h.header_len()) return std::nullopt;
+  h.ident = load_be16(data.data() + 4);
+  const std::uint16_t frag = load_be16(data.data() + 6);
+  h.dont_fragment = (frag & 0x4000) != 0;
+  h.more_fragments = (frag & 0x2000) != 0;
+  h.frag_offset = frag & 0x1fff;
+  h.ttl = data[8];
+  h.protocol = data[9];
+  h.checksum = load_be16(data.data() + 10);
+  h.src = load_be32(data.data() + 12);
+  h.dst = load_be32(data.data() + 16);
+
+  // Validate header checksum: summing the header including the stored
+  // checksum must give 0xffff (i.e. ~sum == 0).
+  if (cksum_simple({data.data(), h.header_len()}) != 0) return std::nullopt;
+  return h;
+}
+
+std::size_t write_ipv4(const Ipv4Header& header,
+                       std::span<std::uint8_t> out) noexcept {
+  const std::uint32_t hlen = header.header_len();
+  if (out.size() < hlen || header.ihl < 5) return 0;
+  ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>((header.version << 4) | header.ihl));
+  w.u8(header.tos);
+  w.be16(header.total_len);
+  w.be16(header.ident);
+  std::uint16_t frag = header.frag_offset & 0x1fff;
+  if (header.dont_fragment) frag |= 0x4000;
+  if (header.more_fragments) frag |= 0x2000;
+  w.be16(frag);
+  w.u8(header.ttl);
+  w.u8(header.protocol);
+  w.be16(0);  // checksum placeholder
+  w.be32(header.src);
+  w.be32(header.dst);
+  // Zero any options area the caller asked for (ihl > 5).
+  w.fill(0, hlen - kIpMinHeaderLen);
+  if (!w.ok()) return 0;
+  const std::uint16_t sum = cksum_simple({out.data(), hlen});
+  store_be16(out.data() + 10, sum);
+  return hlen;
+}
+
+std::string ip_to_string(std::uint32_t ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (ip >> 24) & 0xff,
+                (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+std::uint32_t ip_from_parts(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                            std::uint8_t d) noexcept {
+  return (static_cast<std::uint32_t>(a) << 24) |
+         (static_cast<std::uint32_t>(b) << 16) |
+         (static_cast<std::uint32_t>(c) << 8) | d;
+}
+
+}  // namespace ldlp::wire

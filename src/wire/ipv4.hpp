@@ -1,0 +1,62 @@
+// IPv4 header codec (RFC 791), including the fragmentation fields the
+// reassembly path needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace ldlp::wire {
+
+inline constexpr std::size_t kIpMinHeaderLen = 20;
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kIgmp = 2,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct Ipv4Header {
+  std::uint8_t version = 4;
+  std::uint8_t ihl = 5;             ///< Header length in 32-bit words.
+  std::uint8_t tos = 0;
+  std::uint16_t total_len = 0;      ///< Header + payload bytes.
+  std::uint16_t ident = 0;
+  bool dont_fragment = false;
+  bool more_fragments = false;
+  std::uint16_t frag_offset = 0;    ///< In 8-byte units.
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;       ///< As seen on the wire.
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+
+  [[nodiscard]] std::uint32_t header_len() const noexcept {
+    return static_cast<std::uint32_t>(ihl) * 4;
+  }
+  [[nodiscard]] std::uint32_t payload_len() const noexcept {
+    return total_len >= header_len() ? total_len - header_len() : 0;
+  }
+  [[nodiscard]] bool is_fragment() const noexcept {
+    return more_fragments || frag_offset != 0;
+  }
+};
+
+/// Parse and validate (version, ihl, total_len coherence, header checksum).
+[[nodiscard]] std::optional<Ipv4Header> parse_ipv4(
+    std::span<const std::uint8_t> data) noexcept;
+
+/// Serialize with a freshly computed header checksum. Returns bytes
+/// written (header_len()) or 0 if `out` is too small.
+std::size_t write_ipv4(const Ipv4Header& header,
+                       std::span<std::uint8_t> out) noexcept;
+
+/// Dotted-quad helpers for logs and examples.
+[[nodiscard]] std::string ip_to_string(std::uint32_t ip);
+[[nodiscard]] std::uint32_t ip_from_parts(std::uint8_t a, std::uint8_t b,
+                                          std::uint8_t c,
+                                          std::uint8_t d) noexcept;
+
+}  // namespace ldlp::wire

@@ -1,0 +1,65 @@
+#include "wire/tcp.hpp"
+
+#include "common/byteorder.hpp"
+
+namespace ldlp::wire {
+
+std::optional<TcpHeader> parse_tcp(
+    std::span<const std::uint8_t> data) noexcept {
+  if (data.size() < kTcpMinHeaderLen) return std::nullopt;
+  TcpHeader h;
+  h.src_port = load_be16(data.data());
+  h.dst_port = load_be16(data.data() + 2);
+  h.seq = load_be32(data.data() + 4);
+  h.ack = load_be32(data.data() + 8);
+  h.data_off = data[12] >> 4;
+  h.flags = data[13];
+  h.window = load_be16(data.data() + 14);
+  h.checksum = load_be16(data.data() + 16);
+  h.urgent = load_be16(data.data() + 18);
+  if (h.data_off < 5 || data.size() < h.header_len()) return std::nullopt;
+
+  // Scan options for MSS (kind 2); stop at end-of-options (0).
+  std::size_t pos = kTcpMinHeaderLen;
+  const std::size_t end = h.header_len();
+  while (pos < end) {
+    const std::uint8_t kind = data[pos];
+    if (kind == 0) break;
+    if (kind == 1) {  // NOP
+      ++pos;
+      continue;
+    }
+    if (pos + 1 >= end) return std::nullopt;
+    const std::uint8_t optlen = data[pos + 1];
+    if (optlen < 2 || pos + optlen > end) return std::nullopt;
+    if (kind == 2 && optlen == 4) h.mss = load_be16(data.data() + pos + 2);
+    pos += optlen;
+  }
+  return h;
+}
+
+std::size_t write_tcp(const TcpHeader& header,
+                      std::span<std::uint8_t> out) noexcept {
+  const std::size_t hlen =
+      kTcpMinHeaderLen + (header.mss.has_value() ? 4u : 0u);
+  if (out.size() < hlen) return 0;
+  ByteWriter w(out);
+  w.be16(header.src_port);
+  w.be16(header.dst_port);
+  w.be32(header.seq);
+  w.be32(header.ack);
+  const auto data_off = static_cast<std::uint8_t>(hlen / 4);
+  w.u8(static_cast<std::uint8_t>(data_off << 4));
+  w.u8(header.flags);
+  w.be16(header.window);
+  w.be16(header.checksum);
+  w.be16(header.urgent);
+  if (header.mss.has_value()) {
+    w.u8(2);  // kind: MSS
+    w.u8(4);  // length
+    w.be16(*header.mss);
+  }
+  return w.ok() ? hlen : 0;
+}
+
+}  // namespace ldlp::wire

@@ -1,0 +1,51 @@
+// TCP header codec (RFC 793; options parsed for MSS only, which is all the
+// mini-stack negotiates — timestamps are deliberately off, as in the
+// paper's measured configuration).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace ldlp::wire {
+
+inline constexpr std::size_t kTcpMinHeaderLen = 20;
+
+namespace tcpflags {
+inline constexpr std::uint8_t kFin = 0x01;
+inline constexpr std::uint8_t kSyn = 0x02;
+inline constexpr std::uint8_t kRst = 0x04;
+inline constexpr std::uint8_t kPsh = 0x08;
+inline constexpr std::uint8_t kAck = 0x10;
+}  // namespace tcpflags
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_off = 5;  ///< Header length in 32-bit words.
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent = 0;
+  std::optional<std::uint16_t> mss;  ///< From options, if present.
+
+  [[nodiscard]] std::uint32_t header_len() const noexcept {
+    return static_cast<std::uint32_t>(data_off) * 4;
+  }
+  [[nodiscard]] bool has(std::uint8_t flag) const noexcept {
+    return (flags & flag) != 0;
+  }
+};
+
+[[nodiscard]] std::optional<TcpHeader> parse_tcp(
+    std::span<const std::uint8_t> data) noexcept;
+
+/// Serialize; emits an MSS option (and pads to a 4-byte boundary) when
+/// header.mss is set, adjusting data_off accordingly. Checksum field is
+/// written as given — compute it over the pseudo-header afterwards.
+std::size_t write_tcp(const TcpHeader& header,
+                      std::span<std::uint8_t> out) noexcept;
+
+}  // namespace ldlp::wire

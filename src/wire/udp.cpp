@@ -1,0 +1,29 @@
+#include "wire/udp.hpp"
+
+#include "common/byteorder.hpp"
+
+namespace ldlp::wire {
+
+std::optional<UdpHeader> parse_udp(
+    std::span<const std::uint8_t> data) noexcept {
+  if (data.size() < kUdpHeaderLen) return std::nullopt;
+  UdpHeader h;
+  h.src_port = load_be16(data.data());
+  h.dst_port = load_be16(data.data() + 2);
+  h.length = load_be16(data.data() + 4);
+  h.checksum = load_be16(data.data() + 6);
+  if (h.length < kUdpHeaderLen) return std::nullopt;
+  return h;
+}
+
+std::size_t write_udp(const UdpHeader& header,
+                      std::span<std::uint8_t> out) noexcept {
+  if (out.size() < kUdpHeaderLen) return 0;
+  store_be16(out.data(), header.src_port);
+  store_be16(out.data() + 2, header.dst_port);
+  store_be16(out.data() + 4, header.length);
+  store_be16(out.data() + 6, header.checksum);
+  return kUdpHeaderLen;
+}
+
+}  // namespace ldlp::wire

@@ -1,0 +1,25 @@
+// UDP header codec (RFC 768).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace ldlp::wire {
+
+inline constexpr std::size_t kUdpHeaderLen = 8;
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;    ///< Header + payload.
+  std::uint16_t checksum = 0;  ///< 0 = not computed (legal for IPv4).
+};
+
+[[nodiscard]] std::optional<UdpHeader> parse_udp(
+    std::span<const std::uint8_t> data) noexcept;
+
+std::size_t write_udp(const UdpHeader& header,
+                      std::span<std::uint8_t> out) noexcept;
+
+}  // namespace ldlp::wire

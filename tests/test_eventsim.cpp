@@ -1,0 +1,88 @@
+// Unit tests for the discrete-event engine and latency recorder.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eventsim/event_queue.hpp"
+#include "eventsim/latency_recorder.hpp"
+
+namespace ldlp::eventsim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(3.0, [&] { order.push_back(3); });
+  queue.schedule_at(1.0, [&] { order.push_back(1); });
+  queue.schedule_at(2.0, [&] { order.push_back(2); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, SimultaneousEventsKeepScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    queue.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilHorizonStops) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(1.0, [&] { ++fired; });
+  queue.schedule_at(2.0, [&] { ++fired; });
+  queue.schedule_at(5.0, [&] { ++fired; });
+  queue.run_until(2.0);  // inclusive
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue queue;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 10) queue.schedule_in(0.5, step);
+  };
+  queue.schedule_at(0.0, step);
+  queue.run();
+  EXPECT_EQ(chain, 10);
+  EXPECT_DOUBLE_EQ(queue.now(), 4.5);
+}
+
+TEST(EventQueue, AdvancesClockToHorizonWhenDrained) {
+  EventQueue queue;
+  queue.schedule_at(1.0, [] {});
+  queue.run_until(10.0);
+  EXPECT_DOUBLE_EQ(queue.now(), 10.0);
+}
+
+TEST(LatencyRecorder, BasicAccounting) {
+  LatencyRecorder rec;
+  rec.record_completion(0.0, 0.001);
+  rec.record_completion(0.0, 0.003);
+  rec.record_drop();
+  EXPECT_EQ(rec.completed(), 2u);
+  EXPECT_EQ(rec.drops(), 1u);
+  EXPECT_DOUBLE_EQ(rec.mean_latency(), 0.002);
+  EXPECT_DOUBLE_EQ(rec.max_latency(), 0.003);
+  EXPECT_GT(rec.p99_latency(), rec.p50_latency() * 0.99);
+}
+
+TEST(LatencyRecorder, MergeCombines) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  a.record_completion(0.0, 0.001);
+  b.record_completion(0.0, 0.009);
+  b.record_drop();
+  a.merge(b);
+  EXPECT_EQ(a.completed(), 2u);
+  EXPECT_EQ(a.drops(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean_latency(), 0.005);
+}
+
+}  // namespace
+}  // namespace ldlp::eventsim

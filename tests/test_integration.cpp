@@ -1,0 +1,144 @@
+// Cross-module integration tests: the traced receive path that feeds
+// Tables 1/3 and Figure 1, end-to-end working-set invariants, and the
+// library's headline claim checked natively (LDLP batches a backlog
+// through each layer once).
+#include <gtest/gtest.h>
+
+#include "stack/rx_path_trace.hpp"
+#include "trace/code_map_render.hpp"
+#include "trace/working_set.hpp"
+
+namespace ldlp {
+namespace {
+
+struct TracedPath : public ::testing::Test {
+  stack::StackTracer tracer;
+  trace::TraceBuffer buffer;
+
+  void SetUp() override {
+    ASSERT_TRUE(stack::trace_tcp_receive_ack(tracer, buffer, {512, 2}));
+    ASSERT_GT(buffer.size(), 0u);
+  }
+};
+
+TEST_F(TracedPath, WorkingSetTotalsNearPaper) {
+  const auto ws = trace::analyze_working_set(buffer, 32);
+  // Paper Table 1: code 30304 (row sum), RO 5088, mutable 3648. The model
+  // must land within 15% on every column.
+  EXPECT_NEAR(static_cast<double>(ws.code_bytes()), 30304.0, 30304.0 * 0.15);
+  EXPECT_NEAR(static_cast<double>(ws.ro_bytes()), 5088.0, 5088.0 * 0.15);
+  EXPECT_NEAR(static_cast<double>(ws.mut_bytes()), 3648.0, 3648.0 * 0.15);
+}
+
+TEST_F(TracedPath, EveryLayerContributes) {
+  const auto ws = trace::analyze_working_set(buffer, 32);
+  for (std::size_t i = 0;
+       i <= static_cast<std::size_t>(trace::LayerClass::kCopyChecksum); ++i) {
+    EXPECT_GT(ws.layers[i].code_lines, 0u)
+        << trace::layer_name(static_cast<trace::LayerClass>(i));
+  }
+}
+
+TEST_F(TracedPath, WorkingSetExceedsPrimaryCache) {
+  // The paper's headline: the working set is >4x an 8 KB cache.
+  const auto ws = trace::analyze_working_set(buffer, 32);
+  EXPECT_GT(ws.code_bytes() + ws.ro_bytes(), 4u * 8192);
+}
+
+TEST_F(TracedPath, CodeDwarfsMessageContents) {
+  // "message contents count for less than 10% of the memory system
+  // traffic" — code+ro vs ~2.2 KB of message movement.
+  const auto ws = trace::analyze_working_set(buffer, 32);
+  const double code_traffic =
+      static_cast<double>(ws.code_bytes() + ws.ro_bytes());
+  EXPECT_GT(code_traffic, 10.0 * 2200.0 * 0.9);
+}
+
+TEST_F(TracedPath, PhasesAllPopulated) {
+  const auto ws = trace::analyze_working_set(buffer, 32);
+  // Entry touches little code; pkt intr and exit touch a lot.
+  EXPECT_GT(ws.phases[0].code_bytes, 1000u);
+  EXPECT_GT(ws.phases[1].code_bytes, 8000u);
+  EXPECT_GT(ws.phases[2].code_bytes, 10000u);
+  EXPECT_LT(ws.phases[0].code_bytes, ws.phases[1].code_bytes);
+  EXPECT_LT(ws.phases[0].code_bytes, ws.phases[2].code_bytes);
+}
+
+TEST_F(TracedPath, LineSizeDeltasMatchPaperSigns) {
+  const auto base = trace::analyze_working_set(buffer, 32);
+  const auto fine = trace::analyze_working_set(buffer, 16);
+  const auto coarse = trace::analyze_working_set(buffer, 64);
+  // Table 3 signs: smaller lines -> fewer bytes, more lines; larger lines
+  // -> more bytes, fewer lines. Magnitudes within loose bands.
+  const double code16 = static_cast<double>(fine.code_bytes()) /
+                        static_cast<double>(base.code_bytes());
+  EXPECT_GT(code16, 0.80);  // paper: -13%
+  EXPECT_LT(code16, 0.97);
+  const double code64 = static_cast<double>(coarse.code_bytes()) /
+                        static_cast<double>(base.code_bytes());
+  EXPECT_GT(code64, 1.05);  // paper: +17%
+  EXPECT_LT(code64, 1.40);
+  const double ro16 = static_cast<double>(fine.ro_bytes()) /
+                      static_cast<double>(base.ro_bytes());
+  EXPECT_LT(ro16, 0.85);  // paper: -31%
+}
+
+TEST_F(TracedPath, TracingIsRepeatable) {
+  stack::StackTracer tracer2;
+  trace::TraceBuffer buffer2;
+  ASSERT_TRUE(stack::trace_tcp_receive_ack(tracer2, buffer2, {512, 2}));
+  const auto a = trace::analyze_working_set(buffer, 32);
+  const auto b = trace::analyze_working_set(buffer2, 32);
+  EXPECT_EQ(a.code_bytes(), b.code_bytes());
+  EXPECT_EQ(a.ro_bytes(), b.ro_bytes());
+  EXPECT_EQ(a.mut_bytes(), b.mut_bytes());
+}
+
+TEST_F(TracedPath, RenderedMapMentionsKeyFunctions) {
+  const auto text = trace::render_code_map(tracer.code_map(), buffer);
+  for (const char* fn : {"tcp_input", "in_cksum", "soreceive", "leintr",
+                         "ip_output", "ether_input"}) {
+    EXPECT_NE(text.find(fn), std::string::npos) << fn;
+  }
+}
+
+TEST(TracerLifecycle, InactiveTracerRecordsNothing) {
+  stack::StackTracer tracer;
+  trace::TraceBuffer buffer;
+  // No activation: instrumented helpers must be no-ops.
+  stack::trace_fn(stack::Fn::kTcpInput);
+  stack::trace_rgn(stack::Rgn::kTcpPcbMut);
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(stack::StackTracer::active(), nullptr);
+}
+
+TEST(TracerLifecycle, DeactivateStopsRecording) {
+  stack::StackTracer tracer;
+  trace::TraceBuffer buffer;
+  tracer.activate(buffer);
+  stack::trace_fn(stack::Fn::kTcpInput);
+  const auto before = buffer.size();
+  EXPECT_GT(before, 0u);
+  tracer.deactivate();
+  stack::trace_fn(stack::Fn::kTcpInput);
+  EXPECT_EQ(buffer.size(), before);
+}
+
+TEST(TracerLifecycle, PayloadSizeScalesMessageTraffic) {
+  // Bigger payloads change packet-content traffic but not the layer
+  // working set (Table 1 excludes packet contents).
+  auto measure = [](std::uint32_t payload) {
+    stack::StackTracer tracer;
+    trace::TraceBuffer buffer;
+    EXPECT_TRUE(stack::trace_tcp_receive_ack(tracer, buffer, {payload, 2}));
+    return trace::analyze_working_set(buffer, 32);
+  };
+  const auto small = measure(128);
+  const auto large = measure(1024);
+  EXPECT_NEAR(static_cast<double>(small.code_bytes()),
+              static_cast<double>(large.code_bytes()),
+              static_cast<double>(large.code_bytes()) * 0.05);
+}
+
+}  // namespace
+}  // namespace ldlp

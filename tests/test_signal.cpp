@@ -1,0 +1,298 @@
+// Signalling protocol tests: IE/message codecs, call state machines,
+// VC pool management, SSCOP reliability, full node pairs under both
+// scheduling modes and lossy links.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "signal/node.hpp"
+
+namespace ldlp::signal {
+namespace {
+
+const std::uint8_t kCalled[] = {1, 2, 3, 4};
+const std::uint8_t kCalling[] = {9, 9, 9};
+const TrafficDescriptor kTd{353207, 176603};
+
+TEST(Ie, ConnectionIdRoundTrip) {
+  const Ie ie = make_connection_id({7, 1234});
+  const auto cid = parse_connection_id(ie);
+  ASSERT_TRUE(cid.has_value());
+  EXPECT_EQ(cid->vpi, 7);
+  EXPECT_EQ(cid->vci, 1234);
+}
+
+TEST(Ie, TrafficDescriptorRoundTrip) {
+  const Ie ie = make_traffic_descriptor(kTd);
+  const auto td = parse_traffic_descriptor(ie);
+  ASSERT_TRUE(td.has_value());
+  EXPECT_EQ(td->peak_cell_rate, kTd.peak_cell_rate);
+  EXPECT_EQ(td->sustained_cell_rate, kTd.sustained_cell_rate);
+}
+
+TEST(Ie, WrongIdRejected) {
+  const Ie ie = make_cause(Cause::kUserBusy);
+  EXPECT_FALSE(parse_connection_id(ie).has_value());
+  const auto cause = parse_cause(ie);
+  ASSERT_TRUE(cause.has_value());
+  EXPECT_EQ(*cause, Cause::kUserBusy);
+}
+
+TEST(Message, SetupRoundTrip) {
+  const SigMessage msg = make_setup(0x123456, kCalled, kCalling, kTd);
+  const auto bytes = encode(msg);
+  EXPECT_LT(bytes.size(), 100u);  // a small message, as the paper assumes
+  const auto decoded = decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, MsgType::kSetup);
+  EXPECT_EQ(decoded->call_ref, 0x123456u);
+  EXPECT_TRUE(decoded->from_originator);
+  ASSERT_NE(decoded->find(IeId::kCalledNumber), nullptr);
+  EXPECT_EQ(decoded->find(IeId::kCalledNumber)->value,
+            std::vector<std::uint8_t>(std::begin(kCalled), std::end(kCalled)));
+  ASSERT_NE(decoded->find(IeId::kTrafficDescriptor), nullptr);
+}
+
+TEST(Message, FlagDistinguishesDirection) {
+  const SigMessage msg = make_connect(42, {0, 100});
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->from_originator);
+  EXPECT_EQ(decoded->call_ref, 42u);
+}
+
+TEST(Message, MalformedRejected) {
+  auto bytes = encode(make_release_complete(1, true));
+  bytes[0] = 0x55;  // wrong protocol discriminator
+  EXPECT_FALSE(decode(bytes).has_value());
+  auto truncated = encode(make_setup(1, kCalled, kCalling, kTd));
+  truncated.resize(truncated.size() - 3);  // cuts the last IE
+  EXPECT_FALSE(decode(truncated).has_value());
+  EXPECT_FALSE(decode(std::vector<std::uint8_t>(4, 0)).has_value());
+}
+
+TEST(CallControl, DirectSetupConnectRelease) {
+  CallControl user;
+  CallControl network;
+  user.set_send([&](const SigMessage& m) { network.on_message(m); });
+  network.set_send([&](const SigMessage& m) { user.on_message(m); });
+
+  const std::uint32_t ref = user.originate(kCalled, kCalling, kTd);
+  EXPECT_EQ(user.state(ref), CallState::kActive);
+  EXPECT_EQ(network.stats().connects, 1u);
+  EXPECT_EQ(network.stats().active_calls, 1u);
+
+  user.release(ref);
+  EXPECT_FALSE(user.state(ref).has_value());  // cleared
+  EXPECT_EQ(network.stats().active_calls, 0u);
+  EXPECT_EQ(user.stats().active_calls, 0u);
+}
+
+TEST(CallControl, VcPoolExhaustionRejects) {
+  CallControl user;
+  CallControl network(64, 2);  // only two VCs
+  user.set_send([&](const SigMessage& m) { network.on_message(m); });
+  network.set_send([&](const SigMessage& m) { user.on_message(m); });
+
+  const auto r1 = user.originate(kCalled, kCalling, kTd);
+  const auto r2 = user.originate(kCalled, kCalling, kTd);
+  const auto r3 = user.originate(kCalled, kCalling, kTd);
+  EXPECT_EQ(user.state(r1), CallState::kActive);
+  EXPECT_EQ(user.state(r2), CallState::kActive);
+  EXPECT_FALSE(user.state(r3).has_value());  // rejected and cleared
+  EXPECT_EQ(network.stats().rejected, 1u);
+
+  // Releasing frees a VC for a new call.
+  user.release(r1);
+  const auto r4 = user.originate(kCalled, kCalling, kTd);
+  EXPECT_EQ(user.state(r4), CallState::kActive);
+}
+
+TEST(CallControl, VcAssignmentsUniqueAmongActive) {
+  CallControl user;
+  CallControl network(64, 16);
+  user.set_send([&](const SigMessage& m) { network.on_message(m); });
+  network.set_send([&](const SigMessage& m) { user.on_message(m); });
+  std::vector<std::uint16_t> vcis;
+  user.set_on_active([&](const Call& call) {
+    ASSERT_TRUE(call.vc.has_value());
+    vcis.push_back(call.vc->vci);
+  });
+  for (int i = 0; i < 16; ++i) (void)user.originate(kCalled, kCalling, kTd);
+  std::sort(vcis.begin(), vcis.end());
+  EXPECT_EQ(std::adjacent_find(vcis.begin(), vcis.end()), vcis.end());
+}
+
+TEST(CallControl, ReleaseUnknownCallAnsweredStatelessly) {
+  CallControl network;
+  int sent = 0;
+  network.set_send([&](const SigMessage& m) {
+    ++sent;
+    EXPECT_EQ(m.type, MsgType::kReleaseComplete);
+  });
+  network.on_message(make_release(777, Cause::kNormalClearing, true));
+  EXPECT_EQ(sent, 1);
+  EXPECT_EQ(network.stats().protocol_errors, 1u);
+}
+
+TEST(Sscop, InOrderDelivery) {
+  SscopLink a;
+  SscopLink b;
+  std::vector<std::vector<std::uint8_t>> delivered;
+  a.set_transmit([&](std::vector<std::uint8_t> pdu) { b.on_pdu(pdu, 0.0); });
+  b.set_transmit([&](std::vector<std::uint8_t> pdu) { a.on_pdu(pdu, 0.0); });
+  b.set_deliver([&](std::vector<std::uint8_t> p) {
+    delivered.push_back(std::move(p));
+  });
+  ASSERT_TRUE(a.send({1, 2, 3}, 0.0));
+  ASSERT_TRUE(a.send({4, 5}, 0.0));
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0], (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(delivered[1], (std::vector<std::uint8_t>{4, 5}));
+}
+
+TEST(Sscop, RetransmitAfterLoss) {
+  SscopLink a;
+  SscopLink b;
+  std::vector<std::vector<std::uint8_t>> delivered;
+  bool drop_next = true;
+  a.set_transmit([&](std::vector<std::uint8_t> pdu) {
+    if (drop_next && pdu[0] == 1) {  // drop the first SD only
+      drop_next = false;
+      return;
+    }
+    b.on_pdu(pdu, 0.0);
+  });
+  b.set_transmit([&](std::vector<std::uint8_t> pdu) { a.on_pdu(pdu, 0.0); });
+  b.set_deliver([&](std::vector<std::uint8_t> p) {
+    delivered.push_back(std::move(p));
+  });
+  ASSERT_TRUE(a.send({42}, 0.0));
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_EQ(a.unacked(), 1u);
+  a.on_timer(1.0);  // past the retransmit deadline
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], (std::vector<std::uint8_t>{42}));
+  EXPECT_GE(a.stats().retransmits, 1u);
+}
+
+TEST(Sscop, WindowLimitsOutstanding) {
+  SscopConfig cfg;
+  cfg.window = 2;
+  SscopLink a(cfg);
+  a.set_transmit([](std::vector<std::uint8_t>) {});  // black hole: no acks
+  EXPECT_TRUE(a.send({1}, 0.0));
+  EXPECT_TRUE(a.send({2}, 0.0));
+  EXPECT_FALSE(a.send({3}, 0.0));
+}
+
+TEST(Sscop, UnsolicitedStatsKeepWindowOpen) {
+  // Regression: without receiver-initiated STATs a pump-driven system
+  // (no timers) wedges once `window` SDs are outstanding.
+  SscopLink a;
+  SscopLink b;
+  a.set_transmit([&](std::vector<std::uint8_t> pdu) { b.on_pdu(pdu, 0.0); });
+  b.set_transmit([&](std::vector<std::uint8_t> pdu) { a.on_pdu(pdu, 0.0); });
+  int delivered = 0;
+  b.set_deliver([&](std::vector<std::uint8_t>) { ++delivered; });
+  for (int i = 0; i < 2000; ++i)
+    ASSERT_TRUE(a.send({static_cast<std::uint8_t>(i)}, 0.0)) << i;
+  EXPECT_EQ(delivered, 2000);
+  EXPECT_LT(a.unacked(), 16u);
+}
+
+TEST(Sscop, PollElicitsStat) {
+  SscopLink a;
+  SscopLink b;
+  int stats_seen = 0;
+  a.set_transmit([&](std::vector<std::uint8_t> pdu) {
+    if (pdu[0] == 1) return;  // drop all SDs: acks must come via POLL
+    b.on_pdu(pdu, 0.0);
+  });
+  b.set_transmit([&](std::vector<std::uint8_t> pdu) {
+    if (pdu[0] == 3) ++stats_seen;
+    a.on_pdu(pdu, 0.0);
+  });
+  ASSERT_TRUE(a.send({1}, 0.0));
+  EXPECT_EQ(a.unacked(), 1u);
+  a.on_timer(0.06);  // poll interval elapsed
+  EXPECT_GE(stats_seen, 1);
+  EXPECT_GE(a.stats().polls, 1u);
+}
+
+TEST(CallControl, UnknownMessageTypeCounted) {
+  CallControl cc;
+  SigMessage weird;
+  weird.type = MsgType::kStatus;
+  weird.call_ref = 5;
+  cc.on_message(weird);
+  EXPECT_EQ(cc.stats().protocol_errors, 1u);
+}
+
+TEST(CallControl, ConnectForUnknownRefIsError) {
+  CallControl cc;
+  cc.on_message(make_connect(999, {0, 77}));
+  EXPECT_EQ(cc.stats().protocol_errors, 1u);
+  EXPECT_EQ(cc.stats().active_calls, 0u);
+}
+
+TEST(Node, CallFlowOverNodes) {
+  SignallingNode user("user");
+  SignallingNode network("net");
+  SignallingNode::connect(user, network);
+  const std::uint32_t ref = user.calls().originate(kCalled, kCalling, kTd);
+  network.pump();
+  user.pump();
+  EXPECT_EQ(user.calls().state(ref), CallState::kActive);
+  user.calls().release(ref);
+  network.pump();
+  user.pump();
+  EXPECT_FALSE(user.calls().state(ref).has_value());
+  EXPECT_EQ(network.stats().codec_errors, 0u);
+}
+
+TEST(Node, LdlpModeBatchesAndCompletes) {
+  SignallingNode user("user", core::SchedMode::kLdlp);
+  SignallingNode network("net", core::SchedMode::kLdlp);
+  SignallingNode::connect(user, network);
+  std::vector<std::uint32_t> refs;
+  for (int i = 0; i < 50; ++i)
+    refs.push_back(user.calls().originate(kCalled, kCalling, kTd));
+  // All 50 SETUPs sit in the switch's inbox; one pump handles the batch.
+  EXPECT_EQ(network.inbox_backlog(), 50u);
+  network.pump();
+  user.pump();
+  for (const auto ref : refs)
+    EXPECT_EQ(user.calls().state(ref), CallState::kActive);
+  EXPECT_EQ(network.calls().stats().active_calls, 50u);
+}
+
+TEST(Node, LossyLinkRecoversViaSscop) {
+  SignallingNode user("user");
+  SignallingNode network("net");
+  SignallingNode::connect(user, network);
+  network.set_loss_rate(0.4, 1234);
+  user.set_loss_rate(0.4, 5678);
+
+  std::vector<std::uint32_t> refs;
+  for (int i = 0; i < 20; ++i)
+    refs.push_back(user.calls().originate(kCalled, kCalling, kTd));
+  for (int round = 0; round < 600; ++round) {
+    user.advance(0.05);
+    network.advance(0.05);
+    network.pump();
+    user.pump();
+    bool all_active = true;
+    for (const auto ref : refs)
+      all_active &= user.calls().state(ref) == CallState::kActive;
+    if (all_active) break;
+  }
+  for (const auto ref : refs)
+    EXPECT_EQ(user.calls().state(ref), CallState::kActive) << ref;
+  EXPECT_GT(user.link().stats().retransmits +
+                network.link().stats().retransmits,
+            0u);
+}
+
+}  // namespace
+}  // namespace ldlp::signal

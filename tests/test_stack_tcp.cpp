@@ -1,0 +1,363 @@
+// TCP behaviour tests: handshake, data transfer, header-prediction fast
+// path, delayed ACKs, loss recovery, out-of-order buffering, orderly and
+// abortive close, PCB demux cache.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "stack/host.hpp"
+
+namespace ldlp::stack {
+namespace {
+
+using wire::ip_from_parts;
+
+struct TcpPair {
+  std::unique_ptr<Host> client;
+  std::unique_ptr<Host> server;
+  PcbId conn = kNoPcb;
+  PcbId accepted = kNoPcb;
+
+  explicit TcpPair(core::SchedMode mode = core::SchedMode::kConventional,
+                   TcpConfig tcp = {}) {
+    HostConfig cc;
+    cc.name = "client";
+    cc.mac = {2, 0, 0, 0, 0, 1};
+    cc.ip = ip_from_parts(10, 0, 0, 1);
+    cc.mode = mode;
+    cc.tcp = tcp;
+    HostConfig cs = cc;
+    cs.name = "server";
+    cs.mac = {2, 0, 0, 0, 0, 2};
+    cs.ip = ip_from_parts(10, 0, 0, 2);
+    client = std::make_unique<Host>(cc);
+    server = std::make_unique<Host>(cs);
+    NetDevice::connect(client->device(), server->device());
+    server->tcp().set_accept_hook([this](PcbId id) { accepted = id; });
+  }
+
+  void settle(int rounds = 12) {
+    for (int i = 0; i < rounds; ++i) {
+      client->pump();
+      server->pump();
+    }
+  }
+
+  /// Advance both clocks and run timers + pumps.
+  void tick(double dt, int rounds = 4) {
+    client->advance(dt);
+    server->advance(dt);
+    settle(rounds);
+  }
+
+  bool establish(std::uint16_t port = 80) {
+    (void)server->tcp().listen(port);
+    conn = client->tcp().connect(ip_from_parts(10, 0, 0, 2), port);
+    settle();
+    return client->tcp().state(conn) == TcpState::kEstablished &&
+           accepted != kNoPcb &&
+           server->tcp().state(accepted) == TcpState::kEstablished;
+  }
+
+  std::vector<std::uint8_t> drain_server_socket(std::size_t n) {
+    std::vector<std::uint8_t> out(n);
+    const std::size_t got =
+        server->sockets().read(server->tcp().socket_of(accepted), out);
+    out.resize(got);
+    return out;
+  }
+};
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(TcpHandshake, ThreeWayEstablishes) {
+  TcpPair net;
+  EXPECT_TRUE(net.establish());
+  EXPECT_EQ(net.client->tcp().tcp_stats().conns_established, 1u);
+  EXPECT_EQ(net.server->tcp().tcp_stats().conns_established, 1u);
+}
+
+TEST(TcpHandshake, SynToClosedPortGetsRst) {
+  TcpPair net;
+  const PcbId conn = net.client->tcp().connect(ip_from_parts(10, 0, 0, 2), 81);
+  net.settle();
+  EXPECT_EQ(net.client->tcp().state(conn), TcpState::kClosed);
+  EXPECT_EQ(net.server->tcp().tcp_stats().rsts_sent, 1u);
+}
+
+TEST(TcpHandshake, MssNegotiatedDownward) {
+  TcpConfig small;
+  small.mss = 512;
+  TcpPair net(core::SchedMode::kConventional, small);
+  ASSERT_TRUE(net.establish());
+  // Send more than one MSS; every segment on the wire must respect it.
+  std::vector<std::uint8_t> data(2000, 0x5c);
+  ASSERT_TRUE(net.client->tcp().send(net.conn, data));
+  net.settle();
+  EXPECT_EQ(net.drain_server_socket(4000), data);
+  EXPECT_GE(net.client->tcp().pcb_stats(net.conn).segs_out, 4u);
+}
+
+TEST(TcpData, SimpleTransfer) {
+  TcpPair net;
+  ASSERT_TRUE(net.establish());
+  const auto msg = bytes_of("the quick brown fox");
+  ASSERT_TRUE(net.client->tcp().send(net.conn, msg));
+  net.settle();
+  EXPECT_EQ(net.drain_server_socket(100), msg);
+}
+
+TEST(TcpData, BidirectionalTransfer) {
+  TcpPair net;
+  ASSERT_TRUE(net.establish());
+  ASSERT_TRUE(net.client->tcp().send(net.conn, bytes_of("ping")));
+  net.settle();
+  ASSERT_TRUE(net.server->tcp().send(net.accepted, bytes_of("pong")));
+  net.settle();
+  EXPECT_EQ(net.drain_server_socket(10), bytes_of("ping"));
+  std::vector<std::uint8_t> out(10);
+  const std::size_t got = net.client->sockets().read(
+      net.client->tcp().socket_of(net.conn), out);
+  out.resize(got);
+  EXPECT_EQ(out, bytes_of("pong"));
+}
+
+TEST(TcpData, LargeTransferIsByteExact) {
+  TcpPair net;
+  ASSERT_TRUE(net.establish());
+  std::vector<std::uint8_t> data(20000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  // Send in chunks, draining as we go so the receive window keeps moving.
+  std::vector<std::uint8_t> received;
+  std::size_t sent = 0;
+  for (int round = 0; round < 100 && received.size() < data.size(); ++round) {
+    if (sent < data.size()) {
+      const std::size_t take = std::min<std::size_t>(4000, data.size() - sent);
+      if (net.client->tcp().send(
+              net.conn, {data.data() + sent, take}))
+        sent += take;
+    }
+    net.tick(0.01, 3);
+    const auto chunk = net.drain_server_socket(8000);
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(received, data);
+}
+
+TEST(TcpData, FastPathDominatesBulkReceive) {
+  TcpPair net;
+  ASSERT_TRUE(net.establish());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        net.client->tcp().send(net.conn, std::vector<std::uint8_t>(512, i)));
+    net.settle(3);
+    (void)net.drain_server_socket(2000);
+  }
+  const auto& stats = net.server->tcp().pcb_stats(net.accepted);
+  EXPECT_GE(stats.fast_path, 15u);
+  EXPECT_GT(stats.fast_path, stats.slow_path);
+}
+
+TEST(TcpData, AckEverySecondSegment) {
+  TcpConfig cfg;
+  cfg.delack_every = 2;
+  TcpPair net(core::SchedMode::kConventional, cfg);
+  ASSERT_TRUE(net.establish());
+  const auto& before = net.server->tcp().pcb_stats(net.accepted);
+  const auto acks_before = before.acks_sent;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        net.client->tcp().send(net.conn, std::vector<std::uint8_t>(100, i)));
+    net.settle(2);
+  }
+  const auto acks_after = net.server->tcp().pcb_stats(net.accepted).acks_sent;
+  // 8 data segments -> ~4 ACKs (every second one).
+  EXPECT_GE(acks_after - acks_before, 3u);
+  EXPECT_LE(acks_after - acks_before, 5u);
+}
+
+TEST(TcpData, SingleEntryPcbCacheHits) {
+  TcpPair net;
+  ASSERT_TRUE(net.establish());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        net.client->tcp().send(net.conn, std::vector<std::uint8_t>(64, i)));
+    net.settle(2);
+  }
+  const auto& stats = net.server->tcp().tcp_stats();
+  EXPECT_GT(stats.pcb_cache_hits, stats.pcb_cache_misses);
+}
+
+TEST(TcpLoss, RetransmissionRecovers) {
+  TcpPair net;
+  ASSERT_TRUE(net.establish());
+  // Drop everything the server hears for a while.
+  net.server->device().set_loss(1.0, 7);
+  ASSERT_TRUE(net.client->tcp().send(net.conn, bytes_of("lost-once")));
+  net.settle();
+  EXPECT_TRUE(net.drain_server_socket(100).empty());
+  // Heal the wire; the retransmit timer resends.
+  net.server->device().set_loss(0.0);
+  for (int i = 0; i < 10; ++i) net.tick(0.3);
+  EXPECT_EQ(net.drain_server_socket(100), bytes_of("lost-once"));
+  EXPECT_GE(net.client->tcp().pcb_stats(net.conn).retransmits, 1u);
+}
+
+TEST(TcpLoss, LossyLinkEventuallyDeliversEverything) {
+  TcpPair net;
+  ASSERT_TRUE(net.establish());
+  net.server->device().set_loss(0.3, 11);
+  net.client->device().set_loss(0.3, 13);
+  std::vector<std::uint8_t> data(4000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i);
+  ASSERT_TRUE(net.client->tcp().send(net.conn, data));
+  std::vector<std::uint8_t> received;
+  for (int round = 0; round < 400 && received.size() < data.size(); ++round) {
+    net.tick(0.25, 2);
+    const auto chunk = net.drain_server_socket(8000);
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(received, data);
+}
+
+TEST(TcpLoss, ReorderedSegmentsUseOooBuffer) {
+  TcpPair net;
+  ASSERT_TRUE(net.establish());
+  net.server->device().set_reorder(0.5, 23);
+  std::vector<std::uint8_t> data(6000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 5 + 1);
+  ASSERT_TRUE(net.client->tcp().send(net.conn, data));
+  std::vector<std::uint8_t> received;
+  for (int round = 0; round < 200 && received.size() < data.size(); ++round) {
+    net.tick(0.05, 2);
+    const auto chunk = net.drain_server_socket(8000);
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(received, data);
+  EXPECT_GT(net.server->tcp().pcb_stats(net.accepted).ooo_buffered, 0u);
+}
+
+TEST(TcpLoss, ReorderAndLossTogether) {
+  TcpPair net;
+  ASSERT_TRUE(net.establish());
+  net.server->device().set_reorder(0.3, 29);
+  net.server->device().set_loss(0.15, 31);
+  std::vector<std::uint8_t> data(3000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i ^ 0x55);
+  ASSERT_TRUE(net.client->tcp().send(net.conn, data));
+  std::vector<std::uint8_t> received;
+  for (int round = 0; round < 400 && received.size() < data.size(); ++round) {
+    net.tick(0.2, 2);
+    const auto chunk = net.drain_server_socket(8000);
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(received, data);
+}
+
+TEST(TcpClose, OrderlyFinSequence) {
+  TcpPair net;
+  ASSERT_TRUE(net.establish());
+  net.client->tcp().close(net.conn);
+  net.settle();
+  EXPECT_EQ(net.server->tcp().state(net.accepted), TcpState::kCloseWait);
+  net.server->tcp().close(net.accepted);
+  net.settle();
+  EXPECT_EQ(net.server->tcp().state(net.accepted), TcpState::kClosed);
+  EXPECT_EQ(net.client->tcp().state(net.conn), TcpState::kTimeWait);
+  net.tick(2.0);  // 2MSL (shortened) expires
+  EXPECT_EQ(net.client->tcp().state(net.conn), TcpState::kClosed);
+}
+
+TEST(TcpClose, CloseFlushesQueuedData) {
+  TcpPair net;
+  ASSERT_TRUE(net.establish());
+  ASSERT_TRUE(net.client->tcp().send(net.conn, bytes_of("final words")));
+  net.client->tcp().close(net.conn);
+  net.settle();
+  EXPECT_EQ(net.drain_server_socket(100), bytes_of("final words"));
+  EXPECT_EQ(net.server->tcp().state(net.accepted), TcpState::kCloseWait);
+}
+
+TEST(TcpClose, AbortSendsRst) {
+  TcpPair net;
+  ASSERT_TRUE(net.establish());
+  net.client->tcp().abort(net.conn);
+  net.settle();
+  EXPECT_EQ(net.client->tcp().state(net.conn), TcpState::kClosed);
+  EXPECT_EQ(net.server->tcp().state(net.accepted), TcpState::kClosed);
+  EXPECT_GE(net.server->tcp().tcp_stats().conns_reset, 1u);
+}
+
+TEST(TcpClose, SendAfterCloseRefused) {
+  TcpPair net;
+  ASSERT_TRUE(net.establish());
+  net.client->tcp().close(net.conn);
+  EXPECT_FALSE(net.client->tcp().send(net.conn, bytes_of("late")));
+}
+
+TEST(TcpScheduling, LdlpDeliversIdenticalStream) {
+  std::vector<std::uint8_t> data(6000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 3);
+  for (const auto mode :
+       {core::SchedMode::kConventional, core::SchedMode::kLdlp}) {
+    TcpPair net(mode);
+    ASSERT_TRUE(net.establish());
+    ASSERT_TRUE(net.client->tcp().send(net.conn, data));
+    std::vector<std::uint8_t> received;
+    for (int round = 0; round < 60 && received.size() < data.size(); ++round) {
+      net.tick(0.01, 3);
+      const auto chunk = net.drain_server_socket(8000);
+      received.insert(received.end(), chunk.begin(), chunk.end());
+    }
+    EXPECT_EQ(received, data) << "mode=" << static_cast<int>(mode);
+  }
+}
+
+TEST(TcpScheduling, LdlpBatchesBackloggedSegments) {
+  TcpPair net(core::SchedMode::kLdlp);
+  ASSERT_TRUE(net.establish());
+  net.server->eth().reset_stats();  // discard per-frame handshake batches
+  // Queue several segments on the wire before the server pumps once.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        net.client->tcp().send(net.conn, std::vector<std::uint8_t>(200, i)));
+    net.client->pump();
+  }
+  EXPECT_GE(net.server->device().rx_pending(), 6u);
+  net.server->pump();
+  // All six data segments traversed the stack in one blocked pass.
+  EXPECT_EQ(net.drain_server_socket(4000).size(), 1200u);
+  const auto& eth_stats = net.server->eth().stats();
+  EXPECT_GE(eth_stats.mean_batch(), 5.0);
+}
+
+TEST(TcpPools, NoMbufLeakAcrossSession) {
+  std::uint64_t outstanding = 0;
+  {
+    TcpPair net;
+    ASSERT_TRUE(net.establish());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(net.client->tcp().send(net.conn,
+                                         std::vector<std::uint8_t>(700, i)));
+      net.settle(3);
+      (void)net.drain_server_socket(8000);
+    }
+    net.client->tcp().close(net.conn);
+    net.server->tcp().close(net.accepted);
+    net.tick(2.0);
+    outstanding = net.client->pool().stats().mbufs_outstanding() +
+                  net.server->pool().stats().mbufs_outstanding();
+  }
+  EXPECT_EQ(outstanding, 0u);
+}
+
+}  // namespace
+}  // namespace ldlp::stack

@@ -1,0 +1,211 @@
+// Unit tests for the tracing substrate: sparsity interval generation, code
+// and data footprint maps, working-set analysis (classification,
+// rasterisation at multiple line sizes), phase accounting.
+#include <gtest/gtest.h>
+
+#include "trace/code_map.hpp"
+#include "trace/code_map_render.hpp"
+#include "trace/data_map.hpp"
+#include "trace/sparsity.hpp"
+#include "trace/working_set.hpp"
+
+namespace ldlp::trace {
+namespace {
+
+TEST(Sparsity, CoversExactlyActiveBytes) {
+  for (std::uint32_t active : {64u, 500u, 992u, 3000u}) {
+    const auto ivs = make_intervals(4000, active, {96, 8}, 42);
+    EXPECT_EQ(covered_bytes(ivs), active) << "active=" << active;
+  }
+}
+
+TEST(Sparsity, IntervalsAscendingAndDisjoint) {
+  const auto ivs = make_intervals(10000, 4000, {96, 8}, 7);
+  for (std::size_t i = 0; i < ivs.size(); ++i) {
+    EXPECT_GT(ivs[i].len, 0u);
+    EXPECT_LE(ivs[i].off + ivs[i].len, 10000u);
+    if (i > 0) {
+      EXPECT_GE(ivs[i].off, ivs[i - 1].off + ivs[i - 1].len);
+    }
+  }
+}
+
+TEST(Sparsity, FullCoverageIsOneInterval) {
+  const auto ivs = make_intervals(512, 512, {96, 8}, 1);
+  ASSERT_EQ(ivs.size(), 1u);
+  EXPECT_EQ(ivs[0].off, 0u);
+  EXPECT_EQ(ivs[0].len, 512u);
+}
+
+TEST(Sparsity, DeterministicInSeed) {
+  const auto a = make_intervals(5000, 2000, {64, 8}, 99);
+  const auto b = make_intervals(5000, 2000, {64, 8}, 99);
+  EXPECT_EQ(a, b);
+  const auto c = make_intervals(5000, 2000, {64, 8}, 100);
+  EXPECT_NE(a, c);
+}
+
+TEST(Sparsity, ClampsOversizedRequest) {
+  const auto ivs = make_intervals(100, 1000, {96, 8}, 3);
+  EXPECT_EQ(covered_bytes(ivs), 100u);
+}
+
+TEST(Sparsity, EmptyInputs) {
+  EXPECT_TRUE(make_intervals(0, 10, {96, 8}, 1).empty());
+  EXPECT_TRUE(make_intervals(100, 0, {96, 8}, 1).empty());
+}
+
+TEST(CodeMap, SequentialNonOverlappingPlacement) {
+  CodeMap code;
+  const FnId a = code.define("fn_a", LayerClass::kTcp, 1000);
+  const FnId b = code.define("fn_b", LayerClass::kIp, 500);
+  EXPECT_GE(code.fn(b).base, code.fn(a).base + 1000);
+  EXPECT_EQ(code.find("fn_b"), b);
+  EXPECT_EQ(code.find("nope"), code.count());
+}
+
+TEST(CodeMap, RepeatCallsDontGrowWorkingSet) {
+  CodeMap code;
+  const FnId fn = code.define("fn", LayerClass::kTcp, 4000, 1500);
+  TraceBuffer buffer;
+  buffer.enable();
+  code.record_call(buffer, fn);
+  const auto once = analyze_working_set(buffer, 32).total.code_lines;
+  code.record_call(buffer, fn);
+  code.record_call(buffer, fn);
+  const auto thrice = analyze_working_set(buffer, 32).total.code_lines;
+  EXPECT_EQ(once, thrice);
+}
+
+TEST(CodeMap, PartialCallIsSubsetOfFull) {
+  CodeMap code;
+  const FnId fn = code.define("fn", LayerClass::kTcp, 4000, 1500);
+  TraceBuffer partial_buf;
+  partial_buf.enable();
+  code.record_call(partial_buf, fn, 0.4);
+  TraceBuffer full_buf;
+  full_buf.enable();
+  code.record_call(full_buf, fn, 1.0);
+  const auto partial = analyze_working_set(partial_buf, 32).total.code_lines;
+  const auto full = analyze_working_set(full_buf, 32).total.code_lines;
+  EXPECT_LT(partial, full);
+  // Union of partial+full equals full alone (subset property).
+  code.record_call(full_buf, fn, 0.4);
+  EXPECT_EQ(analyze_working_set(full_buf, 32).total.code_lines, full);
+}
+
+TEST(CodeMap, DisabledBufferRecordsNothing) {
+  CodeMap code;
+  const FnId fn = code.define("fn", LayerClass::kTcp, 1000);
+  TraceBuffer buffer;  // not enabled
+  code.record_call(buffer, fn);
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(DataMap, ReadOnlyVsMutableClassification) {
+  DataMap data;
+  const RegionId ro = data.define("table", LayerClass::kIp,
+                                  DataIntent::kReadOnly, 1000, 400);
+  const RegionId mut = data.define("pcb", LayerClass::kTcp,
+                                   DataIntent::kMutable, 1000, 400);
+  TraceBuffer buffer;
+  buffer.enable();
+  data.record_touch(buffer, ro);
+  data.record_touch(buffer, mut);
+  const auto ws = analyze_working_set(buffer, 32);
+  EXPECT_GT(ws.total.ro_lines, 0u);
+  EXPECT_GT(ws.total.mut_lines, 0u);
+  EXPECT_EQ(ws.total.code_lines, 0u);
+  EXPECT_GT(ws.layers[static_cast<std::size_t>(LayerClass::kIp)].ro_lines, 0u);
+  EXPECT_GT(ws.layers[static_cast<std::size_t>(LayerClass::kTcp)].mut_lines,
+            0u);
+}
+
+TEST(WorkingSet, FirstTouchLayerAttribution) {
+  TraceBuffer buffer;
+  buffer.enable();
+  buffer.record(RefKind::kRead, LayerClass::kIp, 0x1000, 32);
+  buffer.record(RefKind::kRead, LayerClass::kTcp, 0x1000, 32);  // same line
+  const auto ws = analyze_working_set(buffer, 32);
+  EXPECT_EQ(ws.layers[static_cast<std::size_t>(LayerClass::kIp)].ro_lines, 1u);
+  EXPECT_EQ(ws.layers[static_cast<std::size_t>(LayerClass::kTcp)].ro_lines,
+            0u);
+}
+
+TEST(WorkingSet, LaterWriteMakesLineMutable) {
+  TraceBuffer buffer;
+  buffer.enable();
+  buffer.record(RefKind::kRead, LayerClass::kIp, 0x1000, 32);
+  const auto before = analyze_working_set(buffer, 32);
+  EXPECT_EQ(before.total.ro_lines, 1u);
+  buffer.record(RefKind::kWrite, LayerClass::kIp, 0x1010, 4);
+  const auto after = analyze_working_set(buffer, 32);
+  EXPECT_EQ(after.total.ro_lines, 0u);
+  EXPECT_EQ(after.total.mut_lines, 1u);
+}
+
+TEST(WorkingSet, PacketDataAndStackExcluded) {
+  TraceBuffer buffer;
+  buffer.enable();
+  buffer.record(RefKind::kRead, LayerClass::kPacketData, 0x7000, 512);
+  buffer.record(RefKind::kWrite, LayerClass::kStack, 0x8000, 64);
+  const auto ws = analyze_working_set(buffer, 32);
+  EXPECT_EQ(ws.total.total_lines(), 0u);
+  // ...but the phase footers do see the references.
+  EXPECT_GT(ws.phases[0].read_bytes, 0u);
+  EXPECT_GT(ws.phases[0].write_bytes, 0u);
+}
+
+TEST(WorkingSet, PhaseFootersSeparate) {
+  TraceBuffer buffer;
+  buffer.enable();
+  buffer.set_phase(Phase::kEntry);
+  buffer.record(RefKind::kCode, LayerClass::kTcp, 0x100, 64, 16);
+  buffer.set_phase(Phase::kExit);
+  buffer.record(RefKind::kCode, LayerClass::kTcp, 0x100, 32, 8);
+  const auto ws = analyze_working_set(buffer, 32);
+  EXPECT_EQ(ws.phases[0].code_bytes, 64u);
+  EXPECT_EQ(ws.phases[0].code_refs, 16u);
+  EXPECT_EQ(ws.phases[2].code_bytes, 32u);
+  EXPECT_EQ(ws.phases[2].code_refs, 8u);
+  EXPECT_EQ(ws.phases[1].code_bytes, 0u);
+}
+
+/// Rasterisation property: unique bytes covered can only shrink (or stay)
+/// as lines get smaller, and line count can only grow.
+class LineSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LineSizeSweep, MonotoneVsBaseline) {
+  CodeMap code;
+  const FnId fn = code.define("fn", LayerClass::kTcp, 12000, 4000);
+  TraceBuffer buffer;
+  buffer.enable();
+  code.record_call(buffer, fn);
+  const auto base = analyze_working_set(buffer, 32);
+  const auto ws = analyze_working_set(buffer, GetParam());
+  if (GetParam() < 32) {
+    EXPECT_LE(ws.code_bytes(), base.code_bytes());
+    EXPECT_GE(ws.total.code_lines, base.total.code_lines);
+  } else if (GetParam() > 32) {
+    EXPECT_GE(ws.code_bytes(), base.code_bytes());
+    EXPECT_LE(ws.total.code_lines, base.total.code_lines);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lines, LineSizeSweep,
+                         ::testing::Values(4u, 8u, 16u, 32u, 64u, 128u));
+
+TEST(RenderCodeMap, ListsTouchedFunctions) {
+  CodeMap code;
+  const FnId fn = code.define("very_visible_fn", LayerClass::kTcp, 1000);
+  TraceBuffer buffer;
+  buffer.enable();
+  buffer.set_phase(Phase::kPacketIntr);
+  code.record_call(buffer, fn);
+  const std::string out = render_code_map(code, buffer);
+  EXPECT_NE(out.find("very_visible_fn"), std::string::npos);
+  EXPECT_NE(out.find("pkt intr"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldlp::trace

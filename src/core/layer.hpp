@@ -49,6 +49,15 @@ class Layer {
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] std::size_t queue_len() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_capacity() const noexcept {
+    return queue_capacity_;
+  }
+  /// Bound this layer's input queue; enqueue beyond it drops the message
+  /// (counted in stats().drops). Overload protection, not flow control:
+  /// the sender is not told.
+  void set_queue_capacity(std::size_t capacity) noexcept {
+    queue_capacity_ = capacity;
+  }
   [[nodiscard]] const LayerStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 

@@ -40,8 +40,17 @@ void StackGraph::route(LayerId from, int port, Message msg) {
   if (to == kNoLayer) return;  // top of stack or unconnected port: consume
   Layer& target = *nodes_[to].layer;
   if (mode_ == SchedMode::kConventional) {
+    if (depth_ >= kMaxProcessDepth) {
+      ++gstats_.shed_depth;
+      return;
+    }
+    ++depth_;
     target.process_now(std::move(msg));
+    --depth_;
   } else {
+    // Interior hops are never shed by the backlog limit: a message the
+    // graph accepted runs to completion (per-layer queue bounds still
+    // cap memory, counted in LayerStats::drops).
     target.enqueue(std::move(msg));
   }
 }
@@ -50,8 +59,21 @@ void StackGraph::inject(LayerId id, Message msg) {
   LDLP_ASSERT(id < nodes_.size());
   Layer& target = *nodes_[id].layer;
   if (mode_ == SchedMode::kConventional) {
+    if (depth_ >= kMaxProcessDepth) {
+      ++gstats_.shed_depth;
+      return;
+    }
+    ++depth_;
     target.process_now(std::move(msg));
+    --depth_;
   } else {
+    // Overload shedding happens here, at admission: drop the newest
+    // message while the graph is saturated so everything already
+    // admitted still finishes (higher layers drain first in run()).
+    if (backlog_limit_ != 0 && backlog() >= backlog_limit_) {
+      ++gstats_.shed_entry;
+      return;
+    }
     target.enqueue(std::move(msg));
   }
 }

@@ -27,6 +27,18 @@ namespace ldlp::core {
 
 enum class SchedMode : std::uint8_t { kConventional, kLdlp };
 
+struct GraphStats {
+  /// Messages refused at inject() because the graph-wide backlog limit
+  /// was reached (LDLP mode). Shedding happens at the entry layer only:
+  /// work already admitted into higher-layer queues always finishes, per
+  /// §3.1's run-to-completion batching (higher layers drain first).
+  std::uint64_t shed_entry = 0;
+  /// Messages cut off by the conventional-mode recursion depth guard
+  /// (a layer cycle or pathological emit chain, which would otherwise
+  /// grow the call stack without bound).
+  std::uint64_t shed_depth = 0;
+};
+
 class StackGraph {
  public:
   StackGraph() = default;
@@ -68,6 +80,20 @@ class StackGraph {
   /// Total messages currently queued anywhere in the graph.
   [[nodiscard]] std::size_t backlog() const noexcept;
 
+  /// Overload protection: refuse new messages at inject() once the total
+  /// backlog reaches `limit` (0 = unlimited). Messages already inside the
+  /// graph are never shed by this limit.
+  void set_backlog_limit(std::size_t limit) noexcept {
+    backlog_limit_ = limit;
+  }
+  [[nodiscard]] std::size_t backlog_limit() const noexcept {
+    return backlog_limit_;
+  }
+
+  [[nodiscard]] const GraphStats& graph_stats() const noexcept {
+    return gstats_;
+  }
+
  private:
   friend class Layer;
 
@@ -86,10 +112,18 @@ class StackGraph {
 
   [[nodiscard]] LayerId find_edge(LayerId from, int port) const noexcept;
 
+  /// Conventional-mode nesting bound; deep enough for any sane layering,
+  /// shallow enough that an emit cycle sheds instead of overflowing the
+  /// call stack.
+  static constexpr int kMaxProcessDepth = 64;
+
   std::vector<Node> nodes_;
   std::vector<Layer*> layers_;
   SchedMode mode_ = SchedMode::kConventional;
   std::size_t batch_limit_ = 0;
+  std::size_t backlog_limit_ = 0;
+  int depth_ = 0;  ///< Live process_now() nesting (conventional mode).
+  GraphStats gstats_;
 };
 
 }  // namespace ldlp::core

@@ -1,5 +1,7 @@
 #include "dns/resolver.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace ldlp::dns {
@@ -121,7 +123,13 @@ void DnsResolver::resolve(const std::string& raw_name, Callback cb) {
 void DnsResolver::send_query(Inflight& inflight) {
   ++stats_.queries_sent;
   ++inflight.tries;
-  inflight.deadline = host_.now() + cfg_.retry_sec;
+  // Capped exponential backoff: retry_sec, 2x, 4x, ... up to retry_max_sec.
+  double timeout = cfg_.retry_sec;
+  for (std::uint32_t i = 1; i < inflight.tries && timeout < cfg_.retry_max_sec;
+       ++i)
+    timeout *= 2.0;
+  timeout = std::min(timeout, cfg_.retry_max_sec);
+  inflight.deadline = host_.now() + timeout;
   const auto bytes = encode(DnsMessage::query(inflight.txid, inflight.name));
   host_.udp().send(cfg_.local_port, cfg_.server_ip, cfg_.server_port, bytes);
 }

@@ -84,7 +84,8 @@ class DnsResolver {
     std::uint32_t server_ip = 0;
     std::uint16_t server_port = kDnsPort;
     std::uint16_t local_port = 10053;
-    double retry_sec = 0.5;
+    double retry_sec = 0.5;   ///< First retry timeout; doubles per try.
+    double retry_max_sec = 2.0;  ///< Backoff ceiling.
     std::uint32_t max_retries = 3;
     double negative_ttl = 30.0;
   };

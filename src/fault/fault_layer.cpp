@@ -1,0 +1,44 @@
+#include "fault/fault_layer.hpp"
+
+namespace ldlp::fault {
+
+FaultLayer::FaultLayer(FaultInjector& injector, std::string name)
+    : core::Layer(std::move(name)), injector_(injector) {}
+
+void FaultLayer::process(core::Message msg) {
+  const MessageVerdict v = injector_.on_message();
+  if (v.drop) {
+    ++fstats_.dropped;
+    return;  // destructor returns the chain to its pool
+  }
+  if (v.corrupt_flips != 0) {
+    const std::uint32_t len = msg.packet.length();
+    if (len != 0) {
+      Rng flip_rng = injector_.fork_rng();
+      for (std::uint32_t i = 0; i < v.corrupt_flips; ++i) {
+        const auto at = static_cast<std::uint32_t>(flip_rng.bounded(len));
+        std::uint8_t byte = 0;
+        if (!msg.packet.copy_out(at, {&byte, 1})) break;
+        byte ^= static_cast<std::uint8_t>(1u << flip_rng.bounded(8));
+        if (!msg.packet.copy_in(at, {&byte, 1})) break;
+      }
+      ++fstats_.corrupted;
+    }
+  }
+  if (v.duplicate && msg.packet.pool() != nullptr) {
+    std::vector<std::uint8_t> bytes(msg.packet.length());
+    if (msg.packet.copy_out(0, bytes)) {
+      buf::Packet copy = buf::Packet::from_bytes(*msg.packet.pool(), bytes);
+      if (copy) {
+        core::Message dup(std::move(copy), msg.arrival);
+        dup.flow_id = msg.flow_id;
+        ++fstats_.duplicated;
+        emit(std::move(dup));
+      }
+    }
+  }
+  ++fstats_.passed;
+  emit(std::move(msg));
+}
+
+}  // namespace ldlp::fault

@@ -1,0 +1,38 @@
+// FaultLayer: a core::Layer that injects message-scope faults.
+//
+// Spliced between any two layers of a StackGraph, it subjects every
+// message crossing the seam to the injector's loss / corruption /
+// duplication episodes — the adversity the paper's schedulers never see
+// in the clean benchmarks. It is transparent when no episode is active,
+// so chaos graphs and clean graphs share one topology.
+#pragma once
+
+#include "core/layer.hpp"
+#include "fault/injector.hpp"
+
+namespace ldlp::fault {
+
+struct FaultLayerStats {
+  std::uint64_t passed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t duplicated = 0;
+};
+
+class FaultLayer final : public core::Layer {
+ public:
+  explicit FaultLayer(FaultInjector& injector, std::string name = "fault");
+
+  [[nodiscard]] const FaultLayerStats& fault_stats() const noexcept {
+    return fstats_;
+  }
+
+ protected:
+  void process(core::Message msg) override;
+
+ private:
+  FaultInjector& injector_;
+  FaultLayerStats fstats_;
+};
+
+}  // namespace ldlp::fault

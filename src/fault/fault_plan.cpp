@@ -1,0 +1,106 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.hpp"
+
+namespace ldlp::fault {
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kLossBurst: return "loss-burst";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kDelayJitter: return "delay-jitter";
+    case FaultKind::kDeviceStall: return "device-stall";
+    case FaultKind::kPoolExhaustion: return "pool-exhaustion";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::add(Episode episode) {
+  episodes_.push_back(episode);
+  std::sort(episodes_.begin(), episodes_.end(),
+            [](const Episode& a, const Episode& b) { return a.start < b.start; });
+  return *this;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, double horizon_sec,
+                            std::size_t episodes) {
+  Rng rng(seed ^ 0xfa017b00c5ULL);
+  FaultPlan plan;
+  for (std::size_t i = 0; i < episodes; ++i) {
+    Episode e;
+    e.kind = static_cast<FaultKind>(rng.bounded(kFaultKindCount));
+    const double duration = horizon_sec * rng.uniform(0.10, 0.30);
+    e.start = rng.uniform(0.0, horizon_sec - duration);
+    e.end = e.start + duration;
+    switch (e.kind) {
+      case FaultKind::kLossBurst:
+        e.rate = rng.uniform(0.2, 0.9);
+        break;
+      case FaultKind::kCorrupt:
+        e.rate = rng.uniform(0.1, 0.5);
+        e.param = static_cast<std::uint32_t>(rng.bounded(4) + 1);
+        break;
+      case FaultKind::kDuplicate:
+        e.rate = rng.uniform(0.1, 0.4);
+        break;
+      case FaultKind::kReorder:
+        e.rate = rng.uniform(0.2, 0.6);
+        e.param = static_cast<std::uint32_t>(rng.bounded(4) + 1);
+        break;
+      case FaultKind::kDelayJitter:
+        e.rate = rng.uniform(0.2, 0.6);
+        e.magnitude = rng.uniform(0.01, 0.10);
+        break;
+      case FaultKind::kDeviceStall:
+        // A full-window blackout, kept short so the ring (not the plan)
+        // is what bounds the backlog.
+        e.end = e.start + std::min(duration, horizon_sec * 0.15);
+        break;
+      case FaultKind::kPoolExhaustion:
+        e.param = static_cast<std::uint32_t>(rng.bounded(17));  // mbufs left
+        break;
+    }
+    plan.add(e);
+  }
+  return plan;
+}
+
+double FaultPlan::end_time() const noexcept {
+  double end = 0.0;
+  for (const Episode& e : episodes_) end = std::max(end, e.end);
+  return end;
+}
+
+bool FaultPlan::any_active(double t) const noexcept {
+  for (const Episode& e : episodes_) {
+    if (e.active_at(t)) return true;
+  }
+  return false;
+}
+
+const Episode* FaultPlan::active(FaultKind kind, double t) const noexcept {
+  for (const Episode& e : episodes_) {
+    if (e.kind == kind && e.active_at(t)) return &e;
+  }
+  return nullptr;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  char line[128];
+  for (const Episode& e : episodes_) {
+    std::snprintf(line, sizeof line,
+                  "  [%6.3f, %6.3f) %-15s rate=%.2f param=%u mag=%.3f\n",
+                  e.start, e.end, fault_kind_name(e.kind), e.rate, e.param,
+                  e.magnitude);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ldlp::fault

@@ -1,0 +1,80 @@
+// FaultPlan: a deterministic, seed-driven timeline of fault episodes.
+//
+// The paper's claim — drain-all batching keeps latency low *under load* —
+// matters most in exactly the regimes where real stacks are also losing,
+// corrupting, duplicating and reordering frames. A FaultPlan describes
+// such a regime as data: an ordered set of episodes, each a time window
+// during which one fault kind is active at some intensity. Plans are pure
+// values; the same (plan, seed) pair always produces the same packet-level
+// fault sequence, so any failing chaos run reproduces from its printed
+// seed alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldlp::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLossBurst,       ///< Drop arriving frames with probability `rate`.
+  kCorrupt,         ///< Flip up to `param` random bits per affected frame.
+  kDuplicate,       ///< Deliver affected frames twice.
+  kReorder,         ///< Displace affected frames up to `param` slots back.
+  kDelayJitter,     ///< Hold affected frames up to `magnitude` seconds.
+  kDeviceStall,     ///< Device stops delivering; frames queue in its ring.
+  kPoolExhaustion,  ///< Squeeze the mbuf pool down to `param` free mbufs.
+};
+
+inline constexpr std::size_t kFaultKindCount = 7;
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
+
+struct Episode {
+  FaultKind kind = FaultKind::kLossBurst;
+  double start = 0.0;        ///< Seconds, inclusive.
+  double end = 0.0;          ///< Seconds, exclusive.
+  double rate = 1.0;         ///< Per-frame probability while active.
+  std::uint32_t param = 0;   ///< Kind-specific integer (see FaultKind docs).
+  double magnitude = 0.0;    ///< Kind-specific scalar (delay bound, ...).
+
+  [[nodiscard]] bool active_at(double t) const noexcept {
+    return t >= start && t < end;
+  }
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& add(Episode episode);
+
+  /// A randomized-but-seeded plan: `episodes` fault windows drawn over
+  /// [0, horizon_sec), with kind, intensity and placement all derived
+  /// from `seed`. Windows may overlap — compound adversity is the point.
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed,
+                                        double horizon_sec,
+                                        std::size_t episodes = 6);
+
+  [[nodiscard]] const std::vector<Episode>& episodes() const noexcept {
+    return episodes_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return episodes_.empty(); }
+
+  /// End of the last episode; 0 for an empty plan.
+  [[nodiscard]] double end_time() const noexcept;
+
+  [[nodiscard]] bool any_active(double t) const noexcept;
+
+  /// First active episode of `kind` at time `t`, or nullptr.
+  [[nodiscard]] const Episode* active(FaultKind kind, double t) const noexcept;
+
+  /// Human-readable schedule, one episode per line — printed by the chaos
+  /// harness so a failing run's adversity is visible next to its seed.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<Episode> episodes_;
+};
+
+}  // namespace ldlp::fault

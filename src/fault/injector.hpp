@@ -1,0 +1,123 @@
+// FaultInjector: executes a FaultPlan against live traffic.
+//
+// One injector serves three attachment points:
+//   * NetDevice (frame scope): on_frame() decides drop / corrupt /
+//     duplicate / reorder / delay for each arriving frame, and
+//     device_stalled() freezes delivery during stall episodes. Delayed
+//     frames are buffered here and handed back via collect_released().
+//   * core layer graphs (message scope): on_message() gives the subset of
+//     verdicts that make sense between layers (see FaultLayer).
+//   * buf::MbufPool (allocator scope): apply_pool_pressure() grabs and
+//     holds mbufs during a pool-exhaustion episode so the stack's
+//     allocation-failure paths run, then gives them back when it ends.
+//
+// All randomness flows from the constructor seed; the injector reads time
+// through an external clock pointer (the simulation's `now`), so a run is
+// a pure function of (plan, seed, traffic).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "buf/pool.hpp"
+#include "common/rng.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace ldlp::fault {
+
+struct FaultStats {
+  std::uint64_t frames_seen = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t pool_squeezes = 0;   ///< Mbufs taken hostage, cumulative.
+  std::size_t mbufs_held_peak = 0;
+};
+
+/// Frame-scope decision. When `delayed` is set the injector has taken the
+/// bytes; the device simply stops processing the frame.
+struct FrameVerdict {
+  bool drop = false;
+  bool duplicate = false;
+  bool delayed = false;
+  std::uint32_t reorder_depth = 0;  ///< 0 = keep arrival position.
+};
+
+/// Message-scope decision (between layers there is no ring to reorder in
+/// and no clock-driven release path, so only these three apply).
+struct MessageVerdict {
+  bool drop = false;
+  bool duplicate = false;
+  std::uint32_t corrupt_flips = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan, std::uint64_t seed = 1);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void set_clock(const double* now_sec) noexcept { now_sec_ = now_sec; }
+  [[nodiscard]] double now() const noexcept {
+    return now_sec_ != nullptr ? *now_sec_ : 0.0;
+  }
+
+  /// Frame-scope verdict; corruption mutates `bytes` in place, delay moves
+  /// them into the injector's holdback queue.
+  [[nodiscard]] FrameVerdict on_frame(std::vector<std::uint8_t>& bytes);
+
+  /// Message-scope verdict for graph-level injection.
+  [[nodiscard]] MessageVerdict on_message();
+
+  [[nodiscard]] bool device_stalled() const noexcept {
+    return plan_.active(FaultKind::kDeviceStall, now()) != nullptr;
+  }
+
+  /// Delayed frames whose release time has passed, in release order.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> collect_released();
+  [[nodiscard]] std::size_t delayed_pending() const noexcept {
+    return delayed_.size();
+  }
+
+  /// Drive the pool-exhaustion episode: while active, allocate-and-hold
+  /// mbufs until only `param` remain free; once it ends, return them all.
+  /// Call once per simulation step (Host::advance does).
+  void apply_pool_pressure(buf::MbufPool& pool);
+  /// Return every held mbuf immediately (also runs on destruction).
+  void release_pool_pressure();
+
+  /// True once the plan's horizon has passed and nothing is still held
+  /// back — the point after which scenarios must converge.
+  [[nodiscard]] bool faults_cleared() const noexcept {
+    return now() >= plan_.end_time() && delayed_.empty() && held_.empty();
+  }
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+
+  /// Deterministic child stream for helpers (e.g. FaultLayer bit flips).
+  [[nodiscard]] Rng fork_rng() noexcept { return rng_.split(); }
+
+ private:
+  struct Delayed {
+    double release_at;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  void corrupt_bytes(std::vector<std::uint8_t>& bytes, std::uint32_t flips,
+                     std::size_t off);
+
+  FaultPlan plan_;
+  Rng rng_;
+  const double* now_sec_ = nullptr;
+  std::vector<Delayed> delayed_;
+  buf::MbufPool* squeezed_pool_ = nullptr;
+  std::vector<buf::Mbuf*> held_;
+  FaultStats stats_;
+};
+
+}  // namespace ldlp::fault

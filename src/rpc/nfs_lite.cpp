@@ -324,7 +324,12 @@ std::optional<std::vector<std::uint8_t>> NfsClient::call(
         return decoded->reply->results;
       }
     }
-    host_.advance(cfg_.retry_sec);  // simulated timeout before the retry
+    // Simulated timeout before the retry, doubling per attempt up to the
+    // cap (classic RPC backoff; keeps a dead server cheap).
+    double timeout = cfg_.retry_sec;
+    for (std::uint32_t i = 0; i < attempt && timeout < cfg_.retry_max_sec; ++i)
+      timeout *= 2.0;
+    host_.advance(std::min(timeout, cfg_.retry_max_sec));
   }
   ++stats_.failures;
   return std::nullopt;

@@ -145,7 +145,8 @@ class NfsClient {
     std::uint16_t server_port = kNfsPort;
     std::uint16_t local_port = 30049;
     std::uint32_t max_retries = 3;
-    double retry_sec = 0.5;
+    double retry_sec = 0.5;      ///< First retry timeout; doubles per attempt.
+    double retry_max_sec = 2.0;  ///< Backoff ceiling.
   };
 
   /// `pump` must advance the network (both hosts + server poll) once.

@@ -1,5 +1,7 @@
 #include "signal/sscop.hpp"
 
+#include <algorithm>
+
 #include "common/byteorder.hpp"
 
 namespace ldlp::signal {
@@ -73,6 +75,7 @@ void SscopLink::on_pdu(std::span<const std::uint8_t> pdu, double now_sec) {
         rtxq_.pop_front();
       }
       vt_a_ = seq;
+      poll_gap_ = 0.0;  // peer is alive — POLL cadence back to eager
       (void)now_sec;
       break;
     }
@@ -80,17 +83,27 @@ void SscopLink::on_pdu(std::span<const std::uint8_t> pdu, double now_sec) {
 }
 
 void SscopLink::on_timer(double now_sec) {
-  // Retransmit stale PDUs.
+  // Retransmit stale PDUs; each PDU's timeout doubles per retransmit up
+  // to the cap, so a cut pipe costs a trickle, not a flood.
   for (Unacked& u : rtxq_) {
-    if (now_sec - u.sent_at >= cfg_.retransmit_after_sec) {
+    double timeout = cfg_.retransmit_after_sec;
+    for (std::uint32_t i = 0;
+         i < u.rtx_count && timeout < cfg_.retransmit_max_sec; ++i)
+      timeout *= 2.0;
+    timeout = std::min(timeout, cfg_.retransmit_max_sec);
+    if (now_sec - u.sent_at >= timeout) {
       emit_sd(u.seq, u.payload);
       u.sent_at = now_sec;
+      ++u.rtx_count;
       ++stats_.retransmits;
     }
   }
-  // Periodic POLL keeps STATs flowing when data is one-way.
-  if (!rtxq_.empty() && now_sec - last_poll_ >= cfg_.poll_interval_sec) {
+  // Periodic POLL keeps STATs flowing when data is one-way. The POLL
+  // interval itself backs off while no STAT comes back.
+  if (poll_gap_ <= 0.0) poll_gap_ = cfg_.poll_interval_sec;
+  if (!rtxq_.empty() && now_sec - last_poll_ >= poll_gap_) {
     last_poll_ = now_sec;
+    poll_gap_ = std::min(poll_gap_ * 2.0, cfg_.poll_max_sec);
     ++stats_.polls;
     if (transmit_) {
       std::vector<std::uint8_t> pdu(kPduHeader);

@@ -25,7 +25,9 @@ enum class PduType : std::uint8_t {
 
 struct SscopConfig {
   double poll_interval_sec = 0.05;
-  double retransmit_after_sec = 0.2;
+  double poll_max_sec = 0.4;          ///< POLL backoff ceiling.
+  double retransmit_after_sec = 0.2;  ///< Doubles per retransmit of a PDU.
+  double retransmit_max_sec = 1.6;    ///< Retransmit backoff ceiling.
   std::size_t window = 256;      ///< Max unacknowledged SDs.
   std::uint32_t stat_every = 8;  ///< Unsolicited STAT after this many
                                  ///< in-order SDs (keeps the sender's
@@ -72,6 +74,7 @@ class SscopLink {
     std::uint32_t seq;
     std::vector<std::uint8_t> payload;
     double sent_at;
+    std::uint32_t rtx_count = 0;  ///< Drives per-PDU backoff.
   };
 
   void emit_sd(std::uint32_t seq, std::span<const std::uint8_t> payload);
@@ -86,6 +89,8 @@ class SscopLink {
   std::uint32_t sds_since_stat_ = 0;
   std::deque<Unacked> rtxq_;
   double last_poll_ = 0.0;
+  double poll_gap_ = 0.0;  ///< Current POLL interval; backs off while
+                           ///< unanswered, resets on any STAT.
   SscopStats stats_;
 };
 

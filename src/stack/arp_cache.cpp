@@ -1,5 +1,7 @@
 #include "stack/arp_cache.hpp"
 
+#include <algorithm>
+
 namespace ldlp::stack {
 
 std::optional<wire::MacAddr> ArpCache::lookup(std::uint32_t ip) const noexcept {
@@ -14,15 +16,28 @@ void ArpCache::insert(std::uint32_t ip, const wire::MacAddr& mac) {
 
 bool ArpCache::hold(std::uint32_t ip, buf::Packet pkt) {
   PendingState& state = pending_[ip];
-  if (state.packets.size() >= max_pending_) return false;
+  if (state.packets.size() >= max_pending_ ||
+      pending_total_ >= max_pending_total_) {
+    ++stats_.park_drops;
+    return false;
+  }
   state.packets.push_back(std::move(pkt));
+  ++pending_total_;
+  ++stats_.parked;
   return true;
 }
 
 bool ArpCache::should_request(std::uint32_t ip) {
   PendingState& state = pending_[ip];
   ++state.parks;
-  return state.parks % 2 == 1;
+  if (state.parks < state.next_request) {
+    ++stats_.requests_suppressed;
+    return false;
+  }
+  state.next_request = state.parks + state.gap;
+  state.gap = std::min(state.gap * 2, kMaxRequestGap);
+  ++stats_.requests_allowed;
+  return true;
 }
 
 std::vector<buf::Packet> ArpCache::take_pending(std::uint32_t ip) {
@@ -30,6 +45,7 @@ std::vector<buf::Packet> ArpCache::take_pending(std::uint32_t ip) {
   if (it == pending_.end()) return {};
   std::vector<buf::Packet> out = std::move(it->second.packets);
   pending_.erase(it);
+  pending_total_ -= out.size();
   return out;
 }
 

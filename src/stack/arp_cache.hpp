@@ -1,4 +1,10 @@
 // ARP cache with pending-resolution queues.
+//
+// Robustness posture: parked packets are bounded per IP *and* globally
+// (an unresolvable subnet scan must not eat the mbuf pool), and repeat
+// requests toward a silent IP back off exponentially with a cap, so a
+// dead next hop costs a trickle of requests rather than one per parked
+// packet.
 #pragma once
 
 #include <cstdint>
@@ -11,10 +17,19 @@
 
 namespace ldlp::stack {
 
+struct ArpCacheStats {
+  std::uint64_t parked = 0;
+  std::uint64_t park_drops = 0;  ///< Packets refused (per-IP or global cap).
+  std::uint64_t requests_allowed = 0;
+  std::uint64_t requests_suppressed = 0;  ///< Backoff said "not yet".
+};
+
 class ArpCache {
  public:
-  explicit ArpCache(std::size_t max_pending_per_ip = 8)
-      : max_pending_(max_pending_per_ip) {}
+  explicit ArpCache(std::size_t max_pending_per_ip = 8,
+                    std::size_t max_pending_total = 64)
+      : max_pending_(max_pending_per_ip),
+        max_pending_total_(max_pending_total) {}
 
   [[nodiscard]] std::optional<wire::MacAddr> lookup(
       std::uint32_t ip) const noexcept;
@@ -22,29 +37,41 @@ class ArpCache {
   void insert(std::uint32_t ip, const wire::MacAddr& mac);
 
   /// Park a packet until `ip` resolves. Returns false (packet dropped)
-  /// when the per-IP pending queue is full.
+  /// when the per-IP or the global pending cap is hit.
   [[nodiscard]] bool hold(std::uint32_t ip, buf::Packet pkt);
 
-  /// Rate-limit policy for requests on an unresolved IP: returns true
-  /// when a (re)request should go on the wire — the first time a packet
-  /// is parked and every second park thereafter, so a lost request is
-  /// retried as soon as traffic shows the resolution is still wanted.
+  /// Rate-limit policy for requests on an unresolved IP: the first park
+  /// sends immediately, then the gap between requests doubles — parks
+  /// 1, 3, 7, 15, 31, 63 trigger a (re)request, after which every 64th
+  /// park does (capped exponential backoff). The state resets when the
+  /// IP resolves, so a re-expired entry starts eager again.
   [[nodiscard]] bool should_request(std::uint32_t ip);
 
   /// Remove and return the packets parked on `ip` (called on resolution).
   [[nodiscard]] std::vector<buf::Packet> take_pending(std::uint32_t ip);
 
   [[nodiscard]] std::size_t entries() const noexcept { return table_.size(); }
+  [[nodiscard]] std::size_t pending_total() const noexcept {
+    return pending_total_;
+  }
+  [[nodiscard]] const ArpCacheStats& stats() const noexcept { return stats_; }
 
  private:
   struct PendingState {
     std::vector<buf::Packet> packets;
-    std::uint32_t parks = 0;  ///< Packets parked since creation.
+    std::uint32_t parks = 0;          ///< Packets parked since creation.
+    std::uint32_t next_request = 1;   ///< Park count of the next request.
+    std::uint32_t gap = 2;            ///< Current backoff gap, doubling.
   };
 
+  static constexpr std::uint32_t kMaxRequestGap = 64;
+
   std::size_t max_pending_;
+  std::size_t max_pending_total_;
+  std::size_t pending_total_ = 0;
   std::unordered_map<std::uint32_t, wire::MacAddr> table_;
   std::unordered_map<std::uint32_t, PendingState> pending_;
+  ArpCacheStats stats_;
 };
 
 }  // namespace ldlp::stack

@@ -121,8 +121,13 @@ void EthLayer::output_ip(buf::Packet datagram, std::uint32_t next_hop_ip) {
   const auto mac = arp_.lookup(next_hop_ip);
   if (!mac.has_value()) {
     ++stats_.tx_arp_held;
-    if (arp_.hold(next_hop_ip, std::move(datagram)) &&
-        arp_.should_request(next_hop_ip)) {
+    // Park-queue overflow drops the datagram but must still count as a
+    // resolution attempt: if the queue filled and then the ARP reply was
+    // lost, suppressing the request here would deadlock the next hop
+    // forever (the parked packets keep the queue full, so no later send
+    // could ever re-request).
+    (void)arp_.hold(next_hop_ip, std::move(datagram));
+    if (arp_.should_request(next_hop_ip)) {
       send_arp(wire::ArpOp::kRequest, next_hop_ip, {});
     }
     return;

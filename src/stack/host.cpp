@@ -1,5 +1,6 @@
 #include "stack/host.hpp"
 
+#include "fault/injector.hpp"
 #include "stack/footprints.hpp"
 
 namespace ldlp::stack {
@@ -34,14 +35,24 @@ Host::Host(HostConfig config)
   graph_.set_batch_limit(cfg_.batch_limit);
 }
 
+void Host::attach_fault(fault::FaultInjector* injector) noexcept {
+  if (fault_ != nullptr && injector == nullptr)
+    fault_->release_pool_pressure();
+  fault_ = injector;
+  dev_.set_fault(injector);
+  if (fault_ != nullptr) fault_->set_clock(&now_);
+}
+
 void Host::advance(double dt_sec) {
   now_ += dt_sec;
   tcp_->on_timer();
   igmp_->on_timer();
   ip_->expire_reassembly();
+  if (fault_ != nullptr) fault_->apply_pool_pressure(pool_);
 }
 
 std::size_t Host::pump(std::size_t max_frames) {
+  dev_.poll();  // surface any delay-released frames first
   std::size_t handled = 0;
   bool any = false;
   while (handled < max_frames && dev_.rx_pending() > 0) {

@@ -54,6 +54,12 @@ class Host {
 
   [[nodiscard]] double now() const noexcept { return now_; }
 
+  /// Attach a fault injector to this host: its clock follows the host's,
+  /// the device applies its frame-scope episodes, and advance() drives
+  /// its pool-pressure episodes against this host's pool. nullptr
+  /// detaches (any held pool buffers are released).
+  void attach_fault(fault::FaultInjector* injector) noexcept;
+
   /// Advance simulated time and fire protocol timers.
   void advance(double dt_sec);
 
@@ -75,6 +81,7 @@ class Host {
   std::unique_ptr<IgmpHost> igmp_;
   core::StackGraph graph_;
   core::LayerId eth_id_ = core::kNoLayer;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace ldlp::stack

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "fault/injector.hpp"
 #include "stack/footprints.hpp"
 
 namespace ldlp::stack {
@@ -45,23 +46,60 @@ bool NetDevice::transmit(buf::Packet frame) noexcept {
   return true;
 }
 
-void NetDevice::inject(std::vector<std::uint8_t> frame_bytes) noexcept {
-  if (loss_rate_ > 0.0 && loss_rng_.chance(loss_rate_)) {
-    ++stats_.rx_drops;
-    return;
-  }
+void NetDevice::ring_push(std::vector<std::uint8_t> frame_bytes,
+                          std::uint32_t reorder_depth) noexcept {
   if (rx_ring_.size() >= rx_ring_slots_) {
     ++stats_.rx_drops;
     return;
   }
   rx_ring_.push_back(std::move(frame_bytes));
-  if (reorder_rate_ > 0.0 && rx_ring_.size() >= 2 &&
+  if (reorder_depth == 0 && reorder_rate_ > 0.0 &&
       reorder_rng_.chance(reorder_rate_)) {
-    std::swap(rx_ring_.back(), rx_ring_[rx_ring_.size() - 2]);
+    reorder_depth = 1;
+  }
+  // Displace the new arrival up to `reorder_depth` slots toward the head.
+  std::size_t at = rx_ring_.size() - 1;
+  while (reorder_depth > 0 && at > 0) {
+    std::swap(rx_ring_[at], rx_ring_[at - 1]);
+    --at;
+    --reorder_depth;
   }
 }
 
+void NetDevice::inject(std::vector<std::uint8_t> frame_bytes) noexcept {
+  if (loss_rate_ > 0.0 && loss_rng_.chance(loss_rate_)) {
+    ++stats_.rx_drops;
+    return;
+  }
+  std::uint32_t reorder_depth = 0;
+  bool duplicate = false;
+  if (fault_ != nullptr) {
+    const fault::FrameVerdict v = fault_->on_frame(frame_bytes);
+    if (v.drop) {
+      ++stats_.rx_drops;
+      return;
+    }
+    if (v.delayed) return;  // injector holds the bytes until release
+    duplicate = v.duplicate;
+    reorder_depth = v.reorder_depth;
+  }
+  if (duplicate) {
+    ring_push(frame_bytes, 0);  // copy first, original may be displaced
+  }
+  ring_push(std::move(frame_bytes), reorder_depth);
+}
+
+void NetDevice::poll() noexcept {
+  if (fault_ == nullptr) return;
+  for (auto& bytes : fault_->collect_released()) ring_push(std::move(bytes), 0);
+}
+
 buf::Packet NetDevice::receive() noexcept {
+  if (fault_ != nullptr && fault_->device_stalled()) {
+    // Stall episode: the adaptor buffers but the host sees nothing —
+    // exactly the backlog-formation regime LDLP batches through later.
+    return {};
+  }
   if (rx_ring_.empty()) return {};
   const std::vector<std::uint8_t>& bytes = rx_ring_.front();
   buf::Packet pkt = buf::Packet::from_bytes(pool_, bytes);

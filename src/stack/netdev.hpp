@@ -18,6 +18,10 @@
 #include "common/rng.hpp"
 #include "wire/ethernet.hpp"
 
+namespace ldlp::fault {
+class FaultInjector;
+}
+
 namespace ldlp::stack {
 
 struct NetDeviceStats {
@@ -79,6 +83,18 @@ class NetDevice {
     reorder_rng_.reseed(seed);
   }
 
+  /// Attach a fault injector: every arriving frame is subjected to the
+  /// injector's active episodes (loss burst, corruption, duplication,
+  /// reorder window, delay jitter, device stall). nullptr detaches.
+  /// Supersedes nothing: set_loss/set_reorder remain and compose.
+  void set_fault(fault::FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+
+  /// Move any delay-released frames from the injector into the RX ring.
+  /// Called by Host::pump; harmless without an injector.
+  void poll() noexcept;
+
  private:
   std::string name_;
   wire::MacAddr mac_;
@@ -90,7 +106,11 @@ class NetDevice {
   Rng loss_rng_{99};
   double reorder_rate_ = 0.0;
   Rng reorder_rng_{77};
+  fault::FaultInjector* fault_ = nullptr;
   NetDeviceStats stats_;
+
+  void ring_push(std::vector<std::uint8_t> frame_bytes,
+                 std::uint32_t reorder_depth) noexcept;
 };
 
 }  // namespace ldlp::stack

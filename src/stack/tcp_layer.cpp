@@ -96,7 +96,13 @@ void TcpLayer::close(PcbId id) {
   switch (p.state) {
     case TcpState::kListen:
     case TcpState::kSynSent:
+      // Cancel timers with the state change: a SYN may still sit on the
+      // rtx queue with a live deadline, and the PCB slot is now reusable.
+      cancel_timers(p);
+      p.rtx.clear();
+      p.send_buffer.clear();
       p.state = TcpState::kClosed;
+      if (last_pcb_ == id) last_pcb_ = kNoPcb;
       break;
     case TcpState::kSynReceived:
     case TcpState::kEstablished:
@@ -294,13 +300,16 @@ void TcpLayer::process(core::Message msg) {
     if (payload_len != 0) {
       std::vector<std::uint8_t> bytes(payload_len);
       if (!msg.packet.copy_out(header->header_len(), bytes)) return;
-      deliver_payload(id, std::move(bytes));
-      // Drain any out-of-order data this made contiguous.
+      if (!deliver_payload(id, std::move(bytes))) return;  // rx pool dry
+      // Drain any out-of-order data this made contiguous. A failed
+      // delivery keeps the entry for the retransmission to land on.
       auto it = p.ooo.begin();
       while (it != p.ooo.end() && seq_leq(it->first, p.rcv_nxt)) {
         if (seq_geq(it->first + it->second.size(), p.rcv_nxt)) {
           const std::uint32_t skip = p.rcv_nxt - it->first;
-          deliver_payload(id, {it->second.begin() + skip, it->second.end()});
+          if (!deliver_payload(id,
+                               {it->second.begin() + skip, it->second.end()}))
+            break;
         }
         it = p.ooo.erase(it);
       }
@@ -373,16 +382,19 @@ void TcpLayer::process(core::Message msg) {
     std::vector<std::uint8_t> bytes(payload_len);
     if (!msg.packet.copy_out(header->header_len(), bytes)) return;
     if (header->seq == p.rcv_nxt) {
-      deliver_payload(id, std::move(bytes));
-      auto it = p.ooo.begin();
-      while (it != p.ooo.end() && seq_leq(it->first, p.rcv_nxt)) {
-        if (seq_geq(it->first + it->second.size(), p.rcv_nxt)) {
-          const std::uint32_t skip = p.rcv_nxt - it->first;
-          deliver_payload(id, {it->second.begin() + skip, it->second.end()});
+      if (deliver_payload(id, std::move(bytes))) {
+        auto it = p.ooo.begin();
+        while (it != p.ooo.end() && seq_leq(it->first, p.rcv_nxt)) {
+          if (seq_geq(it->first + it->second.size(), p.rcv_nxt)) {
+            const std::uint32_t skip = p.rcv_nxt - it->first;
+            if (!deliver_payload(
+                    id, {it->second.begin() + skip, it->second.end()}))
+              break;
+          }
+          it = p.ooo.erase(it);
         }
-        it = p.ooo.erase(it);
       }
-      send_ack(id);
+      send_ack(id);  // rcv_nxt unchanged on failed delivery → dup ACK
     } else if (seq_gt(header->seq, p.rcv_nxt)) {
       // Out of order: buffer (bounded) and ask for what we need.
       if (p.ooo.size() < 64) {
@@ -392,9 +404,10 @@ void TcpLayer::process(core::Message msg) {
       ++p.stats.dup_acks_sent;
       send_ack(id);
     } else {
-      // Partially duplicate: trim the prefix we already have.
+      // Partially duplicate: trim the prefix we already have. On a failed
+      // delivery the ACK repeats the old rcv_nxt, soliciting retransmit.
       const std::uint32_t skip = p.rcv_nxt - header->seq;
-      deliver_payload(id, {bytes.begin() + skip, bytes.end()});
+      (void)deliver_payload(id, {bytes.begin() + skip, bytes.end()});
       send_ack(id);
     }
   }
@@ -406,15 +419,21 @@ void TcpLayer::process(core::Message msg) {
   }
 }
 
-void TcpLayer::deliver_payload(PcbId id, std::vector<std::uint8_t> bytes) {
+bool TcpLayer::deliver_payload(PcbId id, std::vector<std::uint8_t> bytes) {
   TcpPcb& p = pcb(id);
-  if (bytes.empty()) return;
-  p.rcv_nxt += static_cast<std::uint32_t>(bytes.size());
+  if (bytes.empty()) return true;
+  // Consume sequence space only when the bytes actually reach the socket
+  // path. Advancing rcv_nxt past an allocation failure would ACK data
+  // that was silently dropped — the peer clears its rtx entry and the
+  // hole in the stream becomes unrecoverable. Failing here instead makes
+  // the segment look rx-lost, and the peer's retransmit repairs it.
   buf::Packet pkt = buf::Packet::from_bytes(ip_.pool(), bytes);
-  if (!pkt) return;
+  if (!pkt) return false;
+  p.rcv_nxt += static_cast<std::uint32_t>(bytes.size());
   core::Message up(std::move(pkt));
   up.flow_id = p.socket;
   emit(std::move(up), 0);
+  return true;
 }
 
 void TcpLayer::handle_fin(PcbId id) {
@@ -481,30 +500,38 @@ void TcpLayer::try_send_data(PcbId id) {
     if (take == 0) break;
     std::vector<std::uint8_t> payload(p.send_buffer.begin(),
                                       p.send_buffer.begin() + take);
+    // Erase only after the segment is built and queued for rtx — if the
+    // mbuf pool is exhausted the bytes must stay in the send buffer, or
+    // they would fall out of the stream with no retransmit entry to
+    // recover them (on_timer re-attempts once nothing is in flight).
+    if (!send_segment(id, static_cast<std::uint8_t>(kAck | kPsh),
+                      std::move(payload), /*retransmission=*/false))
+      return;
     p.send_buffer.erase(p.send_buffer.begin(),
                         p.send_buffer.begin() + take);
-    send_segment(id, static_cast<std::uint8_t>(kAck | kPsh),
-                 std::move(payload), /*retransmission=*/false);
   }
 
-  // FIN once the buffer drains.
+  // FIN once the buffer drains. State advances only if the FIN actually
+  // went out; otherwise fin_queued stays set for a later attempt.
   if (p.fin_queued && p.send_buffer.empty()) {
     if (p.state == TcpState::kEstablished ||
         p.state == TcpState::kSynReceived) {
-      send_segment(id, static_cast<std::uint8_t>(kFin | kAck), {},
-                   /*retransmission=*/false);
-      p.state = TcpState::kFinWait1;
-      p.fin_queued = false;
+      if (send_segment(id, static_cast<std::uint8_t>(kFin | kAck), {},
+                       /*retransmission=*/false)) {
+        p.state = TcpState::kFinWait1;
+        p.fin_queued = false;
+      }
     } else if (p.state == TcpState::kCloseWait) {
-      send_segment(id, static_cast<std::uint8_t>(kFin | kAck), {},
-                   /*retransmission=*/false);
-      p.state = TcpState::kLastAck;
-      p.fin_queued = false;
+      if (send_segment(id, static_cast<std::uint8_t>(kFin | kAck), {},
+                       /*retransmission=*/false)) {
+        p.state = TcpState::kLastAck;
+        p.fin_queued = false;
+      }
     }
   }
 }
 
-void TcpLayer::send_segment(PcbId id, std::uint8_t flags,
+bool TcpLayer::send_segment(PcbId id, std::uint8_t flags,
                             std::vector<std::uint8_t> payload,
                             bool retransmission,
                             std::uint32_t seq_override) {
@@ -513,7 +540,7 @@ void TcpLayer::send_segment(PcbId id, std::uint8_t flags,
   const std::uint32_t seq = retransmission ? seq_override : p.snd_nxt;
 
   buf::Packet pkt = buf::Packet::make(ip_.pool());
-  if (!pkt) return;
+  if (!pkt) return false;
 
   wire::TcpHeader header;
   header.src_port = p.local_port;
@@ -526,9 +553,9 @@ void TcpLayer::send_segment(PcbId id, std::uint8_t flags,
 
   std::uint8_t header_bytes[wire::kTcpMinHeaderLen + 4];
   const std::size_t hlen = wire::write_tcp(header, header_bytes);
-  if (hlen == 0) return;
-  if (!pkt.append({header_bytes, hlen})) return;
-  if (!payload.empty() && !pkt.append(payload)) return;
+  if (hlen == 0) return false;
+  if (!pkt.append({header_bytes, hlen})) return false;
+  if (!payload.empty() && !pkt.append(payload)) return false;
   pkt.sync_pkt_len();
 
   // Patch the checksum now that everything is in place.
@@ -537,7 +564,7 @@ void TcpLayer::send_segment(PcbId id, std::uint8_t flags,
       static_cast<std::uint8_t>(wire::IpProto::kTcp));
   std::uint8_t sum_bytes[2];
   store_be16(sum_bytes, sum);
-  if (!pkt.copy_in(16, sum_bytes)) return;
+  if (!pkt.copy_in(16, sum_bytes)) return false;
 
   ++p.stats.segs_out;
   if ((flags & kAck) != 0 && payload.empty() &&
@@ -566,6 +593,7 @@ void TcpLayer::send_segment(PcbId id, std::uint8_t flags,
   p.delack_deadline = std::numeric_limits<double>::infinity();
 
   ip_.output(std::move(pkt), p.remote_ip, wire::IpProto::kTcp);
+  return true;
 }
 
 void TcpLayer::send_ack(PcbId id) {
@@ -608,9 +636,20 @@ void TcpLayer::enter_established(PcbId id) {
   try_send_data(id);
 }
 
+void TcpLayer::cancel_timers(TcpPcb& p) noexcept {
+  p.rtx_deadline = std::numeric_limits<double>::infinity();
+  p.delack_deadline = std::numeric_limits<double>::infinity();
+  p.retries = 0;
+  p.segs_since_ack = 0;
+}
+
 void TcpLayer::enter_time_wait(PcbId id) {
   TcpPcb& p = pcb(id);
   p.state = TcpState::kTimeWait;
+  // Our FIN is acked, so nothing may retransmit and no delayed ACK is
+  // owed; only the 2MSL timer stays armed.
+  cancel_timers(p);
+  p.rtx.clear();
   p.time_wait_deadline = now() + cfg_.time_wait_sec;
 }
 
@@ -622,6 +661,12 @@ void TcpLayer::reset_connection(PcbId id) {
   p.rtx.clear();
   p.send_buffer.clear();
   p.ooo.clear();
+  // Disarm everything: the slot is immediately reusable by alloc_pcb(),
+  // and a stale deadline must never fire against the next tenant.
+  cancel_timers(p);
+  p.time_wait_deadline = std::numeric_limits<double>::infinity();
+  p.fin_queued = false;
+  p.fin_received = false;
 }
 
 void TcpLayer::on_timer() {
@@ -655,6 +700,22 @@ void TcpLayer::on_timer() {
                    seg.seq);
       p.rto_sec = std::min(p.rto_sec * 2.0, cfg_.rto_max_sec);
       p.rtx_deadline = t + p.rto_sec;
+    }
+    // Mbuf-exhaustion recovery: a segment whose allocation failed was
+    // neither sent nor queued for retransmit, so nothing is in flight to
+    // drive progress — the rtx queue is empty while the connection still
+    // owes the peer a segment. Re-attempt it each timer tick until the
+    // pool recovers (snd_nxt was never advanced, so the sequence numbers
+    // come out identical to the original attempt).
+    if (p.rtx.empty()) {
+      if (p.state == TcpState::kSynSent) {
+        send_segment(id, kSyn, {}, /*retransmission=*/false);
+      } else if (p.state == TcpState::kSynReceived) {
+        send_segment(id, static_cast<std::uint8_t>(kSyn | kAck), {},
+                     /*retransmission=*/false);
+      } else if (!p.send_buffer.empty() || p.fin_queued) {
+        try_send_data(id);
+      }
     }
   }
 }

@@ -85,8 +85,10 @@ class TcpLayer final : public core::Layer {
                             std::uint32_t dst_ip, std::uint16_t dst_port);
 
   /// Transmit a segment: flags + up to `payload_len` bytes taken from the
-  /// send buffer at snd_nxt. Handles rtx queueing.
-  void send_segment(PcbId id, std::uint8_t flags,
+  /// send buffer at snd_nxt. Handles rtx queueing. Returns false when the
+  /// segment could not be built (mbuf pool exhausted) — nothing was sent
+  /// or queued, and the caller must keep the bytes for a later attempt.
+  bool send_segment(PcbId id, std::uint8_t flags,
                     std::vector<std::uint8_t> payload, bool retransmission,
                     std::uint32_t seq_override = 0);
   /// Push send-buffer data within the usable window.
@@ -99,9 +101,14 @@ class TcpLayer final : public core::Layer {
                 std::uint32_t seq, std::uint32_t ack, bool with_ack);
   void enter_established(PcbId id);
   void enter_time_wait(PcbId id);
+  /// Disarm rtx/delayed-ACK deadlines and reset backoff bookkeeping.
+  static void cancel_timers(TcpPcb& p) noexcept;
   void reset_connection(PcbId id);
   void process_ack(PcbId id, std::uint32_t ack, std::uint32_t wnd);
-  void deliver_payload(PcbId id, std::vector<std::uint8_t> bytes);
+  /// Advance rcv_nxt and pass bytes up toward the socket. Returns false
+  /// (with rcv_nxt untouched) when the rx pool is exhausted — the caller
+  /// must treat the segment as lost so the peer retransmits it.
+  [[nodiscard]] bool deliver_payload(PcbId id, std::vector<std::uint8_t> bytes);
   void handle_fin(PcbId id);
   [[nodiscard]] std::uint16_t advertised_window(const TcpPcb& p) const;
   [[nodiscard]] std::uint32_t next_iss() noexcept;

@@ -255,7 +255,8 @@ TEST(DnsEndToEnd, RetryExhaustionFailsCleanly) {
     ++callbacks;
     result = addr;
   });
-  for (int i = 0; i < 10; ++i) net.tick(0.6);
+  // Retries back off 0.5/1/2/2s (capped), so exhaustion lands near t=6.6.
+  for (int i = 0; i < 14; ++i) net.tick(0.6);
   EXPECT_EQ(callbacks, 1);
   EXPECT_FALSE(result.has_value());
   EXPECT_EQ(net.resolver->inflight(), 0u);

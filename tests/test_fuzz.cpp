@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "buf/packet.hpp"
 #include "common/rng.hpp"
 #include "dns/dns_msg.hpp"
 #include "rpc/nfs_lite.hpp"
@@ -27,16 +28,34 @@ std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t max_len) {
   return out;
 }
 
-/// Flip a few random bits/bytes of a valid message.
+/// Typical header sizes: resizing a message to exactly one of these
+/// lands the end of input on a parser's field boundary, where
+/// off-by-one reads live. (eth 14, ip 20, ip+8, udp 8, tcp 20, arp 28,
+/// eth+ip+udp 42...)
+constexpr std::size_t kHeaderBoundaries[] = {1, 2, 4, 8, 12, 14, 20, 28, 42};
+
+/// Flip bits/bytes of a valid message, truncate it, grow it with
+/// garbage, or clip it to a header boundary. Unlike the naive
+/// truncate-only version, mutants can end up *longer* than the
+/// original, so parsers also see trailing junk past a valid message.
 std::vector<std::uint8_t> mutate(Rng& rng, std::vector<std::uint8_t> bytes) {
   if (bytes.empty()) return bytes;
   const std::size_t edits = rng.bounded(4) + 1;
   for (std::size_t i = 0; i < edits; ++i) {
     const std::size_t at = rng.bounded(bytes.size());
-    switch (rng.bounded(3)) {
+    switch (rng.bounded(5)) {
       case 0: bytes[at] = static_cast<std::uint8_t>(rng()); break;
       case 1: bytes[at] ^= static_cast<std::uint8_t>(1u << rng.bounded(8)); break;
       case 2: bytes.resize(at); break;  // truncate
+      case 3: {                         // append garbage
+        const std::size_t extra = rng.bounded(32) + 1;
+        for (std::size_t k = 0; k < extra; ++k)
+          bytes.push_back(static_cast<std::uint8_t>(rng()));
+        break;
+      }
+      case 4:  // snap the length onto a header boundary (grow or shrink)
+        bytes.resize(kHeaderBoundaries[rng.bounded(std::size(kHeaderBoundaries))]);
+        break;
     }
     if (bytes.empty()) break;
   }
@@ -121,6 +140,57 @@ TEST_P(FuzzSeeds, RoundTripSurvivors) {
     EXPECT_EQ(second->questions.size(), first->questions.size());
     EXPECT_EQ(second->answers.size(), first->answers.size());
   }
+}
+
+TEST_P(FuzzSeeds, MbufChainOpsSurviveCorruptChains) {
+  // The mbuf chain operations see chains built from mutated wire bytes,
+  // sliced at random offsets, and with a deliberately inconsistent
+  // cached pkt_len. They must never crash or read out of bounds, and the
+  // pool must come back leak-free.
+  Rng rng(GetParam() ^ 0x6666);
+  buf::MbufPool pool(128, 64);
+  const auto seed_msg =
+      dns::encode(dns::DnsMessage::query(77, "chain.fuzz.example"));
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto bytes = mutate(rng, seed_msg);
+    buf::Packet pkt = buf::Packet::from_bytes(pool, bytes);
+    if (pkt.empty()) continue;
+
+    // Desynchronize the cached header length from the chain's true
+    // length — exactly what a corrupting layer would produce.
+    pkt.head()->set_pkt_len(static_cast<std::uint32_t>(rng.bounded(512)));
+
+    const std::uint32_t len = pkt.length();
+    switch (rng.bounded(4)) {
+      case 0:
+        (void)pkt.pullup(static_cast<std::uint32_t>(rng.bounded(len + 32)));
+        break;
+      case 1: {
+        // Trim front or back, sometimes more than the chain holds.
+        const auto n = static_cast<std::int32_t>(rng.bounded(len + 16));
+        pkt.adj(rng.chance(0.5) ? n : -n);
+        break;
+      }
+      case 2: {
+        buf::Packet tail =
+            pkt.split(static_cast<std::uint32_t>(rng.bounded(len + 16)));
+        if (!tail.empty() && rng.chance(0.5)) pkt.cat(std::move(tail));
+        break;
+      }
+      case 3: {
+        std::vector<std::uint8_t> scratch(rng.bounded(64) + 1);
+        (void)pkt.copy_out(static_cast<std::uint32_t>(rng.bounded(len + 8)),
+                           scratch);
+        (void)pkt.append(scratch);
+        break;
+      }
+    }
+    pkt.sync_pkt_len();
+    EXPECT_EQ(pkt.length(), pkt.head() != nullptr ? pkt.head()->pkt_len() : 0u);
+    pkt.reset();
+  }
+  EXPECT_EQ(pool.stats().mbufs_outstanding(), 0u);
+  EXPECT_EQ(pool.stats().clusters_outstanding(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,

@@ -359,5 +359,39 @@ TEST(TcpPools, NoMbufLeakAcrossSession) {
   EXPECT_EQ(outstanding, 0u);
 }
 
+TEST(TcpClose, NoRetransmitTimerFiresAfterAbort) {
+  // Regression: a PCB's retransmit timer must be disarmed when the
+  // connection dies. Leave data unacked (armed rtx), abort, then advance
+  // far past every rtx deadline — nothing may leave the closed PCB.
+  TcpPair net;
+  ASSERT_TRUE(net.establish());
+  net.server->device().set_loss(1.0, 42);  // black-hole: data stays unacked
+  ASSERT_TRUE(net.client->tcp().send(net.conn, bytes_of("doomed")));
+  net.settle();
+  net.client->tcp().abort(net.conn);
+  net.client->pump();
+  ASSERT_EQ(net.client->tcp().state(net.conn), TcpState::kClosed);
+  const auto tx_before = net.client->device().stats().tx_frames;
+  const auto rtx_before = net.client->tcp().pcb_stats(net.conn).retransmits;
+  for (int i = 0; i < 24; ++i) net.tick(0.5);  // >> rto_max_sec
+  EXPECT_EQ(net.client->device().stats().tx_frames, tx_before);
+  EXPECT_EQ(net.client->tcp().pcb_stats(net.conn).retransmits, rtx_before);
+}
+
+TEST(TcpClose, CloseFromSynSentCancelsTimers) {
+  // Connect toward a host that never answers, close while in SYN_SENT;
+  // the SYN rtx timer must not keep firing afterwards.
+  TcpPair net;
+  net.server->device().set_loss(1.0, 7);  // server never hears the SYN
+  const PcbId conn = net.client->tcp().connect(ip_from_parts(10, 0, 0, 2), 80);
+  net.settle();
+  ASSERT_EQ(net.client->tcp().state(conn), TcpState::kSynSent);
+  net.client->tcp().close(conn);
+  EXPECT_EQ(net.client->tcp().state(conn), TcpState::kClosed);
+  const auto tx_before = net.client->device().stats().tx_frames;
+  for (int i = 0; i < 24; ++i) net.tick(0.5);
+  EXPECT_EQ(net.client->device().stats().tx_frames, tx_before);
+}
+
 }  // namespace
 }  // namespace ldlp::stack

@@ -18,6 +18,10 @@ int main(int argc, char** argv) {
   opt.runs = static_cast<std::uint32_t>(flags.u64("runs", 20));
   opt.seed = flags.u64("seed", 0x5eed);
   const double rate = flags.f64("rate", 8000.0);
+  benchutil::BenchReport report("ablation_batch_cap", flags);
+  report.config_u64("runs", opt.runs);
+  report.config_u64("seed", opt.seed);
+  report.config("rate", std::to_string(rate));
 
   benchutil::heading("Ablation: LDLP batch-size cap at 8000 msgs/s");
   std::printf("%6s | %11s | %10s %10s | %7s | %6s\n", "cap", "mean lat",
@@ -35,7 +39,12 @@ int main(int argc, char** argv) {
                                      static_cast<double>(m.offered)
                                : 0.0,
                 m.mean_batch);
+    const std::string c = std::to_string(cap);
+    report.metric("mean_latency_sec@cap" + c, m.mean_latency_sec);
+    report.metric("i_miss_per_msg@cap" + c, m.i_misses_per_msg);
+    report.metric("d_miss_per_msg@cap" + c, m.d_misses_per_msg);
   }
+  report.write();
   std::printf(
       "\nThe D-cache blocking estimate for this machine is 12 messages\n"
       "(8 KB cache - 5 x 256 B layer data over 552 B messages); caps near\n"

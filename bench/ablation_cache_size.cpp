@@ -18,6 +18,10 @@ int main(int argc, char** argv) {
   opt.runs = static_cast<std::uint32_t>(flags.u64("runs", 20));
   opt.seed = flags.u64("seed", 0x5eed);
   const double rate = flags.f64("rate", 3000.0);
+  benchutil::BenchReport report("ablation_cache_size", flags);
+  report.config_u64("runs", opt.runs);
+  report.config_u64("seed", opt.seed);
+  report.config("rate", std::to_string(rate));
 
   benchutil::heading("Ablation: primary cache size at 3000 msgs/s");
   std::printf("%7s | %22s | %22s | %8s\n", "KB", "conv lat / I-miss",
@@ -42,7 +46,13 @@ int main(int argc, char** argv) {
                 l.mean_latency_sec > 0.0
                     ? c.mean_latency_sec / l.mean_latency_sec
                     : 0.0);
+    const std::string k = std::to_string(kb);
+    report.metric("conv.mean_latency_sec@" + k + "kb", c.mean_latency_sec);
+    report.metric("conv.i_miss_per_msg@" + k + "kb", c.i_misses_per_msg);
+    report.metric("ldlp.mean_latency_sec@" + k + "kb", l.mean_latency_sec);
+    report.metric("ldlp.i_miss_per_msg@" + k + "kb", l.i_misses_per_msg);
   }
+  report.write();
   std::printf(
       "\nWith 32-64 KB caches the 30 KB five-layer stack fits and the two\n"
       "schedules converge (paper section 6); small caches show the full\n"

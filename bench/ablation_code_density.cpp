@@ -37,11 +37,14 @@ int main(int argc, char** argv) {
   using namespace ldlp;
   benchutil::Flags flags(argc, argv);
   const auto payload = static_cast<std::uint32_t>(flags.u64("payload", 512));
+  benchutil::BenchReport report("ablation_code_density", flags);
+  report.config_u64("payload", payload);
 
   const Encoding encodings[] = {
       {"Alpha (RISC)", 1.0},
       {"i386 (CISC, ~50% denser)", 0.5},
   };
+  const char* enc_key[] = {"alpha", "i386"};
 
   benchutil::heading(
       "Ablation: instruction-set code density (paper section 5.2)");
@@ -58,6 +61,9 @@ int main(int argc, char** argv) {
     }
     const auto ws = trace::analyze_working_set(buffer, 32);
     const std::uint64_t m = cold_misses(buffer);
+    const std::string key = enc_key[slot];
+    report.metric(key + ".code_bytes", static_cast<double>(ws.code_bytes()));
+    report.metric(key + ".cold_i_misses", static_cast<double>(m));
     misses[slot++] = m;
     std::printf("%-26s | %12llu | %14llu | %12llu\n", enc.name,
                 static_cast<unsigned long long>(ws.code_bytes()),
@@ -72,5 +78,9 @@ int main(int argc, char** argv) {
       "factor.\n",
       100.0 * (1.0 - static_cast<double>(misses[1]) /
                          static_cast<double>(misses[0])));
+  report.metric("miss_reduction_frac",
+                1.0 - static_cast<double>(misses[1]) /
+                          static_cast<double>(misses[0]));
+  report.write();
   return 0;
 }

@@ -20,6 +20,9 @@ int main(int argc, char** argv) {
   benchutil::Flags flags(argc, argv);
   const auto payload = static_cast<std::uint32_t>(flags.u64("payload", 512));
   const auto miss_penalty = flags.u64("penalty", 20);
+  benchutil::BenchReport report("ablation_code_layout", flags);
+  report.config_u64("payload", payload);
+  report.config_u64("penalty", miss_penalty);
 
   stack::StackTracer tracer;
   trace::TraceBuffer buffer;
@@ -62,5 +65,10 @@ int main(int argc, char** argv) {
       "\nCompaction composes with LDLP: batching amortises the (smaller)\n"
       "per-batch fill, so the two optimisations multiply rather than\n"
       "compete.\n");
+  report.metric("executed_bytes", static_cast<double>(executed_bytes));
+  report.metric("as_compiled_lines", static_cast<double>(baseline_lines));
+  report.metric("dense_lines", static_cast<double>(dense_lines));
+  report.metric("line_reduction_frac", dilution);
+  report.write();
   return 0;
 }

@@ -28,6 +28,10 @@ int main(int argc, char** argv) {
   opt.runs = static_cast<std::uint32_t>(flags.u64("runs", 15));
   opt.seed = flags.u64("seed", 0x5eed);
   const double rate = flags.f64("rate", 8000.0);
+  benchutil::BenchReport report("ablation_grouping", flags);
+  report.config_u64("runs", opt.runs);
+  report.config_u64("seed", opt.seed);
+  report.config("rate", std::to_string(rate));
 
   auto config_for = [&](std::uint32_t kb, std::uint32_t group) {
     synth::SynthConfig cfg;
@@ -56,11 +60,16 @@ int main(int argc, char** argv) {
       std::printf(" %10s",
                   benchutil::fmt_latency(points.front().mean.mean_latency_sec)
                       .c_str());
+      report.metric("mean_latency_sec@" + std::to_string(kb) + "kb.group" +
+                        std::to_string(group),
+                    points.front().mean.mean_latency_sec);
     }
     // The automatic §6 plan for this cache size.
     const auto cfg = config_for(kb, 0);
     synth::SynthStack probe(cfg);
     const auto points = synth::sweep_poisson_rates(cfg, {rate}, opt);
+    report.metric("mean_latency_sec@" + std::to_string(kb) + "kb.auto",
+                  points.front().mean.mean_latency_sec);
     std::printf(" | %9s (",
                 benchutil::fmt_latency(points.front().mean.mean_latency_sec)
                     .c_str());
@@ -78,5 +87,6 @@ int main(int argc, char** argv) {
       "randomly placed regions still overload a few sets, so a planner\n"
       "with layout control (or a per-set conflict model) could do ~20%%\n"
       "better there.\n");
+  report.write();
   return 0;
 }

@@ -15,6 +15,9 @@ int main(int argc, char** argv) {
   synth::SweepOptions opt;
   opt.runs = static_cast<std::uint32_t>(flags.u64("runs", 20));
   opt.seed = flags.u64("seed", 0x5eed);
+  benchutil::BenchReport report("ablation_queue_cost", flags);
+  report.config_u64("runs", opt.runs);
+  report.config_u64("seed", opt.seed);
 
   benchutil::heading("Ablation: LDLP queue hand-off cost (cycles/msg/layer)");
   std::printf("%6s | %16s | %16s\n", "cost", "lat @1000 msg/s",
@@ -27,6 +30,11 @@ int main(int argc, char** argv) {
     std::printf("%6u | %16s | %16s\n", cost,
                 benchutil::fmt_latency(points[0].mean.mean_latency_sec).c_str(),
                 benchutil::fmt_latency(points[1].mean.mean_latency_sec).c_str());
+    const std::string c = std::to_string(cost);
+    report.metric("ldlp.mean_latency_sec@1000.cost" + c,
+                  points[0].mean.mean_latency_sec);
+    report.metric("ldlp.mean_latency_sec@8000.cost" + c,
+                  points[1].mean.mean_latency_sec);
   }
 
   // Reference: conventional at the same loads.
@@ -36,5 +44,8 @@ int main(int argc, char** argv) {
   std::printf("%6s | %16s | %16s  (conventional reference)\n", "-",
               benchutil::fmt_latency(pc[0].mean.mean_latency_sec).c_str(),
               benchutil::fmt_latency(pc[1].mean.mean_latency_sec).c_str());
+  report.metric("conv.mean_latency_sec@1000", pc[0].mean.mean_latency_sec);
+  report.metric("conv.mean_latency_sec@8000", pc[1].mean.mean_latency_sec);
+  report.write();
   return 0;
 }

@@ -1,5 +1,6 @@
-// Shared helpers for the reproduction benches: tiny flag parser and
-// paper-vs-measured report formatting.
+// Shared helpers for the reproduction benches: tiny flag parser,
+// paper-vs-measured report formatting, and the common machine-readable
+// result file (BENCH_<name>.json, schema "ldlp.bench.v1").
 #pragma once
 
 #include <cstdint>
@@ -7,6 +8,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include "obs/bench_result.hpp"
 
 namespace ldlp::benchutil {
 
@@ -23,6 +26,10 @@ class Flags {
   [[nodiscard]] double f64(const char* name, double fallback) const {
     const char* v = find(name);
     return v != nullptr ? std::strtod(v, nullptr) : fallback;
+  }
+  [[nodiscard]] const char* str(const char* name, const char* fallback) const {
+    const char* v = find(name);
+    return v != nullptr ? v : fallback;
   }
   [[nodiscard]] bool flag(const char* name) const {
     for (int i = 1; i < argc_; ++i) {
@@ -60,6 +67,53 @@ inline void compare_row(const char* label, double paper, double measured) {
   std::printf("  %-28s paper %10.0f   measured %10.0f   (%+.1f%%)\n", label,
               paper, measured, delta);
 }
+
+/// Accumulates a bench run's key numbers and writes BENCH_<name>.json next
+/// to the human-readable stdout report. Output directory comes from
+/// --out_dir=<dir> (default "."); --no_json suppresses the file, so ad hoc
+/// sweeps don't clobber a result someone is comparing against.
+class BenchReport {
+ public:
+  BenchReport(std::string name, const Flags& flags) {
+    result_.name = std::move(name);
+    enabled_ = !flags.flag("no_json");
+    const char* dir = flags.str("out_dir", ".");
+    dir_ = dir;
+  }
+
+  void config(std::string key, std::string value) {
+    result_.set_config(std::move(key), std::move(value));
+  }
+  void config_u64(std::string key, std::uint64_t value) {
+    result_.set_config(std::move(key), std::to_string(value));
+  }
+  void metric(std::string key, double value) {
+    result_.set_metric(std::move(key), value);
+  }
+  void tolerance(double tol) { result_.tolerance = tol; }
+
+  [[nodiscard]] const obs::BenchResult& result() const noexcept {
+    return result_;
+  }
+
+  /// Emit BENCH_<name>.json (unless --no_json). Returns true on success or
+  /// when suppressed; prints the path so runs are self-describing.
+  bool write() const {
+    if (!enabled_) return true;
+    if (!result_.write_file(dir_)) {
+      std::fprintf(stderr, "warning: failed to write %s/%s\n", dir_.c_str(),
+                   result_.file_name().c_str());
+      return false;
+    }
+    std::printf("\nwrote %s/%s\n", dir_.c_str(), result_.file_name().c_str());
+    return true;
+  }
+
+ private:
+  obs::BenchResult result_;
+  std::string dir_;
+  bool enabled_ = true;
+};
 
 /// Human-readable seconds.
 inline std::string fmt_latency(double sec) {

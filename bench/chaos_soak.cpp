@@ -266,6 +266,9 @@ int main(int argc, char** argv) {
   const std::uint64_t first_seed = flags.u64("seed", 1);
   const std::uint64_t seeds = flags.u64("seeds", 32);
   const bool verbose = flags.u64("verbose", 0) != 0;
+  ldlp::benchutil::BenchReport report("chaos_soak", flags);
+  report.config_u64("seed", first_seed);
+  report.config_u64("seeds", seeds);
 
   benchutil::heading("Chaos soak: TCP + DNS under seeded fault schedules");
   std::printf("seeds [%llu, %llu); horizon %.1f s per plan\n\n",
@@ -273,10 +276,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(first_seed + seeds), kHorizon);
 
   std::uint64_t failures = 0;
+  std::uint64_t tcp_failures = 0;
+  std::uint64_t dns_failures = 0;
   for (std::uint64_t seed = first_seed; seed < first_seed + seeds; ++seed) {
     const SoakResult tcp = soak_tcp(seed);
     const SoakResult dns_r = soak_dns(seed);
     const bool pass = tcp.pass && dns_r.pass;
+    if (!tcp.pass) ++tcp_failures;
+    if (!dns_r.pass) ++dns_failures;
     std::printf("seed %6llu  tcp:%s  dns:%s\n",
                 static_cast<unsigned long long>(seed),
                 tcp.pass ? "PASS" : "FAIL", dns_r.pass ? "PASS" : "FAIL");
@@ -307,5 +314,11 @@ int main(int argc, char** argv) {
   std::printf("\n%llu/%llu seeds passed\n",
               static_cast<unsigned long long>(seeds - failures),
               static_cast<unsigned long long>(seeds));
+  report.tolerance(0.0);  // pass/fail counts must match exactly
+  report.metric("seeds_run", static_cast<double>(seeds));
+  report.metric("seeds_failed", static_cast<double>(failures));
+  report.metric("tcp_failures", static_cast<double>(tcp_failures));
+  report.metric("dns_failures", static_cast<double>(dns_failures));
+  report.write();
   return failures == 0 ? 0 : 1;
 }

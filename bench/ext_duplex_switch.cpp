@@ -40,6 +40,9 @@ int main(int argc, char** argv) {
   synth::SweepOptions opt;
   opt.runs = static_cast<std::uint32_t>(flags.u64("runs", 15));
   opt.seed = flags.u64("seed", 0x5eed);
+  benchutil::BenchReport report("ext_duplex_switch", flags);
+  report.config_u64("runs", opt.runs);
+  report.config_u64("seed", opt.seed);
 
   benchutil::heading(
       "Extension: duplex (receive+reply) switch, 100-byte messages, "
@@ -77,6 +80,12 @@ int main(int argc, char** argv) {
                           static_cast<double>(results[1].offered)
                     : 0.0,
                 results[1].mean_batch);
+    const std::string r = std::to_string(static_cast<int>(rate));
+    report.metric("conv.mean_latency_sec@" + r,
+                  results[0].mean_latency_sec);
+    report.metric("ldlp.mean_latency_sec@" + r,
+                  results[1].mean_latency_sec);
+    report.metric("ldlp.mean_batch@" + r, results[1].mean_batch);
   }
 
   // Part 2: the paper's stated goal. 10000 setup/teardown pairs/s is
@@ -103,6 +112,10 @@ int main(int argc, char** argv) {
       }
       const auto mean = synth::average(runs);
       const bool goal = mean.mean_latency_sec <= 100e-6 && mean.dropped == 0;
+      report.metric(std::string(slot == 0 ? "conv" : "ldlp") +
+                        ".goal_latency_sec@" +
+                        std::to_string(static_cast<int>(mhz)) + "mhz",
+                    mean.mean_latency_sec);
       cells[slot++] =
           benchutil::fmt_latency(mean.mean_latency_sec) +
           (goal ? "  OK" : "    ");
@@ -117,5 +130,6 @@ int main(int argc, char** argv) {
       "magnitude: LDLP closes in on the 100 us target near ~1 GHz while the\n"
       "conventional schedule is still ~300x away at 800 MHz. The transmit\n"
       "side batches exactly as well as the receive side.\n");
+  report.write();
   return 0;
 }

@@ -3,14 +3,19 @@
 // per-phase code/read/write footers.
 #include <cstdio>
 
+#include <string>
+
 #include "bench_util.hpp"
 #include "stack/rx_path_trace.hpp"
 #include "trace/code_map_render.hpp"
+#include "trace/working_set.hpp"
 
 int main(int argc, char** argv) {
   using namespace ldlp;
   benchutil::Flags flags(argc, argv);
   const auto payload = static_cast<std::uint32_t>(flags.u64("payload", 512));
+  benchutil::BenchReport report("fig1_code_map", flags);
+  report.config_u64("payload", payload);
 
   stack::StackTracer tracer;
   trace::TraceBuffer buffer;
@@ -33,5 +38,19 @@ int main(int argc, char** argv) {
       "pkt intr 13664 B / 43138 refs; exit 18240 B / 10518 refs.\n"
       "(Reference *counts* are modelled coarsely — loop revisit factors are\n"
       "approximate — byte footprints are the calibrated quantity.)\n");
+
+  const auto ws = trace::analyze_working_set(buffer, 32);
+  for (std::size_t i = 0; i < trace::kNumPhases; ++i) {
+    const trace::PhaseSummary& phase = ws.phases[i];
+    std::string name(trace::phase_name(static_cast<trace::Phase>(i)));
+    for (char& c : name)
+      if (c == ' ') c = '_';
+    report.metric(name + ".code_bytes", static_cast<double>(phase.code_bytes));
+    report.metric(name + ".code_refs", static_cast<double>(phase.code_refs));
+    report.metric(name + ".read_bytes", static_cast<double>(phase.read_bytes));
+    report.metric(name + ".write_bytes",
+                  static_cast<double>(phase.write_bytes));
+  }
+  report.write();
   return 0;
 }

@@ -18,6 +18,10 @@ int main(int argc, char** argv) {
   opt.runs = static_cast<std::uint32_t>(flags.u64("runs", 30));
   opt.run_seconds = flags.f64("seconds", 1.0);
   opt.seed = flags.u64("seed", 0x5eed);
+  benchutil::BenchReport report("fig5_cache_misses", flags);
+  report.config_u64("runs", opt.runs);
+  report.config_u64("seed", opt.seed);
+  report.config("seconds", std::to_string(opt.run_seconds));
 
   std::vector<double> rates;
   for (double r = 1000; r <= 10000; r += 1000) rates.push_back(r);
@@ -49,7 +53,17 @@ int main(int argc, char** argv) {
                 pc[i].mean.d_misses_per_msg, pi[i].mean.i_misses_per_msg,
                 pi[i].mean.d_misses_per_msg, pl[i].mean.i_misses_per_msg,
                 pl[i].mean.d_misses_per_msg, pl[i].mean.mean_batch);
+    const std::string rate = std::to_string(static_cast<int>(rates[i]));
+    report.metric("conv.i_miss@" + rate, pc[i].mean.i_misses_per_msg);
+    report.metric("conv.d_miss@" + rate, pc[i].mean.d_misses_per_msg);
+    report.metric("ilp.i_miss@" + rate, pi[i].mean.i_misses_per_msg);
+    report.metric("ilp.d_miss@" + rate, pi[i].mean.d_misses_per_msg);
+    report.metric("ldlp.i_miss@" + rate, pl[i].mean.i_misses_per_msg);
+    report.metric("ldlp.d_miss@" + rate, pl[i].mean.d_misses_per_msg);
+    report.metric("ldlp.mean_batch@" + rate, pl[i].mean.mean_batch);
   }
+  report.metric("ldlp.batch_limit",
+                static_cast<double>(pl.front().mean.batch_limit));
 
   std::printf(
       "\nShape checks vs the paper:\n"
@@ -60,5 +74,6 @@ int main(int argc, char** argv) {
       "    savings;\n"
       "  - the LDLP curve flattens when batching hits the max batch size\n"
       "    (paper: beyond ~8500 msgs/sec).\n");
+  report.write();
   return 0;
 }

@@ -14,6 +14,10 @@ int main(int argc, char** argv) {
   opt.runs = static_cast<std::uint32_t>(flags.u64("runs", 30));
   opt.run_seconds = flags.f64("seconds", 1.0);
   opt.seed = flags.u64("seed", 0x5eed);
+  benchutil::BenchReport report("fig6_latency", flags);
+  report.config_u64("runs", opt.runs);
+  report.config_u64("seed", opt.seed);
+  report.config("seconds", std::to_string(opt.run_seconds));
 
   std::vector<double> rates;
   for (double r = 500; r <= 10000; r += 500) rates.push_back(r);
@@ -47,6 +51,18 @@ int main(int argc, char** argv) {
                           static_cast<double>(l.offered)
                     : 0.0,
                 l.mean_batch);
+    const std::string rate = std::to_string(static_cast<int>(rates[i]));
+    const double c_drop = c.offered != 0 ? static_cast<double>(c.dropped) /
+                                               static_cast<double>(c.offered)
+                                         : 0.0;
+    const double l_drop = l.offered != 0 ? static_cast<double>(l.dropped) /
+                                               static_cast<double>(l.offered)
+                                         : 0.0;
+    report.metric("conv.mean_latency_sec@" + rate, c.mean_latency_sec);
+    report.metric("conv.drop_frac@" + rate, c_drop);
+    report.metric("ldlp.mean_latency_sec@" + rate, l.mean_latency_sec);
+    report.metric("ldlp.drop_frac@" + rate, l_drop);
+    report.metric("ldlp.mean_batch@" + rate, l.mean_batch);
   }
 
   // Find the saturation knees (first rate with >1% drops).
@@ -67,5 +83,8 @@ int main(int argc, char** argv) {
       "%s msgs/s\n(paper: conventional saturates near 3500-4000, LDLP "
       "sustains ~2.5x more).\n",
       kc, kl != 0.0 ? std::to_string(static_cast<int>(kl)).c_str() : ">10000");
+  report.metric("conv.knee_rate", kc);
+  report.metric("ldlp.knee_rate", kl);
+  report.write();
   return 0;
 }

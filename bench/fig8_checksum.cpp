@@ -49,6 +49,8 @@ int main(int argc, char** argv) {
   using namespace ldlp;
   benchutil::Flags flags(argc, argv);
   const auto max_size = static_cast<std::uint32_t>(flags.u64("max", 1000));
+  benchutil::BenchReport report("fig8_checksum", flags);
+  report.config_u64("max", max_size);
 
   benchutil::heading("Figure 8: cache effects in checksum routines (cycles)");
   std::printf("%6s | %12s %12s | %12s %12s | %s\n", "bytes", "4.4BSD cold",
@@ -65,6 +67,13 @@ int main(int argc, char** argv) {
     std::printf("%6u | %12.0f %12.0f | %12.0f %12.0f | %s\n", size, ec, sc,
                 ew, sw, sc <= ec ? "simple" : "4.4BSD");
     if (crossover == 0 && size > 0 && ec < sc) crossover = size;
+    if (size % 256 == 0) {
+      const std::string sz = std::to_string(size);
+      report.metric("bsd.cold_cycles@" + sz, ec);
+      report.metric("simple.cold_cycles@" + sz, sc);
+      report.metric("bsd.warm_cycles@" + sz, ew);
+      report.metric("simple.warm_cycles@" + sz, sw);
+    }
   }
 
   const double fill_elaborate =
@@ -84,5 +93,9 @@ int main(int argc, char** argv) {
   std::printf(
       "Warm cache: the elaborate routine is faster at nearly all sizes, as "
       "in the paper.\n");
+  report.metric("bsd.cache_fill_cycles", fill_elaborate);
+  report.metric("simple.cache_fill_cycles", fill_simple);
+  report.metric("cold_crossover_bytes", static_cast<double>(crossover));
+  report.write();
   return 0;
 }

@@ -1,0 +1,181 @@
+// The perf-regression gate suite: fast, deterministic re-runs of the key
+// reproduction results, reduced to "ldlp.bench.v1" BenchResults and gated
+// against the checked-in baselines in bench/baselines/.
+//
+// Shared by bench_regress (the CLI driver, which can also --update the
+// baselines) and tests/test_bench_regress.cpp (the ctest `bench-gate`
+// label), so the gate that CI runs is byte-for-byte the gate a developer
+// runs by hand.
+//
+// Every case here must be deterministic in its hard-coded seeds and finish
+// in at most a few seconds; the slow statistical sweeps stay in the fig*
+// binaries. Tolerances are per-case: analytic results use a hair above
+// zero (they only move if the model changes), simulator results 5% (they
+// only move if scheduling, cache or traffic behaviour changes — which is
+// exactly what the gate is for).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/blocking.hpp"
+#include "obs/bench_result.hpp"
+#include "sim/cpu_model.hpp"
+#include "stack/rx_path_trace.hpp"
+#include "synth/sweep.hpp"
+#include "trace/working_set.hpp"
+
+namespace ldlp::regress {
+
+/// Analytic blocking estimates (core::estimate_blocking) at the paper's
+/// machine points. Pure arithmetic — any drift is a semantic change.
+inline obs::BenchResult gate_blocking() {
+  obs::BenchResult result;
+  result.name = "gate_blocking";
+  result.tolerance = 1e-9;
+
+  struct Point {
+    const char* key;
+    std::uint32_t dcache_kb;
+    std::uint32_t message_bytes;
+  };
+  const Point points[] = {
+      {"paper_552", 8, 552},    // the reference internet packet
+      {"signal_100", 8, 100},   // signalling-sized messages
+      {"big_cache", 64, 552},   // future machine
+      {"tiny_cache", 1, 2048},  // degenerate: one message > cache
+  };
+  for (const Point& p : points) {
+    const core::StackFootprint footprint{5, 6 * 1024, 256, p.message_bytes};
+    sim::CacheConfig icache{8 * 1024, 32, 1};
+    sim::CacheConfig dcache{p.dcache_kb * 1024, 32, 1};
+    const auto est = core::estimate_blocking(footprint, icache, dcache);
+    result.set_metric(std::string("batch_limit.") + p.key,
+                      static_cast<double>(est.batch_limit));
+  }
+  return result;
+}
+
+/// The traced receive path's working set (Table 1 totals) and line-size
+/// corollary (Table 3 dilution). Deterministic trace, no randomness.
+inline obs::BenchResult gate_working_set() {
+  obs::BenchResult result;
+  result.name = "gate_working_set";
+  result.tolerance = 1e-9;
+
+  stack::StackTracer tracer;
+  trace::TraceBuffer buffer;
+  if (!stack::trace_tcp_receive_ack(tracer, buffer, {512, 2})) {
+    result.set_metric("trace_failed", 1.0);
+    return result;
+  }
+  const auto ws = trace::analyze_working_set(buffer, 32);
+  result.set_metric("code_bytes", static_cast<double>(ws.code_bytes()));
+  result.set_metric("ro_bytes", static_cast<double>(ws.ro_bytes()));
+  result.set_metric("mut_bytes", static_cast<double>(ws.mut_bytes()));
+  const auto ws4 = trace::analyze_working_set(buffer, 4);
+  result.set_metric("dilution_frac",
+                    1.0 - static_cast<double>(ws4.code_bytes()) /
+                              static_cast<double>(ws.code_bytes()));
+  return result;
+}
+
+/// Figure 8's cold-start offsets: the cache-fill cost of the two checksum
+/// routines on the paper machine. Deterministic cycle counts.
+inline obs::BenchResult gate_checksum() {
+  obs::BenchResult result;
+  result.name = "gate_checksum";
+  result.tolerance = 1e-9;
+
+  const auto fill_cycles = [](std::uint32_t code_bytes, double fixed) {
+    sim::CpuModel cold(sim::CpuConfig{});
+    sim::CpuModel warm(sim::CpuConfig{});
+    warm.ifetch(0x10000, code_bytes);
+    const std::uint64_t w0 = warm.busy_cycles();
+    const std::uint64_t c0 = cold.busy_cycles();
+    cold.ifetch(0x10000, code_bytes);
+    cold.execute(static_cast<std::uint64_t>(fixed));
+    warm.ifetch(0x10000, code_bytes);
+    warm.execute(static_cast<std::uint64_t>(fixed));
+    return static_cast<double>((cold.busy_cycles() - c0) -
+                               (warm.busy_cycles() - w0));
+  };
+  result.set_metric("bsd.cache_fill_cycles", fill_cycles(682, 80.0));
+  result.set_metric("simple.cache_fill_cycles", fill_cycles(288, 30.0));
+  return result;
+}
+
+/// One fast point each from the Figure 5/6 sweeps: conventional vs LDLP
+/// at a moderate and a saturating load, 3 randomised layouts, short
+/// horizon. Deterministic in the seed; 5% tolerance absorbs benign
+/// floating-point reordering without letting a scheduling change through.
+inline obs::BenchResult gate_synth() {
+  obs::BenchResult result;
+  result.name = "gate_synth";
+  result.tolerance = 0.05;
+
+  synth::SweepOptions opt;
+  opt.runs = 3;
+  opt.run_seconds = 0.2;
+  opt.seed = 0x5eed;
+  const std::vector<double> rates = {3000.0, 8000.0};
+
+  synth::SynthConfig conv;
+  conv.mode = synth::SynthMode::kConventional;
+  synth::SynthConfig ldlp = conv;
+  ldlp.mode = synth::SynthMode::kLdlp;
+  const auto pc = synth::sweep_poisson_rates(conv, rates, opt);
+  const auto pl = synth::sweep_poisson_rates(ldlp, rates, opt);
+
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const std::string rate = std::to_string(static_cast<int>(rates[i]));
+    const auto& c = pc[i].mean;
+    const auto& l = pl[i].mean;
+    result.set_metric("conv.i_miss@" + rate, c.i_misses_per_msg);
+    result.set_metric("conv.d_miss@" + rate, c.d_misses_per_msg);
+    result.set_metric("conv.mean_latency_sec@" + rate, c.mean_latency_sec);
+    result.set_metric("ldlp.i_miss@" + rate, l.i_misses_per_msg);
+    result.set_metric("ldlp.d_miss@" + rate, l.d_misses_per_msg);
+    result.set_metric("ldlp.mean_latency_sec@" + rate, l.mean_latency_sec);
+    result.set_metric("ldlp.mean_batch@" + rate, l.mean_batch);
+  }
+  result.set_metric("ldlp.batch_limit",
+                    static_cast<double>(pl.front().mean.batch_limit));
+  return result;
+}
+
+struct GateCase {
+  const char* name;
+  obs::BenchResult (*run)();
+};
+
+inline std::vector<GateCase> suite() {
+  return {
+      {"gate_blocking", &gate_blocking},
+      {"gate_working_set", &gate_working_set},
+      {"gate_checksum", &gate_checksum},
+      {"gate_synth", &gate_synth},
+  };
+}
+
+/// Gate one case against `baseline_dir`. Returns true on pass; on any
+/// failure (missing baseline, drift) prints a report to stderr.
+inline bool gate_case(const GateCase& gate, const std::string& baseline_dir) {
+  const obs::BenchResult current = gate.run();
+  std::string error;
+  const auto baseline = obs::BenchResult::load_file(
+      baseline_dir + "/" + current.file_name(), &error);
+  if (!baseline.has_value()) {
+    std::fprintf(stderr, "%s: no baseline (%s) — run `bench_regress --update`\n",
+                 gate.name, error.c_str());
+    return false;
+  }
+  const obs::CompareReport report = obs::compare_results(*baseline, current);
+  if (!report.pass)
+    std::fprintf(stderr, "%s: REGRESSION\n%s", gate.name,
+                 report.describe().c_str());
+  return report.pass;
+}
+
+}  // namespace ldlp::regress

@@ -37,6 +37,8 @@ int main(int argc, char** argv) {
   using namespace ldlp;
   benchutil::Flags flags(argc, argv);
   const auto payload = static_cast<std::uint32_t>(flags.u64("payload", 512));
+  benchutil::BenchReport report("table1_working_set", flags);
+  report.config_u64("payload", payload);
 
   stack::StackTracer tracer;
   trace::TraceBuffer buffer;
@@ -67,6 +69,13 @@ int main(int argc, char** argv) {
     paper_code += row.code;
     paper_ro += row.ro;
     paper_mut += row.mut;
+    const std::string layer(trace::layer_name(row.layer));
+    report.metric(layer + ".code_bytes",
+                  static_cast<double>(measured.code_lines * 32));
+    report.metric(layer + ".ro_bytes",
+                  static_cast<double>(measured.ro_lines * 32));
+    report.metric(layer + ".mut_bytes",
+                  static_cast<double>(measured.mut_lines * 32));
   }
   std::printf("%s\n", std::string(94, '-').c_str());
   benchutil::compare_row("Total code", paper_code,
@@ -83,5 +92,11 @@ int main(int argc, char** argv) {
       "data is fetched per iteration vs ~2.2 KB of message contents -> the\n"
       "code:data memory traffic ratio is %.1f:1 for a %u-byte message.\n",
       total_fetch / (2.0 * 2 * payload), payload);
+
+  report.metric("total.code_bytes", static_cast<double>(ws.code_bytes()));
+  report.metric("total.ro_bytes", static_cast<double>(ws.ro_bytes()));
+  report.metric("total.mut_bytes", static_cast<double>(ws.mut_bytes()));
+  report.metric("code_data_ratio", total_fetch / (2.0 * 2 * payload));
+  report.write();
   return 0;
 }

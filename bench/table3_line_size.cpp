@@ -36,6 +36,8 @@ int main(int argc, char** argv) {
   using namespace ldlp;
   benchutil::Flags flags(argc, argv);
   const auto payload = static_cast<std::uint32_t>(flags.u64("payload", 512));
+  benchutil::BenchReport report("table3_line_size", flags);
+  report.config_u64("payload", payload);
 
   stack::StackTracer tracer;
   trace::TraceBuffer buffer;
@@ -55,6 +57,11 @@ int main(int argc, char** argv) {
   for (const PaperDelta& row : kPaper) {
     const auto ws =
         trace::analyze_working_set(buffer, static_cast<std::uint32_t>(row.line));
+    const std::string line = std::to_string(row.line);
+    report.metric("code_bytes@" + line,
+                  static_cast<double>(ws.code_bytes()));
+    report.metric("ro_bytes@" + line, static_cast<double>(ws.ro_bytes()));
+    report.metric("mut_bytes@" + line, static_cast<double>(ws.mut_bytes()));
     const double code_b = pct(static_cast<double>(ws.code_bytes()),
                               static_cast<double>(base.code_bytes()));
     const double code_l = pct(static_cast<double>(ws.total.code_lines),
@@ -91,5 +98,7 @@ int main(int argc, char** argv) {
       "\nCache dilution (section 5.4): %.0f%% of instruction bytes fetched\n"
       "into 32-byte lines are never executed (paper: ~25%%).\n",
       dilution * 100.0);
+  report.metric("cache_dilution_frac", dilution);
+  report.write();
   return 0;
 }

@@ -11,6 +11,7 @@ void Layer::emit(Message msg, int port) {
 }
 
 void Layer::enqueue(Message msg) {
+  ++stats_.enqueued;
   if (queue_.size() >= queue_capacity_) {
     ++stats_.drops;
     return;  // msg destructor frees the chain
@@ -34,6 +35,7 @@ std::size_t Layer::drain(std::size_t limit) {
 }
 
 void Layer::process_now(Message msg) {
+  ++stats_.enqueued;
   ++stats_.activations;
   ++stats_.processed;
   process(std::move(msg));

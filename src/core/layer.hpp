@@ -24,6 +24,10 @@ using LayerId = std::uint32_t;
 inline constexpr LayerId kNoLayer = ~LayerId{0};
 
 struct LayerStats {
+  /// Messages handed to the layer, whether accepted into the queue,
+  /// processed immediately (conventional mode) or dropped at a full
+  /// queue. Conservation law: enqueued == processed + drops + queue_len.
+  std::uint64_t enqueued = 0;
   std::uint64_t processed = 0;
   std::uint64_t drops = 0;
   std::uint64_t activations = 0;  ///< Times the layer started draining.

@@ -1,6 +1,7 @@
 #include "core/stack_graph.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/assert.hpp"
 
@@ -37,7 +38,10 @@ LayerId StackGraph::find_edge(LayerId from, int port) const noexcept {
 
 void StackGraph::route(LayerId from, int port, Message msg) {
   const LayerId to = find_edge(from, port);
-  if (to == kNoLayer) return;  // top of stack or unconnected port: consume
+  if (to == kNoLayer) {  // top of stack or unconnected port: consume
+    ++gstats_.delivered_top;
+    return;
+  }
   Layer& target = *nodes_[to].layer;
   if (mode_ == SchedMode::kConventional) {
     if (depth_ >= kMaxProcessDepth) {
@@ -57,6 +61,7 @@ void StackGraph::route(LayerId from, int port, Message msg) {
 
 void StackGraph::inject(LayerId id, Message msg) {
   LDLP_ASSERT(id < nodes_.size());
+  ++gstats_.injected;
   Layer& target = *nodes_[id].layer;
   if (mode_ == SchedMode::kConventional) {
     if (depth_ >= kMaxProcessDepth) {
@@ -89,6 +94,7 @@ std::size_t StackGraph::drain_upward(LayerId id) {
 
 std::size_t StackGraph::run() {
   if (mode_ == SchedMode::kConventional) return 0;
+  const auto started = std::chrono::steady_clock::now();
   std::size_t total = 0;
   for (;;) {
     bool any = false;
@@ -106,7 +112,20 @@ std::size_t StackGraph::run() {
     }
     if (!any) break;
   }
+  if (total != 0) {
+    ++gstats_.runs;
+    drain_seconds_.add(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count());
+  }
   return total;
+}
+
+void StackGraph::reset_stats() noexcept {
+  gstats_ = {};
+  drain_seconds_.reset();
+  for (Layer* layer : layers_) layer->reset_stats();
 }
 
 std::size_t StackGraph::backlog() const noexcept {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "core/layer.hpp"
 
 namespace ldlp::core {
@@ -28,6 +29,9 @@ namespace ldlp::core {
 enum class SchedMode : std::uint8_t { kConventional, kLdlp };
 
 struct GraphStats {
+  /// Messages offered at inject(), admitted or not. Entry conservation:
+  /// injected == shed_entry + (enqueued at the entry layers by inject).
+  std::uint64_t injected = 0;
   /// Messages refused at inject() because the graph-wide backlog limit
   /// was reached (LDLP mode). Shedding happens at the entry layer only:
   /// work already admitted into higher-layer queues always finishes, per
@@ -37,6 +41,11 @@ struct GraphStats {
   /// (a layer cycle or pathological emit chain, which would otherwise
   /// grow the call stack without bound).
   std::uint64_t shed_depth = 0;
+  /// Messages that left the top of the stack (emitted out of an
+  /// unconnected port) — "delivered" in the conservation law.
+  std::uint64_t delivered_top = 0;
+  /// run() invocations that found work (LDLP mode).
+  std::uint64_t runs = 0;
 };
 
 class StackGraph {
@@ -73,6 +82,9 @@ class StackGraph {
   std::size_t run();
 
   [[nodiscard]] Layer& layer(LayerId id) { return *layers_.at(id); }
+  [[nodiscard]] const Layer& layer(LayerId id) const {
+    return *layers_.at(id);
+  }
   [[nodiscard]] std::size_t layer_count() const noexcept {
     return layers_.size();
   }
@@ -93,6 +105,17 @@ class StackGraph {
   [[nodiscard]] const GraphStats& graph_stats() const noexcept {
     return gstats_;
   }
+
+  /// Wall-clock seconds per run() that found work — the cost of draining
+  /// one admitted backlog (observability only; not simulated time).
+  [[nodiscard]] const RunningStats& drain_stats() const noexcept {
+    return drain_seconds_;
+  }
+
+  /// Zero the graph counters, the drain-latency accumulator and every
+  /// registered layer's stats. Queued messages are untouched. Multi-run
+  /// harnesses call this between runs so totals never carry over.
+  void reset_stats() noexcept;
 
  private:
   friend class Layer;
@@ -124,6 +147,7 @@ class StackGraph {
   std::size_t backlog_limit_ = 0;
   int depth_ = 0;  ///< Live process_now() nesting (conventional mode).
   GraphStats gstats_;
+  RunningStats drain_seconds_;
 };
 
 }  // namespace ldlp::core

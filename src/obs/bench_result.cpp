@@ -1,0 +1,148 @@
+#include "obs/bench_result.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ldlp::obs {
+
+void BenchResult::set_config(std::string key, std::string value) {
+  for (auto& [k, v] : config) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  config.emplace_back(std::move(key), std::move(value));
+}
+
+void BenchResult::set_metric(std::string key, double value) {
+  for (auto& [k, v] : metrics) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  metrics.emplace_back(std::move(key), value);
+}
+
+std::optional<double> BenchResult::metric(std::string_view key) const {
+  for (const auto& [k, v] : metrics) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+Json BenchResult::to_json() const {
+  Json root = Json::object();
+  root.set("schema", Json(kSchema));
+  root.set("name", Json(name));
+  root.set("tolerance", Json(tolerance));
+  Json cfg = Json::object();
+  for (const auto& [k, v] : config) cfg.set(k, Json(v));
+  root.set("config", std::move(cfg));
+  Json met = Json::object();
+  for (const auto& [k, v] : metrics) met.set(k, Json(v));
+  root.set("metrics", std::move(met));
+  return root;
+}
+
+std::optional<BenchResult> BenchResult::from_json(const Json& json,
+                                                 std::string* error) {
+  const auto fail = [&](const char* what) -> std::optional<BenchResult> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  if (!json.is_object()) return fail("not a JSON object");
+  const auto schema = json.string_at("schema");
+  if (!schema.has_value() || *schema != kSchema)
+    return fail("missing or unknown schema (want ldlp.bench.v1)");
+  const auto name = json.string_at("name");
+  if (!name.has_value() || name->empty()) return fail("missing name");
+
+  BenchResult out;
+  out.name = *name;
+  out.tolerance = json.number_at("tolerance").value_or(0.10);
+  if (const Json* cfg = json.find("config"); cfg != nullptr && cfg->is_object())
+    for (const auto& [k, v] : cfg->members())
+      out.config.emplace_back(k, v.is_string() ? v.as_string() : v.dump());
+  const Json* met = json.find("metrics");
+  if (met == nullptr || !met->is_object()) return fail("missing metrics object");
+  for (const auto& [k, v] : met->members()) {
+    if (!v.is_number()) return fail("non-numeric metric value");
+    out.metrics.emplace_back(k, v.as_double());
+  }
+  return out;
+}
+
+bool BenchResult::write_file(const std::string& dir) const {
+  const std::string path =
+      (dir.empty() || dir == ".") ? file_name() : dir + "/" + file_name();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_json().dump(2) << '\n';
+  return static_cast<bool>(out);
+}
+
+std::optional<BenchResult> BenchResult::load_file(const std::string& path,
+                                                 std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto json = Json::parse(buffer.str(), error);
+  if (!json.has_value()) return std::nullopt;
+  return from_json(*json, error);
+}
+
+std::string CompareReport::describe() const {
+  std::string out;
+  char line[256];
+  for (const Row& row : rows) {
+    if (row.missing) {
+      std::snprintf(line, sizeof line, "  %-44s MISSING (baseline %.6g)\n",
+                    row.key.c_str(), row.baseline);
+    } else {
+      std::snprintf(line, sizeof line,
+                    "  %-44s base %12.6g  cur %12.6g  (%+.2f%%) %s\n",
+                    row.key.c_str(), row.baseline, row.current,
+                    row.rel_delta * 100.0, row.pass ? "ok" : "FAIL");
+    }
+    out += line;
+  }
+  return out;
+}
+
+CompareReport compare_results(const BenchResult& baseline,
+                              const BenchResult& current,
+                              double tolerance_override) {
+  const double tol =
+      tolerance_override >= 0.0 ? tolerance_override : baseline.tolerance;
+  CompareReport report;
+  for (const auto& [key, base] : baseline.metrics) {
+    CompareReport::Row row;
+    row.key = key;
+    row.baseline = base;
+    const auto cur = current.metric(key);
+    if (!cur.has_value()) {
+      row.missing = true;
+      row.pass = false;
+    } else {
+      row.current = *cur;
+      // Near-zero baselines (drop counts of 0, etc.) cannot take a
+      // relative tolerance; use `tol` itself as the absolute allowance.
+      const double scale = std::max(std::fabs(base), 1.0);
+      row.rel_delta = (*cur - base) / scale;
+      row.pass = std::fabs(*cur - base) <= tol * scale;
+    }
+    report.pass = report.pass && row.pass;
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+}  // namespace ldlp::obs

@@ -1,0 +1,82 @@
+// Machine-readable bench output ("ldlp.bench.v1") and the regression gate.
+//
+// Every bench binary reduces its run to a flat metric map and writes it as
+// BENCH_<name>.json; the perf gate re-runs the fast deterministic benches
+// and compares each metric against a checked-in baseline with a relative
+// tolerance. One schema end to end means the gate, the golden tests and any
+// external plotting scripts all read the same files.
+//
+//   {
+//     "schema": "ldlp.bench.v1",
+//     "name": "fig5_cache_misses",
+//     "tolerance": 0.1,
+//     "config": {"runs": "30", "seed": "24301"},
+//     "metrics": {"conv.i_miss_per_msg@8000": 912.4, ...}
+//   }
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ldlp::obs {
+
+struct BenchResult {
+  std::string name;
+  /// Default relative tolerance used by compare() for every metric.
+  double tolerance = 0.10;
+  /// Free-form provenance (flag values, seeds); not compared.
+  std::vector<std::pair<std::string, std::string>> config;
+  /// Insertion-ordered; keys must be unique.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  void set_config(std::string key, std::string value);
+  void set_metric(std::string key, double value);
+  [[nodiscard]] std::optional<double> metric(std::string_view key) const;
+
+  [[nodiscard]] Json to_json() const;
+  static std::optional<BenchResult> from_json(const Json& json,
+                                              std::string* error = nullptr);
+
+  /// Canonical file name: BENCH_<name>.json under `dir`.
+  [[nodiscard]] std::string file_name() const { return "BENCH_" + name + ".json"; }
+  /// Write (pretty-printed) into `dir`; returns false on I/O failure.
+  bool write_file(const std::string& dir) const;
+  static std::optional<BenchResult> load_file(const std::string& path,
+                                              std::string* error = nullptr);
+
+  static constexpr const char* kSchema = "ldlp.bench.v1";
+};
+
+/// Outcome of gating `current` against `baseline`.
+struct CompareReport {
+  struct Row {
+    std::string key;
+    double baseline = 0.0;
+    double current = 0.0;
+    double rel_delta = 0.0;  ///< (current - baseline) / max(|baseline|, eps).
+    bool pass = true;
+    bool missing = false;  ///< Metric present in baseline, absent in current.
+  };
+  std::vector<Row> rows;
+  bool pass = true;
+
+  /// Human-readable multi-line report (one row per metric).
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Compare every baseline metric against `current`. A metric fails when it
+/// is missing from `current` or drifts beyond the relative tolerance
+/// (baseline.tolerance unless `tolerance_override` >= 0). Near-zero
+/// baselines fall back to an absolute tolerance of the same magnitude.
+/// Metrics present only in `current` are additions, not failures — the
+/// gate refuses regressions, not progress.
+[[nodiscard]] CompareReport compare_results(const BenchResult& baseline,
+                                            const BenchResult& current,
+                                            double tolerance_override = -1.0);
+
+}  // namespace ldlp::obs

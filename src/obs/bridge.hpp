@@ -1,0 +1,63 @@
+// Bridges: publish every subsystem's counters through one obs::Registry.
+//
+// Collection stays where it is cheap (the subsystems' own stat structs,
+// incremented inline); publishing mirrors those totals into the registry
+// under namespaced metric names, so one snapshot carries the whole stack —
+// scheduler, caches, protocol layers, fault injector — in the common
+// "ldlp.obs.v1" schema. Call a publisher right before snapshot(); calling
+// it repeatedly is idempotent (counters are set, not accumulated).
+//
+// Naming convention: <prefix>.<subsystem>.<counter>, e.g.
+//   a.graph.shed_entry        a.graph.layer.tcp.queue_depth
+//   mem.icache.misses         mem.layer2.i_misses
+//   a.dev.rx_drops            fault.frames_dropped
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace ldlp::core {
+class StackGraph;
+}
+namespace ldlp::sim {
+class MemorySystem;
+}
+namespace ldlp::fault {
+class FaultInjector;
+}
+namespace ldlp::stack {
+class Host;
+class NetDevice;
+}
+
+namespace ldlp::obs {
+
+/// Scheduler: graph-wide conservation counters (injected / shed_entry /
+/// shed_depth / delivered_top / runs), per-run drain latency, and one
+/// group per layer: enqueued / processed / drops / activations /
+/// queue_depth / max_queue / mean_batch.
+void publish_graph(Registry& registry, const core::StackGraph& graph,
+                   std::string_view prefix = "graph");
+
+/// Memory hierarchy: I/D hit+miss counters, stall cycles, and the
+/// per-scope (per layer id) miss attribution as mem.layer<N>.{i,d}_misses.
+void publish_memory(Registry& registry, const sim::MemorySystem& memory,
+                    std::string_view prefix = "mem");
+
+/// Fault injection: frames seen / dropped / corrupted / duplicated /
+/// reordered / delayed, pool squeezes and the held-buffer peak.
+void publish_fault(Registry& registry, const fault::FaultInjector& injector,
+                   std::string_view prefix = "fault");
+
+/// Network device: tx/rx frame+byte counters and both drop classes.
+void publish_device(Registry& registry, const stack::NetDevice& device,
+                    std::string_view prefix = "dev");
+
+/// A whole host: device, ethernet (+ARP), IP, TCP, UDP and the scheduler
+/// graph, all prefixed with the host's name (or `prefix` if non-empty).
+void publish_host(Registry& registry, stack::Host& host,
+                  std::string_view prefix = {});
+
+}  // namespace ldlp::obs

@@ -1,0 +1,111 @@
+// Minimal JSON document model for the observability layer.
+//
+// Zero-dependency by design: the metrics registry, the BENCH_*.json bench
+// emitters and the perf-regression gate all need to write *and read* the
+// same schema, so the writer and parser live together and are tested as a
+// round-trip pair (tests/test_obs.cpp). Objects preserve insertion order —
+// the emitters insert keys in sorted metric order, so serialised output is
+// byte-stable across runs and platforms (doubles are printed with
+// std::to_chars shortest round-trip form).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ldlp::obs {
+
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Json() = default;  // null
+  explicit Json(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Json(double n) : type_(Type::kNumber), num_(n) {}
+  explicit Json(std::int64_t n)
+      : type_(Type::kNumber), num_(static_cast<double>(n)), integral_(true) {}
+  explicit Json(std::uint64_t n)
+      : type_(Type::kNumber), num_(static_cast<double>(n)), integral_(true) {}
+  explicit Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  explicit Json(const char* s) : type_(Type::kString), str_(s) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+
+  [[nodiscard]] bool as_bool() const noexcept { return bool_; }
+  [[nodiscard]] double as_double() const noexcept { return num_; }
+  [[nodiscard]] const std::string& as_string() const noexcept { return str_; }
+
+  // -- array ---------------------------------------------------------------
+  void push_back(Json value) { items_.push_back(std::move(value)); }
+  [[nodiscard]] const std::vector<Json>& items() const noexcept {
+    return items_;
+  }
+
+  // -- object (insertion-ordered) ------------------------------------------
+  /// Set `key` (appends; replaces in place if the key already exists).
+  void set(std::string_view key, Json value);
+  /// Member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const noexcept {
+    return members_;
+  }
+
+  /// Convenience typed getters for the schemas used in this repo.
+  [[nodiscard]] std::optional<double> number_at(std::string_view key) const;
+  [[nodiscard]] std::optional<std::string> string_at(std::string_view key) const;
+
+  /// Serialise. indent == 0 emits a compact single line; indent > 0 pretty-
+  /// prints with that many spaces per level. Key order is emission order.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document. On failure returns nullopt and, when
+  /// `error` is non-null, stores a one-line diagnostic with the offset.
+  static std::optional<Json> parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  bool integral_ = false;  ///< Emit without decimal point / exponent.
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace ldlp::obs

@@ -1,0 +1,162 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ldlp::obs {
+namespace {
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::string fmt(double v) {
+  Json j(v);
+  return j.dump();
+}
+
+}  // namespace
+
+const SnapshotEntry* Snapshot::find(std::string_view name) const noexcept {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const SnapshotEntry& e, std::string_view n) { return e.name < n; });
+  if (it == entries.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+double Snapshot::value(std::string_view name) const noexcept {
+  const SnapshotEntry* e = find(name);
+  return e != nullptr ? e->value : 0.0;
+}
+
+Json Snapshot::to_json() const {
+  Json root = Json::object();
+  root.set("schema", Json(kSchema));
+  Json metrics = Json::array();
+  for (const SnapshotEntry& e : entries) {
+    Json m = Json::object();
+    m.set("name", Json(e.name));
+    m.set("type", Json(kind_name(e.kind)));
+    if (e.kind == MetricKind::kCounter) {
+      m.set("value", Json(static_cast<std::uint64_t>(e.value)));
+    } else {
+      m.set("value", Json(e.value));
+    }
+    if (e.kind == MetricKind::kHistogram) {
+      m.set("mean", Json(e.mean));
+      m.set("p50", Json(e.p50));
+      m.set("p95", Json(e.p95));
+      m.set("p99", Json(e.p99));
+      m.set("max", Json(e.max));
+    }
+    metrics.push_back(std::move(m));
+  }
+  root.set("metrics", std::move(metrics));
+  return root;
+}
+
+std::string Snapshot::to_csv() const {
+  std::string out = "name,type,value,mean,p50,p95,p99,max\n";
+  for (const SnapshotEntry& e : entries) {
+    out += e.name;
+    out += ',';
+    out += kind_name(e.kind);
+    out += ',';
+    out += fmt(e.value);
+    if (e.kind == MetricKind::kHistogram) {
+      out += ',' + fmt(e.mean) + ',' + fmt(e.p50) + ',' + fmt(e.p95) + ',' +
+             fmt(e.p99) + ',' + fmt(e.max);
+    } else {
+      out += ",,,,,";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    LDLP_ASSERT_MSG(it->second.kind == MetricKind::kCounter,
+                    "metric re-registered with a different kind");
+    return *it->second.counter;
+  }
+  Metric m{MetricKind::kCounter, std::make_unique<Counter>(), nullptr, nullptr};
+  return *metrics_.emplace(std::string(name), std::move(m))
+              .first->second.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    LDLP_ASSERT_MSG(it->second.kind == MetricKind::kGauge,
+                    "metric re-registered with a different kind");
+    return *it->second.gauge;
+  }
+  Metric m{MetricKind::kGauge, nullptr, std::make_unique<Gauge>(), nullptr};
+  return *metrics_.emplace(std::string(name), std::move(m))
+              .first->second.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, double lo, double hi,
+                               int per_decade) {
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    LDLP_ASSERT_MSG(it->second.kind == MetricKind::kHistogram,
+                    "metric re-registered with a different kind");
+    return *it->second.histogram;
+  }
+  Metric m{MetricKind::kHistogram, nullptr, nullptr,
+           std::make_unique<Histogram>(lo, hi, per_decade)};
+  return *metrics_.emplace(std::string(name), std::move(m))
+              .first->second.histogram;
+}
+
+void Registry::reset() {
+  for (auto& [name, metric] : metrics_) {
+    switch (metric.kind) {
+      case MetricKind::kCounter: metric.counter->reset(); break;
+      case MetricKind::kGauge: metric.gauge->reset(); break;
+      case MetricKind::kHistogram: metric.histogram->reset(); break;
+    }
+  }
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.entries.reserve(metrics_.size());
+  for (const auto& [name, metric] : metrics_) {
+    SnapshotEntry e;
+    e.name = name;
+    e.kind = metric.kind;
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        e.value = static_cast<double>(metric.counter->value());
+        break;
+      case MetricKind::kGauge:
+        e.value = metric.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *metric.histogram;
+        e.value = static_cast<double>(h.count());
+        e.mean = h.mean();
+        e.max = h.max();
+        e.p50 = h.p50();
+        e.p95 = h.p95();
+        e.p99 = h.p99();
+        break;
+      }
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;  // std::map iteration order is already name-sorted
+}
+
+}  // namespace ldlp::obs

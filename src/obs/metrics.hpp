@@ -1,0 +1,139 @@
+// ldlp::obs — unified metrics registry.
+//
+// The paper's whole argument is quantitative (cache misses per message,
+// per-message cycles, queueing latency), so every subsystem reports through
+// one registry instead of ad hoc stat structs printed ad hoc:
+//
+//   * Counter   — monotonic uint64 (messages, misses, drops, sheds);
+//   * Gauge     — instantaneous double (queue depth, batch factor);
+//   * Histogram — log-bucketed distribution with p50/p95/p99 (latencies).
+//
+// Hot-path discipline: metrics are registered once (a name lookup) and then
+// held by reference; add()/set() are plain arithmetic, O(1), no allocation,
+// no locking (the simulator is single-threaded, as is each bench).
+//
+// Registry::snapshot() freezes every metric into a name-sorted value list
+// with JSON and CSV emitters; the JSON schema ("ldlp.obs.v1") is locked by
+// a golden-file test (tests/test_obs.cpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "obs/json.hpp"
+
+namespace ldlp::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  /// Mirror an externally maintained total (bridge publishing).
+  void set(std::uint64_t v) noexcept { value_ = v; }
+  void reset() noexcept { value_ = 0; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double v) noexcept { value_ += v; }
+  void reset() noexcept { value_ = 0.0; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-scaled histogram wrapper: fixed O(1) bucket insert, percentile
+/// queries with bounded relative error (see common/histogram.hpp).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int per_decade)
+      : hist_(lo, hi, per_decade) {}
+
+  void add(double v) noexcept { hist_.add(v); }
+  void reset() noexcept { hist_.reset(); }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return hist_.count(); }
+  [[nodiscard]] double mean() const noexcept { return hist_.mean(); }
+  [[nodiscard]] double max() const noexcept { return hist_.max_seen(); }
+  [[nodiscard]] double p50() const noexcept { return hist_.quantile(0.50); }
+  [[nodiscard]] double p95() const noexcept { return hist_.quantile(0.95); }
+  [[nodiscard]] double p99() const noexcept { return hist_.quantile(0.99); }
+
+ private:
+  LogHistogram hist_;
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// One frozen metric. For histograms the distribution summary fields are
+/// populated and `value` holds the sample count.
+struct SnapshotEntry {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+struct Snapshot {
+  std::vector<SnapshotEntry> entries;  ///< Sorted by name.
+
+  /// Lookup by exact name; nullptr when absent.
+  [[nodiscard]] const SnapshotEntry* find(std::string_view name) const noexcept;
+  /// Value of a counter/gauge (histogram: sample count); 0 when absent —
+  /// use find() when absence must be distinguished.
+  [[nodiscard]] double value(std::string_view name) const noexcept;
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] std::string to_csv() const;
+  static constexpr const char* kSchema = "ldlp.obs.v1";
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Histogram bounds apply on first registration only (later calls with
+  /// the same name return the existing instance unchanged).
+  Histogram& histogram(std::string_view name, double lo = 1e-7,
+                       double hi = 1e3, int per_decade = 20);
+
+  [[nodiscard]] std::size_t size() const noexcept { return metrics_.size(); }
+
+  /// Zero every metric (names stay registered).
+  void reset();
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  struct Metric {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  // std::map (ordered, < on string) gives snapshots their sorted order and
+  // keeps node references stable across inserts.
+  std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+}  // namespace ldlp::obs

@@ -37,14 +37,24 @@ std::uint64_t MemorySystem::access(Access kind, std::uint64_t addr,
   const std::uint32_t line = target.config().line_bytes;
   const std::uint64_t first = addr / line;
   const std::uint64_t last = (addr + len - 1) / line;
+  std::uint64_t misses = 0;
   for (std::uint64_t ln = first; ln <= last; ++ln) {
     const std::uint64_t line_addr = ln * line;
     if (target.access(line_addr)) continue;
+    ++misses;
     if (l2_ != nullptr) {
       stall += l2_->access(line_addr) ? cfg_.l2_hit_cycles
                                       : cfg_.miss_penalty_cycles;
     } else {
       stall += cfg_.miss_penalty_cycles;
+    }
+  }
+  if (scope_ != kNoScope && misses != 0) {
+    if (scope_ >= scope_misses_.size()) scope_misses_.resize(scope_ + 1);
+    if (kind == Access::kIFetch) {
+      scope_misses_[scope_].i_misses += misses;
+    } else {
+      scope_misses_[scope_].d_misses += misses;
     }
   }
   stall_cycles_ += stall;
@@ -64,6 +74,7 @@ void MemorySystem::reset_stats() noexcept {
   if (l2_ != nullptr) l2_->reset_stats();
   if (tlb_ != nullptr) tlb_->reset_stats();
   stall_cycles_ = 0;
+  scope_misses_.clear();
 }
 
 }  // namespace ldlp::sim

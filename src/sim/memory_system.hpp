@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "sim/cache.hpp"
 
@@ -44,8 +45,16 @@ struct MemoryConfig {
   std::uint32_t tlb_miss_cycles = 30;   ///< PAL-code refill estimate.
 };
 
+/// Primary-cache misses attributed to one scope id (see set_scope).
+struct ScopeMisses {
+  std::uint64_t i_misses = 0;
+  std::uint64_t d_misses = 0;
+};
+
 class MemorySystem {
  public:
+  static constexpr std::uint32_t kNoScope = ~std::uint32_t{0};
+
   explicit MemorySystem(MemoryConfig cfg);
 
   [[nodiscard]] const MemoryConfig& config() const noexcept { return cfg_; }
@@ -53,6 +62,17 @@ class MemorySystem {
   /// Touch [addr, addr+len); returns the stall cycles incurred.
   std::uint64_t access(Access kind, std::uint64_t addr,
                        std::uint64_t len) noexcept;
+
+  /// Attribute subsequent primary-cache misses to `scope` (a layer id in
+  /// the synthetic stack; any small dense id space works). kNoScope
+  /// disables attribution. O(1) on the access path: one indexed add.
+  void set_scope(std::uint32_t scope) noexcept { scope_ = scope; }
+  [[nodiscard]] std::uint32_t scope() const noexcept { return scope_; }
+
+  /// Per-scope miss totals, indexed by scope id (grown on demand).
+  [[nodiscard]] const std::vector<ScopeMisses>& scope_misses() const noexcept {
+    return scope_misses_;
+  }
 
   [[nodiscard]] Cache& icache() noexcept { return icache_; }
   [[nodiscard]] Cache& dcache() noexcept {
@@ -84,6 +104,8 @@ class MemorySystem {
   std::unique_ptr<Cache> l2_;
   std::unique_ptr<Cache> tlb_;
   std::uint64_t stall_cycles_ = 0;
+  std::uint32_t scope_ = kNoScope;
+  std::vector<ScopeMisses> scope_misses_;
 };
 
 }  // namespace ldlp::sim

@@ -44,6 +44,9 @@ class NetDevice {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const wire::MacAddr& mac() const noexcept { return mac_; }
   [[nodiscard]] const NetDeviceStats& stats() const noexcept { return stats_; }
+  /// Zero the frame/byte/drop counters (ring contents untouched), so a
+  /// device reused across measurement runs starts each run at zero.
+  void reset_stats() noexcept { stats_ = {}; }
   [[nodiscard]] buf::MbufPool& pool() noexcept { return pool_; }
 
   /// Join two devices with a full-duplex "wire".

@@ -77,6 +77,7 @@ SynthStack::SynthStack(const SynthConfig& config)
 }
 
 void SynthStack::charge_app_message(const Pending& msg) {
+  cpu_.memory().set_scope(cfg_.num_layers);  // "app" scope, above the layers
   cpu_.ifetch(app_code_.base, cfg_.app_code_bytes);
   cpu_.read(buffer_slots_[msg.slot].base, std::min(msg.size, 128u));
   cpu_.execute(cfg_.app_cycles_per_msg);
@@ -87,6 +88,7 @@ void SynthStack::charge_layer_message(std::uint32_t layer, const Pending& msg,
                                       int direction) {
   // Every instruction in the layer's working set executes at least once:
   // fetch the whole code region through the I-cache.
+  cpu_.memory().set_scope(layer);
   const sim::Region& code =
       direction == 0 ? layer_code_[layer] : layer_tx_code_[layer];
   cpu_.ifetch(code.base, cfg_.layer_code_bytes);

@@ -115,6 +115,11 @@ class SynthStack {
     return groups_;
   }
 
+  /// The simulated machine, for observability: per-layer miss attribution
+  /// lives in cpu().memory().scope_misses() (scope == layer id; the
+  /// application pass in duplex mode uses scope == num_layers).
+  [[nodiscard]] const sim::CpuModel& cpu() const noexcept { return cpu_; }
+
  private:
   struct Pending {
     eventsim::SimTime arrival = 0.0;

@@ -1,0 +1,74 @@
+// The perf-regression gate, run as a tier-1 test (ctest label: bench-gate).
+//
+// Re-runs the fast deterministic gate benches (bench/regress_suite.hpp) and
+// compares every metric against the checked-in baselines. A failure here
+// means a change altered measured behaviour — either fix the change or,
+// when the shift is intended, run `bench_regress --update` and commit the
+// baseline diff alongside the code.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench/regress_suite.hpp"
+
+#ifndef LDLP_BASELINE_DIR
+#define LDLP_BASELINE_DIR "bench/baselines"
+#endif
+
+namespace {
+
+using namespace ldlp;
+
+TEST(BenchGate, AllCasesWithinBaselineTolerance) {
+  for (const regress::GateCase& gate : regress::suite()) {
+    const obs::BenchResult current = gate.run();
+    std::string error;
+    const auto baseline = obs::BenchResult::load_file(
+        std::string(LDLP_BASELINE_DIR) + "/" + current.file_name(), &error);
+    ASSERT_TRUE(baseline.has_value())
+        << gate.name << ": baseline missing (" << error
+        << ") — run `bench_regress --update` and commit bench/baselines";
+    const obs::CompareReport report = obs::compare_results(*baseline, current);
+    EXPECT_TRUE(report.pass)
+        << gate.name << " regressed:\n" << report.describe();
+  }
+}
+
+TEST(BenchGate, SuiteIsDeterministic) {
+  // The whole gate rests on reruns reproducing: same seeds, same numbers.
+  const obs::BenchResult a = regress::gate_synth();
+  const obs::BenchResult b = regress::gate_synth();
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+    EXPECT_EQ(a.metrics[i].first, b.metrics[i].first);
+    EXPECT_DOUBLE_EQ(a.metrics[i].second, b.metrics[i].second)
+        << a.metrics[i].first;
+  }
+}
+
+TEST(BenchGate, PerturbedBaselineTrips) {
+  // The acceptance test for the gate itself: drift one metric past the
+  // tolerance and the comparison must fail (and name the metric).
+  const obs::BenchResult current = regress::gate_blocking();
+  ASSERT_FALSE(current.metrics.empty());
+
+  obs::BenchResult perturbed = current;
+  const std::string& key = perturbed.metrics.front().first;
+  perturbed.metrics.front().second +=
+      (perturbed.metrics.front().second + 1.0) * (current.tolerance + 1.0);
+
+  const obs::CompareReport report = obs::compare_results(perturbed, current);
+  EXPECT_FALSE(report.pass);
+  bool named = false;
+  for (const auto& row : report.rows)
+    if (row.key == key && !row.pass) named = true;
+  EXPECT_TRUE(named) << "failing metric must appear in the report";
+
+  // Within-tolerance drift still passes.
+  obs::BenchResult nudged = current;
+  nudged.metrics.front().second *= 1.0 + current.tolerance * 0.5;
+  nudged.tolerance = 0.10;
+  EXPECT_TRUE(obs::compare_results(nudged, current).pass);
+}
+
+}  // namespace

@@ -15,6 +15,8 @@
 #include "dns/resolver.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
+#include "obs/bridge.hpp"
+#include "obs/metrics.hpp"
 #include "rpc/nfs_lite.hpp"
 #include "signal/node.hpp"
 #include "stack/host.hpp"
@@ -86,11 +88,34 @@ struct ChaosPair {
     for (stack::Host* h : {a.get(), b.get()}) {
       h->pump();
       EXPECT_EQ(h->graph().backlog(), 0u) << h->name();
+      // Conservation at admission: every message handed to the graph was
+      // either shed (at entry or by depth overflow) or enqueued into the
+      // entry layer — nothing vanishes under faults.
+      const core::GraphStats& gs = h->graph().graph_stats();
+      const core::LayerStats& entry = h->graph().layer(0).stats();
+      EXPECT_EQ(gs.injected, gs.shed_entry + gs.shed_depth + entry.enqueued)
+          << h->name();
       for (core::LayerId id = 0; id < h->graph().layer_count(); ++id) {
         const core::Layer& layer = h->graph().layer(id);
-        EXPECT_LE(layer.stats().max_queue, layer.queue_capacity())
+        const core::LayerStats& s = layer.stats();
+        EXPECT_LE(s.max_queue, layer.queue_capacity())
+            << h->name() << "/" << layer.name();
+        // Per-layer conservation: everything enqueued was processed,
+        // dropped at the queue bound, or is still sitting in the queue.
+        EXPECT_EQ(s.enqueued, s.processed + s.drops + layer.queue_len())
             << h->name() << "/" << layer.name();
       }
+      // The published metrics must agree with the raw counters — the obs
+      // bridge is how post-mortems read these numbers.
+      obs::Registry reg;
+      obs::publish_host(reg, *h);
+      const obs::Snapshot snap = reg.snapshot();
+      EXPECT_DOUBLE_EQ(snap.value(h->name() + ".graph.injected"),
+                       static_cast<double>(gs.injected))
+          << h->name();
+      EXPECT_DOUBLE_EQ(snap.value(h->name() + ".graph.shed_entry"),
+                       static_cast<double>(gs.shed_entry))
+          << h->name();
     }
   }
 };

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "buf/packet.hpp"
+#include "common/rng.hpp"
 #include "core/blocking.hpp"
 #include "core/grouping.hpp"
 #include "core/stack_graph.hpp"
@@ -251,6 +252,93 @@ TEST(Grouping, HeterogeneousSizes) {
 
 TEST(Grouping, EmptyStack) {
   EXPECT_TRUE(plan_groups({}, 8192).empty());
+}
+
+// Property-based check of the blocking estimate over randomised footprints
+// and cache geometries (deterministic seed): the invariants the scheduler
+// relies on, not specific arithmetic points.
+TEST(Blocking, PropertiesOverRandomFootprints) {
+  Rng rng(20260806);
+  const sim::CacheConfig icache{8 * 1024, 32, 1};
+  for (int trial = 0; trial < 500; ++trial) {
+    StackFootprint fp;
+    fp.num_layers = 1 + static_cast<std::uint32_t>(rng() % 12);
+    fp.layer_code_bytes = 512 + static_cast<std::uint32_t>(rng() % 16384);
+    fp.layer_data_bytes = static_cast<std::uint32_t>(rng() % 2048);
+    fp.message_bytes = 1 + static_cast<std::uint32_t>(rng() % 4096);
+    const std::uint32_t dcache_bytes =
+        1024u << (rng() % 7);  // 1 KB .. 64 KB
+    const sim::CacheConfig dcache{dcache_bytes, 32, 1};
+    const auto est = estimate_blocking(fp, icache, dcache);
+
+    // Always a usable batch bound.
+    ASSERT_GE(est.batch_limit, 1u) << "trial " << trial;
+
+    // Monotone: a strictly larger D-cache never shrinks the batch.
+    const sim::CacheConfig bigger{dcache_bytes * 2, 32, 1};
+    const auto est2 = estimate_blocking(fp, icache, bigger);
+    EXPECT_GE(est2.batch_limit, est.batch_limit) << "trial " << trial;
+
+    // Degenerate: one message alone overflowing the D-cache forces 1.
+    if (fp.message_bytes >= dcache_bytes)
+      EXPECT_EQ(est.batch_limit, 1u) << "trial " << trial;
+  }
+}
+
+// Regression test for the stale-counter bug class: re-running a graph
+// after reset_stats() must reproduce a fresh graph's totals exactly —
+// shed_entry/shed_depth and the per-layer counters must not carry over.
+TEST(StackGraph, ResetStatsClearsBetweenRuns) {
+  const auto drive = [](TwoLayerFixture& fx) {
+    fx.graph.set_mode(SchedMode::kLdlp);
+    fx.graph.set_backlog_limit(3);
+    for (std::uint64_t i = 0; i < 5; ++i)
+      fx.graph.inject(fx.id1, fx.msg(i));  // 2 of 5 shed at entry
+    (void)fx.graph.run();
+  };
+
+  TwoLayerFixture fresh;
+  drive(fresh);
+  const GraphStats want = fresh.graph.graph_stats();
+  EXPECT_EQ(want.injected, 5u);
+  EXPECT_EQ(want.shed_entry, 2u);
+  EXPECT_EQ(want.runs, 1u);
+
+  TwoLayerFixture reused;
+  drive(reused);
+  reused.journal.clear();
+  reused.graph.reset_stats();
+  EXPECT_EQ(reused.graph.graph_stats().injected, 0u);
+  EXPECT_EQ(reused.l1.stats().enqueued, 0u);
+  EXPECT_EQ(reused.graph.drain_stats().count(), 0u);
+
+  drive(reused);
+  const GraphStats& got = reused.graph.graph_stats();
+  EXPECT_EQ(got.injected, want.injected);
+  EXPECT_EQ(got.shed_entry, want.shed_entry);
+  EXPECT_EQ(got.shed_depth, want.shed_depth);
+  EXPECT_EQ(got.delivered_top, want.delivered_top);
+  EXPECT_EQ(got.runs, want.runs);
+  EXPECT_EQ(reused.l1.stats().enqueued, fresh.l1.stats().enqueued);
+  EXPECT_EQ(reused.l1.stats().processed, fresh.l1.stats().processed);
+  EXPECT_EQ(reused.l2.stats().processed, fresh.l2.stats().processed);
+  EXPECT_EQ(reused.graph.drain_stats().count(),
+            fresh.graph.drain_stats().count());
+}
+
+// The per-layer conservation law the chaos invariants build on.
+TEST(StackGraph, LayerEnqueueConservation) {
+  TwoLayerFixture fx;
+  fx.graph.set_mode(SchedMode::kLdlp);
+  for (std::uint64_t i = 0; i < 7; ++i) fx.graph.inject(fx.id1, fx.msg(i));
+  (void)fx.graph.run();
+  for (const Layer* layer : {&fx.l1, &fx.l2}) {
+    const LayerStats& s = layer->stats();
+    EXPECT_EQ(s.enqueued, s.processed + s.drops + layer->queue_len())
+        << layer->name();
+  }
+  const GraphStats& gs = fx.graph.graph_stats();
+  EXPECT_EQ(gs.injected, gs.shed_entry + fx.l1.stats().enqueued);
 }
 
 }  // namespace

@@ -1,0 +1,272 @@
+// ldlp::obs — registry, JSON model, snapshot schema (golden file), bench
+// result round-trip and the compare rule that drives the perf gate.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/stack_graph.hpp"
+#include "obs/bench_result.hpp"
+#include "obs/bridge.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "stack/host.hpp"
+#include "wire/ipv4.hpp"
+
+#ifndef LDLP_GOLDEN_DIR
+#define LDLP_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace {
+
+using namespace ldlp;
+
+// ---------------------------------------------------------------- registry
+
+TEST(ObsRegistry, CounterGaugeBasics) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("msgs");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(&reg.counter("msgs"), &c) << "register-once must find, not dup";
+
+  obs::Gauge& g = reg.gauge("depth");
+  g.set(3.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  EXPECT_EQ(reg.size(), 2u);
+
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(reg.size(), 2u) << "reset zeroes values, keeps names";
+}
+
+TEST(ObsRegistry, HistogramPercentiles) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("lat", 1e-6, 10.0, 40);
+  for (int i = 1; i <= 100; ++i) h.add(i * 1e-3);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.mean(), 0.0505, 0.0005);
+  // Log-bucketed: bounded relative error, not exact.
+  EXPECT_NEAR(h.p50(), 0.050, 0.050 * 0.10);
+  EXPECT_NEAR(h.p99(), 0.099, 0.099 * 0.10);
+  EXPECT_GE(h.max(), 0.1 - 1e-12);
+}
+
+TEST(ObsRegistry, SnapshotSortedAndTyped) {
+  obs::Registry reg;
+  reg.counter("z.last").add(1);
+  reg.gauge("a.first").set(2.0);
+  reg.histogram("m.mid").add(0.5);
+
+  const obs::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  EXPECT_EQ(snap.entries[0].name, "a.first");
+  EXPECT_EQ(snap.entries[1].name, "m.mid");
+  EXPECT_EQ(snap.entries[2].name, "z.last");
+  EXPECT_EQ(snap.entries[0].kind, obs::MetricKind::kGauge);
+  EXPECT_EQ(snap.entries[1].kind, obs::MetricKind::kHistogram);
+  EXPECT_EQ(snap.entries[2].kind, obs::MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(snap.value("a.first"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.value("z.last"), 1.0);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+}
+
+// -------------------------------------------------------------------- json
+
+TEST(ObsJson, RoundTripPreservesValuesAndOrder) {
+  obs::Json obj = obs::Json::object();
+  obj.set("schema", obs::Json("test.v1"));
+  obj.set("count", obs::Json(std::uint64_t{42}));
+  obj.set("ratio", obs::Json(0.1));
+  obj.set("label", obs::Json("a \"quoted\"\nstring"));
+  obs::Json arr = obs::Json::array();
+  arr.push_back(obs::Json(1.5));
+  arr.push_back(obs::Json(true));
+  arr.push_back(obs::Json());
+  obj.set("items", std::move(arr));
+
+  const std::string text = obj.dump(2);
+  std::string error;
+  const auto parsed = obs::Json::parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->dump(2), text) << "round trip must be byte-stable";
+  EXPECT_EQ(parsed->string_at("schema"), "test.v1");
+  EXPECT_EQ(parsed->number_at("count"), 42.0);
+  EXPECT_EQ(parsed->number_at("ratio"), 0.1);
+  ASSERT_EQ(parsed->members().size(), 5u);
+  EXPECT_EQ(parsed->members()[0].first, "schema");
+  EXPECT_EQ(parsed->members()[4].first, "items");
+}
+
+TEST(ObsJson, ParseRejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(obs::Json::parse("{", &error).has_value());
+  EXPECT_FALSE(obs::Json::parse("{\"a\":1} trailing", &error).has_value());
+  EXPECT_FALSE(obs::Json::parse("{'a':1}", &error).has_value());
+  EXPECT_FALSE(obs::Json::parse("", &error).has_value());
+}
+
+TEST(ObsJson, NumbersEmitShortestRoundTrip) {
+  EXPECT_EQ(obs::Json(0.1).dump(), "0.1");
+  EXPECT_EQ(obs::Json(1e-7).dump(), obs::Json::parse("1e-07")->dump());
+  EXPECT_EQ(obs::Json(std::uint64_t{960}).dump(), "960");
+  EXPECT_EQ(obs::Json(3.0).dump(), "3");  // whole doubles print as integers
+}
+
+// ------------------------------------------------------------- golden file
+
+std::string golden_path() {
+  return std::string(LDLP_GOLDEN_DIR) + "/obs_snapshot.json";
+}
+
+/// A deterministic registry covering all three metric kinds.
+obs::Snapshot reference_snapshot() {
+  obs::Registry reg;
+  reg.counter("graph.injected").set(1000);
+  reg.counter("graph.shed_entry").set(17);
+  reg.gauge("graph.layer.tcp.mean_batch").set(6.25);
+  obs::Histogram& h = reg.histogram("graph.drain_sec", 1e-7, 1e3, 20);
+  for (int i = 1; i <= 32; ++i) h.add(i * 125e-6);
+  return reg.snapshot();
+}
+
+TEST(ObsGolden, SnapshotJsonMatchesGoldenFile) {
+  const std::string text = reference_snapshot().to_json().dump(2) + "\n";
+
+  if (std::getenv("LDLP_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    out << text;
+    ASSERT_TRUE(out.good()) << "could not rewrite " << golden_path();
+    GTEST_SKIP() << "golden file updated";
+  }
+
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " — regenerate with LDLP_UPDATE_GOLDEN=1";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), text)
+      << "snapshot JSON schema drifted; if intentional, regenerate with "
+         "LDLP_UPDATE_GOLDEN=1 test_obs and commit the diff";
+
+  // The golden file itself must parse and carry the schema marker.
+  std::string error;
+  const auto parsed = obs::Json::parse(buffer.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->string_at("schema"), obs::Snapshot::kSchema);
+}
+
+TEST(ObsSnapshot, CsvHasHeaderAndOneRowPerMetric) {
+  const obs::Snapshot snap = reference_snapshot();
+  const std::string csv = snap.to_csv();
+  std::size_t lines = 0;
+  for (const char c : csv)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 1 + snap.entries.size());
+  EXPECT_EQ(csv.rfind("name,type,value,mean,p50,p95,p99,max\n", 0), 0u);
+}
+
+// ------------------------------------------------------------ bench result
+
+TEST(ObsBenchResult, JsonRoundTrip) {
+  obs::BenchResult r;
+  r.name = "unit";
+  r.tolerance = 0.02;
+  r.set_config("seed", "42");
+  r.set_metric("a.lat", 1.25e-3);
+  r.set_metric("b.count", 960.0);
+
+  std::string error;
+  const auto back = obs::BenchResult::from_json(r.to_json(), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->name, "unit");
+  EXPECT_DOUBLE_EQ(back->tolerance, 0.02);
+  EXPECT_EQ(back->metric("a.lat"), 1.25e-3);
+  EXPECT_EQ(back->metric("b.count"), 960.0);
+  EXPECT_EQ(back->config.size(), 1u);
+  EXPECT_EQ(back->file_name(), "BENCH_unit.json");
+}
+
+TEST(ObsBenchResult, CompareRule) {
+  obs::BenchResult base;
+  base.name = "gate";
+  base.tolerance = 0.10;
+  base.set_metric("lat", 100.0);
+  base.set_metric("miss", 50.0);
+
+  obs::BenchResult ok = base;
+  ok.metrics.clear();
+  ok.set_metric("lat", 109.0);   // +9% — inside
+  ok.set_metric("miss", 46.0);   // -8% — inside
+  ok.set_metric("extra", 1.0);   // additions pass
+  EXPECT_TRUE(obs::compare_results(base, ok).pass);
+
+  obs::BenchResult drift = ok;
+  drift.metrics.clear();
+  drift.set_metric("lat", 112.0);  // +12% — outside
+  drift.set_metric("miss", 50.0);
+  const auto report = obs::compare_results(base, drift);
+  EXPECT_FALSE(report.pass);
+  EXPECT_NE(report.describe().find("lat"), std::string::npos);
+
+  obs::BenchResult missing = base;
+  missing.metrics.clear();
+  missing.set_metric("lat", 100.0);  // "miss" gone
+  EXPECT_FALSE(obs::compare_results(base, missing).pass);
+
+  // Tolerance override loosens the gate without editing the baseline.
+  EXPECT_TRUE(obs::compare_results(base, drift, 0.20).pass);
+}
+
+// ----------------------------------------------------------------- bridge
+
+TEST(ObsBridge, PublishHostIsIdempotent) {
+  stack::HostConfig ca;
+  ca.name = "a";
+  ca.mac = {2, 0, 0, 0, 0, 1};
+  ca.ip = wire::ip_from_parts(10, 0, 0, 1);
+  stack::HostConfig cb = ca;
+  cb.name = "b";
+  cb.mac = {2, 0, 0, 0, 0, 2};
+  cb.ip = wire::ip_from_parts(10, 0, 0, 2);
+  stack::Host a(ca);
+  stack::Host b(cb);
+  stack::NetDevice::connect(a.device(), b.device());
+
+  const auto sock = b.sockets().create(stack::SocketKind::kDatagram, 4096);
+  ASSERT_TRUE(b.udp().bind(9, sock));
+  const std::vector<std::uint8_t> payload(64, 0xab);
+  for (int round = 0; round < 4; ++round) {
+    a.udp().send(9, cb.ip, 9, payload);
+    a.pump();
+    b.pump();
+    a.pump();
+    b.pump();
+  }
+
+  obs::Registry reg;
+  obs::publish_host(reg, a);
+  obs::publish_host(reg, b);
+  const obs::Snapshot first = reg.snapshot();
+  EXPECT_GE(first.value("a.dev.tx_frames"), 1.0);
+  EXPECT_GE(first.value("b.udp.rx"), 1.0);
+  EXPECT_GE(first.value("b.graph.layer.udp.processed"), 1.0);
+
+  // Publishing again without new traffic must not inflate anything.
+  obs::publish_host(reg, a);
+  obs::publish_host(reg, b);
+  const obs::Snapshot second = reg.snapshot();
+  ASSERT_EQ(first.entries.size(), second.entries.size());
+  for (std::size_t i = 0; i < first.entries.size(); ++i)
+    EXPECT_DOUBLE_EQ(first.entries[i].value, second.entries[i].value)
+        << first.entries[i].name;
+}
+
+}  // namespace

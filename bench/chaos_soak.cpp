@@ -1,17 +1,33 @@
-// Chaos soak: the chaos-test scenarios run standalone over a wide seed
-// range — a TCP transfer and a DNS lookup storm per seed, both under
-// random fault plans on both hosts. Each seed prints PASS/FAIL with the
-// full episode schedule on failure; any failing seed reproduces exactly
-// with `chaos_soak --seed=<n> --seeds=1 --verbose=1` (or by adding it to
-// the seed range of tests/test_chaos.cpp). Exit status is nonzero when
-// any seed fails, so the soak slots into CI.
+// Chaos soak: the chaos scenarios run standalone over a wide seed range
+// with full conformance checking. Every run is driven by an explicit
+// check::Schedule (scenario + seed + per-host fault plans), judged by
+// ldlp::check oracles — exactly-once in-order byte-exact TCP delivery,
+// at-most-once integral UDP datagrams — and audited after every
+// scheduler pass by per-host invariant checkers (TCP sequence pointers,
+// reassembly table, ARP accounting).
+//
+// On failure the harness serialises the run's schedule, delta-debugs it
+// down to a minimal still-failing episode set (check::shrink), and writes
+// the result as ldlp.schedule.v1 JSON. Any such file — or any hand-edited
+// schedule — replays exactly with:
+//
+//   chaos_soak --replay=<schedule.json>
+//
+// Seed-range soaks use --seed_lo=<n> --seed_hi=<n> (half-open). Failing
+// seeds are listed in BENCH_chaos_soak.json under config.failing_seeds.
+// Exit status is nonzero when any seed fails, so the soak slots into CI.
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "check/invariants.hpp"
+#include "check/oracle.hpp"
+#include "check/schedule.hpp"
+#include "check/shrink.hpp"
 #include "dns/resolver.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
@@ -28,6 +44,7 @@ struct SoakResult {
   bool pass = true;
   std::string why;
   std::string detail;  ///< Extra diagnostics printed under the reason.
+  std::vector<std::string> violations;  ///< Oracle + auditor findings.
 
   void fail(std::string reason) {
     if (pass) why = std::move(reason);
@@ -35,17 +52,74 @@ struct SoakResult {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Schedules: the canonical per-seed adversity for each scenario. The TCP
+// and DNS scenarios draw independent plans (DNS perturbs the seed) so one
+// soak seed exercises two distinct fault timelines.
+
+check::Schedule make_tcp_schedule(std::uint64_t seed) {
+  check::Schedule s;
+  s.scenario = "tcp";
+  s.seed = seed;
+  s.injectors.push_back({"a", seed * 2 + 1,
+                         fault::FaultPlan::random(seed, kHorizon)});
+  s.injectors.push_back({"b", seed * 2 + 2,
+                         fault::FaultPlan::random(seed ^ 0xbeefULL, kHorizon)});
+  return s;
+}
+
+check::Schedule make_dns_schedule(std::uint64_t seed) {
+  const std::uint64_t base = seed ^ 0xd15ULL;
+  check::Schedule s;
+  s.scenario = "dns";
+  s.seed = seed;
+  s.injectors.push_back({"a", base * 2 + 1,
+                         fault::FaultPlan::random(base, kHorizon)});
+  s.injectors.push_back({"b", base * 2 + 2,
+                         fault::FaultPlan::random(base ^ 0xbeefULL, kHorizon)});
+  return s;
+}
+
+/// Slow-reader TCP: a bigger transfer against an application that drains
+/// its socket in a trickle, so the receive buffer rides against hiwat.
+/// This is the regime where LDLP's deferred sbappend makes the advertised
+/// window momentarily stale — ACKs computed mid-batch overstate the
+/// socket room — and the overshoot-handling in SocketLayer::process()
+/// earns its keep.
+check::Schedule make_tcp_slow_schedule(std::uint64_t seed) {
+  const std::uint64_t base = seed ^ 0x51deULL;
+  check::Schedule s;
+  s.scenario = "tcp-slow";
+  s.seed = seed;
+  s.injectors.push_back({"a", base * 2 + 1,
+                         fault::FaultPlan::random(base, kHorizon)});
+  s.injectors.push_back({"b", base * 2 + 2,
+                         fault::FaultPlan::random(base ^ 0xbeefULL, kHorizon)});
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+
 struct Net {
   std::unique_ptr<stack::Host> a;
   std::unique_ptr<stack::Host> b;
-  std::unique_ptr<fault::FaultInjector> fault_a;
-  std::unique_ptr<fault::FaultInjector> fault_b;
+  std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
 
-  explicit Net(std::uint64_t seed) {
+  explicit Net(const check::Schedule& schedule) {
     stack::HostConfig ca;
     ca.name = "a";
     ca.mac = {2, 0, 0, 0, 0, 1};
     ca.ip = ip_from_parts(10, 0, 0, 1);
+    // A small pool keeps allocation-failure paths hot: pool-exhaustion
+    // episodes leave the stack genuinely starved rather than nibbling at
+    // an 8k-mbuf cushion, so recovery code runs on many seeds.
+    ca.pool_mbufs = 384;
+    ca.pool_clusters = 96;
+    // LDLP scheduling: the whole RX backlog is injected (holding mbufs)
+    // before any layer runs, so deferred delivery races — stale advertised
+    // windows, allocation failure mid-batch — actually occur. The
+    // conventional path gets its chaos coverage from tests/test_chaos.cpp.
+    ca.mode = core::SchedMode::kLdlp;
     stack::HostConfig cb = ca;
     cb.name = "b";
     cb.mac = {2, 0, 0, 0, 0, 2};
@@ -53,12 +127,14 @@ struct Net {
     a = std::make_unique<stack::Host>(ca);
     b = std::make_unique<stack::Host>(cb);
     stack::NetDevice::connect(a->device(), b->device());
-    fault_a = std::make_unique<fault::FaultInjector>(
-        fault::FaultPlan::random(seed, kHorizon), seed * 2 + 1);
-    fault_b = std::make_unique<fault::FaultInjector>(
-        fault::FaultPlan::random(seed ^ 0xbeefULL, kHorizon), seed * 2 + 2);
-    a->attach_fault(fault_a.get());
-    b->attach_fault(fault_b.get());
+    for (const check::InjectorSpec& spec : schedule.injectors) {
+      stack::Host* host =
+          spec.host == "a" ? a.get() : spec.host == "b" ? b.get() : nullptr;
+      if (host == nullptr) continue;  // shrunk/foreign spec: ignore
+      injectors.push_back(
+          std::make_unique<fault::FaultInjector>(spec.plan, spec.rng_seed));
+      host->attach_fault(injectors.back().get());
+    }
   }
 
   ~Net() {
@@ -75,14 +151,17 @@ struct Net {
     b->pump();
   }
 
+  [[nodiscard]] bool faults_cleared() const {
+    for (const auto& injector : injectors)
+      if (!injector->faults_cleared()) return false;
+    return true;
+  }
+
   /// Post-scenario invariants shared by both scenarios: faults cleared,
   /// graphs drained, queue occupancy within bounds, pools leak-free.
   void check(SoakResult& r) {
-    for (int i = 0;
-         i < 80 && !(fault_a->faults_cleared() && fault_b->faults_cleared());
-         ++i)
-      tick(0.1);
-    if (!fault_a->faults_cleared() || !fault_b->faults_cleared())
+    for (int i = 0; i < 80 && !faults_cleared(); ++i) tick(0.1);
+    if (!faults_cleared())
       r.fail("faults never cleared (delayed frames or held mbufs remain)");
     a->attach_fault(nullptr);
     b->attach_fault(nullptr);
@@ -103,14 +182,50 @@ struct Net {
   }
 };
 
-SoakResult soak_tcp(std::uint64_t seed) {
+/// Fold conformance findings into the scenario result.
+void collect(SoakResult& r, const check::DeliveryOracle& oracle,
+             const check::HostAuditor& aud_a,
+             const check::HostAuditor& aud_b) {
+  for (const std::string& v : oracle.violations()) {
+    r.fail("delivery oracle: " + v);
+    r.violations.push_back("oracle: " + v);
+  }
+  for (const check::HostAuditor* aud : {&aud_a, &aud_b}) {
+    for (const std::string& v : aud->violations()) {
+      r.fail("invariant auditor: " + v);
+      r.violations.push_back("audit: " + v);
+    }
+  }
+}
+
+SoakResult run_tcp(const check::Schedule& schedule,
+                   std::size_t payload_bytes, std::size_t read_chunk) {
   SoakResult r;
-  Net net(seed);
+  const std::uint64_t seed = schedule.seed;
+  Net net(schedule);
+  check::HostAuditor aud_a(*net.a);
+  check::HostAuditor aud_b(*net.b);
+  aud_a.install();
+  aud_b.install();
+
+  check::DeliveryOracle oracle;
+  const auto flow = oracle.open_stream("a->b");
+  net.b->sockets().set_tap(&oracle);
+
   stack::PcbId accepted = stack::kNoPcb;
-  net.b->tcp().set_accept_hook([&accepted](stack::PcbId id) { accepted = id; });
+  net.b->tcp().set_accept_hook([&](stack::PcbId id) {
+    if (accepted == stack::kNoPcb) {
+      accepted = id;
+      oracle.bind_stream_rx(flow, net.b->tcp().socket_of(id));
+    }
+  });
   (void)net.b->tcp().listen(80);
   const stack::PcbId conn =
       net.a->tcp().connect(ip_from_parts(10, 0, 0, 2), 80);
+  net.a->tcp().set_send_tap(
+      [&](stack::PcbId id, std::span<const std::uint8_t> bytes) {
+        if (id == conn) oracle.stream_sent(flow, bytes);
+      });
   for (int i = 0; i < 1600 &&
                   net.a->tcp().state(conn) != stack::TcpState::kEstablished;
        ++i)
@@ -119,20 +234,28 @@ SoakResult soak_tcp(std::uint64_t seed) {
     r.fail("TCP never established");
     return r;
   }
-  std::vector<std::uint8_t> payload(8000);
+  std::vector<std::uint8_t> payload(payload_bytes);
   for (std::size_t i = 0; i < payload.size(); ++i)
     payload[i] = static_cast<std::uint8_t>(i * 31 + seed);
-  if (!net.a->tcp().send(conn, payload)) r.fail("send refused");
+  // The send buffer may be smaller than the payload; feed it as the
+  // connection drains.
+  std::size_t queued = 0;
   std::vector<std::uint8_t> got;
-  for (int i = 0; i < 1600 && got.size() < payload.size(); ++i) {
+  for (int i = 0; i < 2400 && got.size() < payload.size(); ++i) {
+    if (queued < payload.size()) {
+      const std::span<const std::uint8_t> rest(payload.data() + queued,
+                                               payload.size() - queued);
+      if (net.a->tcp().send(conn, rest)) queued = payload.size();
+    }
     net.tick(0.05);
     if (accepted == stack::kNoPcb) continue;
-    std::vector<std::uint8_t> chunk(2000);
+    std::vector<std::uint8_t> chunk(read_chunk);
     const std::size_t n =
         net.b->sockets().read(net.b->tcp().socket_of(accepted), chunk);
     got.insert(got.end(), chunk.begin(),
                chunk.begin() + static_cast<std::ptrdiff_t>(n));
   }
+  if (queued != payload.size()) r.fail("send refused");
   if (got != payload) {
     r.fail("stream not delivered intact");
     std::size_t diff = 0;
@@ -148,34 +271,37 @@ SoakResult soak_tcp(std::uint64_t seed) {
                std::to_string(net.a->tcp().pcb_stats(conn).retransmits) +
                " bad_cksum=" +
                std::to_string(net.a->tcp().tcp_stats().bad_checksum) +
-               " segs_out=" +
-               std::to_string(net.a->tcp().pcb_stats(conn).segs_out) +
-               " segs_in=" +
-               std::to_string(net.a->tcp().pcb_stats(conn).segs_in) +
                "; b: bad_cksum=" +
                std::to_string(net.b->tcp().tcp_stats().bad_checksum) +
                " dev_rx_drops=" +
                std::to_string(net.b->device().stats().rx_drops) +
-               " accepted=" +
-               (accepted == stack::kNoPcb
-                    ? std::string("none")
-                    : "pcb" + std::to_string(accepted) + " state=" +
-                          std::to_string(static_cast<int>(
-                              net.b->tcp().state(accepted))) +
-                          " segs_in=" +
-                          std::to_string(
-                              net.b->tcp().pcb_stats(accepted).segs_in));
+               " shed=" +
+               std::to_string(net.b->graph().graph_stats().shed_entry) + "/" +
+               std::to_string(net.b->graph().graph_stats().shed_depth);
+    for (std::size_t li = 0; li < net.b->graph().layer_count(); ++li) {
+      const core::Layer& l =
+          net.b->graph().layer(static_cast<core::LayerId>(li));
+      r.detail += " " + l.name() + ":d" + std::to_string(l.stats().drops);
+    }
   }
   net.a->tcp().close(conn);
   if (accepted != stack::kNoPcb) net.b->tcp().close(accepted);
   for (int i = 0; i < 8; ++i) net.tick(1.0);
   net.check(r);
+  (void)oracle.finalize();
+  collect(r, oracle, aud_a, aud_b);
+  net.b->sockets().set_tap(nullptr);
   return r;
 }
 
-SoakResult soak_dns(std::uint64_t seed) {
+SoakResult run_dns(const check::Schedule& schedule) {
   SoakResult r;
-  Net net(seed ^ 0xd15ULL);
+  Net net(schedule);
+  check::HostAuditor aud_a(*net.a);
+  check::HostAuditor aud_b(*net.b);
+  aud_a.install();
+  aud_b.install();
+
   dns::DnsServer server(*net.b);
   constexpr int kNames = 8;
   for (int i = 0; i < kNames; ++i)
@@ -184,6 +310,34 @@ SoakResult soak_dns(std::uint64_t seed) {
   dns::DnsResolver::Config cfg;
   cfg.server_ip = ip_from_parts(10, 0, 0, 2);
   dns::DnsResolver resolver(*net.a, cfg);
+
+  // Datagram oracles, one per direction: queries a->b, responses b->a.
+  // The wire may legally duplicate under duplicate (or reorder: a frame
+  // can be cloned then displaced) episodes, so re-delivery is tolerated
+  // exactly when the schedule says so; byte-exactness never is.
+  check::DeliveryOracle to_server;   // taps b's socket layer
+  check::DeliveryOracle to_resolver;  // taps a's socket layer
+  const bool wire_duplicates =
+      schedule.has_kind(fault::FaultKind::kDuplicate);
+  to_server.set_allow_duplicates(wire_duplicates);
+  to_resolver.set_allow_duplicates(wire_duplicates);
+  const auto queries = to_server.open_datagram("dns.query");
+  const auto responses = to_resolver.open_datagram("dns.response");
+  to_server.bind_datagram_rx(queries, server.socket());
+  to_resolver.bind_datagram_rx(responses, resolver.socket());
+  net.b->sockets().set_tap(&to_server);
+  net.a->sockets().set_tap(&to_resolver);
+  net.a->udp().set_send_tap([&](std::uint16_t, std::uint32_t,
+                                std::uint16_t dst_port,
+                                std::span<const std::uint8_t> payload) {
+    if (dst_port == dns::kDnsPort) to_server.datagram_sent(queries, payload);
+  });
+  net.b->udp().set_send_tap([&](std::uint16_t src_port, std::uint32_t,
+                                std::uint16_t,
+                                std::span<const std::uint8_t> payload) {
+    if (src_port == dns::kDnsPort)
+      to_resolver.datagram_sent(responses, payload);
+  });
 
   std::vector<std::optional<std::uint32_t>> results(kNames);
   std::vector<bool> outstanding(kNames, false);
@@ -222,98 +376,159 @@ SoakResult soak_dns(std::uint64_t seed) {
   if (!r.pass) {
     const dns::ResolverStats& rs = resolver.stats();
     r.detail = "resolver: lookups=" + std::to_string(rs.lookups) +
-               " cache_hits=" + std::to_string(rs.cache_hits) +
-               " neg_hits=" + std::to_string(rs.negative_hits) +
                " sent=" + std::to_string(rs.queries_sent) +
                " retries=" + std::to_string(rs.retries) +
                " answers=" + std::to_string(rs.answers) +
                " failures=" + std::to_string(rs.failures) +
-               " inflight=" + std::to_string(resolver.inflight()) +
                "; server: queries=" + std::to_string(server.stats().queries) +
                " answered=" + std::to_string(server.stats().answered) +
                " malformed=" + std::to_string(server.stats().malformed);
-    for (stack::Host* h : {net.a.get(), net.b.get()}) {
-      const stack::NetDeviceStats& d = h->device().stats();
-      const stack::EthLayerStats& e = h->eth().eth_stats();
-      const stack::IpStats& ip = h->ip().ip_stats();
-      r.detail += "\n  " + h->name() +
-                  ": dev tx=" + std::to_string(d.tx_frames) +
-                  " rx=" + std::to_string(d.rx_frames) +
-                  " rx_drops=" + std::to_string(d.rx_drops) +
-                  " tx_drops=" + std::to_string(d.tx_drops) +
-                  " ring=" + std::to_string(h->device().rx_pending()) +
-                  "; eth rx_ip=" + std::to_string(e.rx_ip) +
-                  " rx_arp=" + std::to_string(e.rx_arp) +
-                  " rx_dropped=" + std::to_string(e.rx_dropped) +
-                  " arp_held=" + std::to_string(e.tx_arp_held) +
-                  "; arp parked=" + std::to_string(h->eth().arp().stats().parked) +
-                  " park_drops=" +
-                  std::to_string(h->eth().arp().stats().park_drops) +
-                  " req_ok=" +
-                  std::to_string(h->eth().arp().stats().requests_allowed) +
-                  "; ip rx=" + std::to_string(ip.rx) +
-                  " rx_bad=" + std::to_string(ip.rx_bad);
-    }
   }
   net.check(r);
+  (void)to_server.finalize();
+  (void)to_resolver.finalize();
+  collect(r, to_server, aud_a, aud_b);
+  for (const std::string& v : to_resolver.violations()) {
+    r.fail("delivery oracle: " + v);
+    r.violations.push_back("oracle: " + v);
+  }
+  net.a->sockets().set_tap(nullptr);
+  net.b->sockets().set_tap(nullptr);
   return r;
+}
+
+SoakResult run_schedule(const check::Schedule& schedule) {
+  if (schedule.scenario == "tcp")
+    return run_tcp(schedule, /*payload_bytes=*/8000, /*read_chunk=*/2000);
+  if (schedule.scenario == "tcp-slow")
+    return run_tcp(schedule, /*payload_bytes=*/24000, /*read_chunk=*/900);
+  if (schedule.scenario == "dns") return run_dns(schedule);
+  SoakResult r;
+  r.fail("unknown scenario '" + schedule.scenario + "'");
+  return r;
+}
+
+void print_failure(const SoakResult& r, const check::Schedule& schedule) {
+  std::printf("  %s failure: %s\n", schedule.scenario.c_str(), r.why.c_str());
+  if (!r.detail.empty()) std::printf("  %s\n", r.detail.c_str());
+  for (const std::string& v : r.violations)
+    std::printf("    %s\n", v.c_str());
+  for (const check::InjectorSpec& spec : schedule.injectors)
+    std::printf("  %s plan (rng seed %llu):\n%s", spec.host.c_str(),
+                static_cast<unsigned long long>(spec.rng_seed),
+                spec.plan.describe().c_str());
+}
+
+/// Shrink a failing schedule and write the minimal reproducer next to the
+/// bench report. Returns the written path (empty on save failure).
+std::string shrink_and_save(const check::Schedule& failing,
+                            const std::string& out_dir) {
+  const check::ShrinkResult minimal = check::shrink(
+      failing,
+      [](const check::Schedule& candidate) {
+        return !run_schedule(candidate).pass;
+      });
+  std::printf(
+      "  shrink: %zu -> %zu episodes in %zu runs%s\n",
+      minimal.episodes_before, minimal.episodes_after, minimal.runs,
+      minimal.converged ? "" : " (run budget hit; may not be 1-minimal)");
+  const std::string path = out_dir + "/chaos_" + failing.scenario + "_seed" +
+                           std::to_string(failing.seed) + ".schedule.json";
+  if (!minimal.schedule.save(path)) {
+    std::printf("  warning: could not write %s\n", path.c_str());
+    return {};
+  }
+  std::printf("  minimal schedule: %s\n  reproduce: chaos_soak --replay=%s\n",
+              path.c_str(), path.c_str());
+  return path;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   benchutil::Flags flags(argc, argv);
-  const std::uint64_t first_seed = flags.u64("seed", 1);
-  const std::uint64_t seeds = flags.u64("seeds", 32);
-  const bool verbose = flags.u64("verbose", 0) != 0;
-  ldlp::benchutil::BenchReport report("chaos_soak", flags);
-  report.config_u64("seed", first_seed);
-  report.config_u64("seeds", seeds);
 
-  benchutil::heading("Chaos soak: TCP + DNS under seeded fault schedules");
+  // --replay runs one serialised schedule and reports, nothing else.
+  const char* replay = flags.str("replay", nullptr);
+  if (replay != nullptr) {
+    std::string error;
+    const auto schedule = check::Schedule::load(replay, &error);
+    if (!schedule.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("replaying %s: scenario %s, seed %llu, %zu episodes\n",
+                replay, schedule->scenario.c_str(),
+                static_cast<unsigned long long>(schedule->seed),
+                schedule->episode_count());
+    const SoakResult r = run_schedule(*schedule);
+    std::printf("%s\n", r.pass ? "PASS" : "FAIL");
+    if (!r.pass) print_failure(r, *schedule);
+    return r.pass ? 0 : 1;
+  }
+
+  // Seed range: --seed_lo/--seed_hi (half-open); --seed/--seeds remain as
+  // aliases so existing reproduce lines keep working.
+  const std::uint64_t seed_lo = flags.u64("seed_lo", flags.u64("seed", 1));
+  const std::uint64_t seed_hi =
+      flags.u64("seed_hi", seed_lo + flags.u64("seeds", 32));
+  const std::uint64_t seeds = seed_hi > seed_lo ? seed_hi - seed_lo : 0;
+  const bool verbose = flags.u64("verbose", 0) != 0;
+  const bool no_shrink = flags.u64("no_shrink", 0) != 0;
+  const std::string out_dir = flags.str("out_dir", ".");
+  std::error_code mkdir_ec;
+  std::filesystem::create_directories(out_dir, mkdir_ec);
+  ldlp::benchutil::BenchReport report("chaos_soak", flags);
+  report.config_u64("seed_lo", seed_lo);
+  report.config_u64("seed_hi", seed_hi);
+
+  benchutil::heading(
+      "Chaos soak: TCP + DNS under seeded fault schedules, oracle-checked");
   std::printf("seeds [%llu, %llu); horizon %.1f s per plan\n\n",
-              static_cast<unsigned long long>(first_seed),
-              static_cast<unsigned long long>(first_seed + seeds), kHorizon);
+              static_cast<unsigned long long>(seed_lo),
+              static_cast<unsigned long long>(seed_hi), kHorizon);
 
   std::uint64_t failures = 0;
   std::uint64_t tcp_failures = 0;
   std::uint64_t dns_failures = 0;
-  for (std::uint64_t seed = first_seed; seed < first_seed + seeds; ++seed) {
-    const SoakResult tcp = soak_tcp(seed);
-    const SoakResult dns_r = soak_dns(seed);
-    const bool pass = tcp.pass && dns_r.pass;
-    if (!tcp.pass) ++tcp_failures;
+  std::string failing_seeds;
+  for (std::uint64_t seed = seed_lo; seed < seed_hi; ++seed) {
+    const check::Schedule tcp_schedule = make_tcp_schedule(seed);
+    const check::Schedule slow_schedule = make_tcp_slow_schedule(seed);
+    const check::Schedule dns_schedule = make_dns_schedule(seed);
+    const SoakResult tcp = run_schedule(tcp_schedule);
+    const SoakResult slow = run_schedule(slow_schedule);
+    const SoakResult dns_r = run_schedule(dns_schedule);
+    const bool pass = tcp.pass && slow.pass && dns_r.pass;
+    if (!tcp.pass || !slow.pass) ++tcp_failures;
     if (!dns_r.pass) ++dns_failures;
-    std::printf("seed %6llu  tcp:%s  dns:%s\n",
+    std::printf("seed %6llu  tcp:%s  tcp-slow:%s  dns:%s\n",
                 static_cast<unsigned long long>(seed),
-                tcp.pass ? "PASS" : "FAIL", dns_r.pass ? "PASS" : "FAIL");
+                tcp.pass ? "PASS" : "FAIL", slow.pass ? "PASS" : "FAIL",
+                dns_r.pass ? "PASS" : "FAIL");
     if (!pass || verbose) {
-      if (!tcp.pass) std::printf("  tcp failure: %s\n", tcp.why.c_str());
-      if (!tcp.detail.empty()) std::printf("  %s\n", tcp.detail.c_str());
-      if (!dns_r.pass) std::printf("  dns failure: %s\n", dns_r.why.c_str());
-      if (!dns_r.detail.empty())
-        std::printf("  %s\n", dns_r.detail.c_str());
-      // soak_dns derives its Net seed from the soak seed, so report the
-      // plans each scenario actually ran under.
-      const auto print_plans = [](const char* scenario, std::uint64_t s) {
-        for (const std::uint64_t ps :
-             {s, static_cast<std::uint64_t>(s ^ 0xbeefULL)})
-          std::printf("  %s plan (seed %llu):\n%s", scenario,
-                      static_cast<unsigned long long>(ps),
-                      fault::FaultPlan::random(ps, kHorizon)
-                          .describe()
-                          .c_str());
-      };
-      print_plans("tcp", seed);
-      print_plans("dns", seed ^ 0xd15ULL);
-      std::printf("  reproduce: chaos_soak --seed=%llu --seeds=1 --verbose=1\n",
-                  static_cast<unsigned long long>(seed));
+      if (!tcp.pass) print_failure(tcp, tcp_schedule);
+      if (!slow.pass) print_failure(slow, slow_schedule);
+      if (!dns_r.pass) print_failure(dns_r, dns_schedule);
+      if (!tcp.pass && !no_shrink) shrink_and_save(tcp_schedule, out_dir);
+      if (!slow.pass && !no_shrink) shrink_and_save(slow_schedule, out_dir);
+      if (!dns_r.pass && !no_shrink) shrink_and_save(dns_schedule, out_dir);
+      std::printf(
+          "  reproduce: chaos_soak --seed_lo=%llu --seed_hi=%llu "
+          "--verbose=1\n",
+          static_cast<unsigned long long>(seed),
+          static_cast<unsigned long long>(seed + 1));
     }
-    if (!pass) ++failures;
+    if (!pass) {
+      ++failures;
+      if (!failing_seeds.empty()) failing_seeds += ",";
+      failing_seeds += std::to_string(seed);
+    }
   }
   std::printf("\n%llu/%llu seeds passed\n",
               static_cast<unsigned long long>(seeds - failures),
               static_cast<unsigned long long>(seeds));
+  report.config("failing_seeds", failing_seeds);
   report.tolerance(0.0);  // pass/fail counts must match exactly
   report.metric("seeds_run", static_cast<double>(seeds));
   report.metric("seeds_failed", static_cast<double>(failures));

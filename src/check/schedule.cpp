@@ -1,0 +1,142 @@
+#include "check/schedule.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace ldlp::check {
+
+namespace {
+
+void fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+}
+
+}  // namespace
+
+std::size_t Schedule::episode_count() const noexcept {
+  std::size_t n = 0;
+  for (const InjectorSpec& spec : injectors) n += spec.plan.episodes().size();
+  return n;
+}
+
+bool Schedule::has_kind(fault::FaultKind kind) const noexcept {
+  for (const InjectorSpec& spec : injectors)
+    for (const fault::Episode& e : spec.plan.episodes())
+      if (e.kind == kind) return true;
+  return false;
+}
+
+obs::Json Schedule::to_json() const {
+  obs::Json doc = obs::Json::object();
+  doc.set("schema", obs::Json(kSchema));
+  doc.set("scenario", obs::Json(scenario));
+  doc.set("seed", obs::Json(static_cast<std::uint64_t>(seed)));
+  obs::Json specs = obs::Json::array();
+  for (const InjectorSpec& spec : injectors) {
+    obs::Json j = obs::Json::object();
+    j.set("host", obs::Json(spec.host));
+    j.set("rng_seed", obs::Json(static_cast<std::uint64_t>(spec.rng_seed)));
+    obs::Json episodes = obs::Json::array();
+    for (const fault::Episode& e : spec.plan.episodes()) {
+      obs::Json je = obs::Json::object();
+      je.set("kind", obs::Json(fault::fault_kind_name(e.kind)));
+      je.set("start", obs::Json(e.start));
+      je.set("end", obs::Json(e.end));
+      je.set("rate", obs::Json(e.rate));
+      je.set("param", obs::Json(static_cast<std::uint64_t>(e.param)));
+      je.set("magnitude", obs::Json(e.magnitude));
+      episodes.push_back(std::move(je));
+    }
+    j.set("episodes", std::move(episodes));
+    specs.push_back(std::move(j));
+  }
+  doc.set("injectors", std::move(specs));
+  return doc;
+}
+
+std::optional<Schedule> Schedule::from_json(const obs::Json& doc,
+                                            std::string* error) {
+  if (!doc.is_object()) {
+    fail(error, "schedule: document is not an object");
+    return std::nullopt;
+  }
+  const auto schema = doc.string_at("schema");
+  if (!schema.has_value() || *schema != kSchema) {
+    fail(error, "schedule: missing or unknown schema (want " +
+                    std::string(kSchema) + ")");
+    return std::nullopt;
+  }
+  Schedule out;
+  out.scenario = doc.string_at("scenario").value_or("");
+  out.seed = static_cast<std::uint64_t>(doc.number_at("seed").value_or(0));
+  const obs::Json* specs = doc.find("injectors");
+  if (specs == nullptr || !specs->is_array()) {
+    fail(error, "schedule: missing injectors array");
+    return std::nullopt;
+  }
+  for (const obs::Json& j : specs->items()) {
+    InjectorSpec spec;
+    spec.host = j.string_at("host").value_or("");
+    spec.rng_seed =
+        static_cast<std::uint64_t>(j.number_at("rng_seed").value_or(0));
+    const obs::Json* episodes = j.find("episodes");
+    if (episodes == nullptr || !episodes->is_array()) {
+      fail(error, "schedule: injector '" + spec.host +
+                      "' missing episodes array");
+      return std::nullopt;
+    }
+    for (const obs::Json& je : episodes->items()) {
+      fault::Episode e;
+      const auto kind_name = je.string_at("kind");
+      const auto kind =
+          kind_name.has_value()
+              ? fault::fault_kind_from_name(*kind_name)
+              : std::nullopt;
+      if (!kind.has_value()) {
+        fail(error, "schedule: unknown fault kind '" +
+                        kind_name.value_or("<missing>") + "'");
+        return std::nullopt;
+      }
+      e.kind = *kind;
+      e.start = je.number_at("start").value_or(0.0);
+      e.end = je.number_at("end").value_or(0.0);
+      e.rate = je.number_at("rate").value_or(1.0);
+      e.param =
+          static_cast<std::uint32_t>(je.number_at("param").value_or(0));
+      e.magnitude = je.number_at("magnitude").value_or(0.0);
+      spec.plan.add(e);
+    }
+    out.injectors.push_back(std::move(spec));
+  }
+  return out;
+}
+
+bool Schedule::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json().dump(2) << '\n';
+  return static_cast<bool>(out);
+}
+
+std::optional<Schedule> Schedule::load(const std::string& path,
+                                       std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    fail(error, "schedule: cannot open " + path);
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string parse_error;
+  const auto doc = obs::Json::parse(buffer.str(), &parse_error);
+  if (!doc.has_value()) {
+    fail(error, "schedule: " + path + ": " + parse_error);
+    return std::nullopt;
+  }
+  auto schedule = from_json(*doc, error);
+  if (!schedule.has_value() && error != nullptr)
+    *error = path + ": " + *error;
+  return schedule;
+}
+
+}  // namespace ldlp::check

@@ -1,0 +1,59 @@
+// Fault schedules as data: the "ldlp.schedule.v1" interchange format.
+//
+// A Schedule captures everything the chaos harness needs to re-create a
+// run's adversity: the scenario name, the seed (which still derives the
+// traffic payloads), and per-host injector specs — each an RNG seed plus
+// a full FaultPlan episode list. Serialising through obs::Json keeps the
+// repo zero-dependency and byte-stable, so a failing seed's schedule can
+// be committed next to the bug it reproduces and replayed years later
+// with `chaos_soak --replay <file>`.
+//
+// The shrinker (check/shrink.hpp) operates on Schedules directly: episodes
+// are removed, the candidate is re-run, and the minimal still-failing
+// schedule is what gets written out.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "obs/json.hpp"
+
+namespace ldlp::check {
+
+/// One host's share of the adversity: which host, its injector RNG seed,
+/// and the episode timeline it executes.
+struct InjectorSpec {
+  std::string host;
+  std::uint64_t rng_seed = 0;
+  fault::FaultPlan plan;
+};
+
+struct Schedule {
+  std::string scenario;       ///< Harness scenario name ("tcp", "dns", ...).
+  std::uint64_t seed = 0;     ///< Drives traffic payloads, ports, names.
+  std::vector<InjectorSpec> injectors;
+
+  [[nodiscard]] std::size_t episode_count() const noexcept;
+
+  /// True when any injector carries an episode of `kind` — the harness
+  /// uses this to relax oracles where the wire legitimately misbehaves
+  /// (e.g. duplicate episodes permit datagram re-delivery).
+  [[nodiscard]] bool has_kind(fault::FaultKind kind) const noexcept;
+
+  [[nodiscard]] obs::Json to_json() const;
+  [[nodiscard]] static std::optional<Schedule> from_json(
+      const obs::Json& doc, std::string* error = nullptr);
+
+  /// File round-trip (pretty-printed JSON). save() returns false on I/O
+  /// failure; load() adds the failing path to `error`.
+  [[nodiscard]] bool save(const std::string& path) const;
+  [[nodiscard]] static std::optional<Schedule> load(
+      const std::string& path, std::string* error = nullptr);
+
+  static constexpr const char* kSchema = "ldlp.schedule.v1";
+};
+
+}  // namespace ldlp::check

@@ -1,0 +1,88 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace ldlp::check {
+
+namespace {
+
+/// (injector index, episode index) — the unit of removal.
+using Site = std::pair<std::size_t, std::size_t>;
+
+std::vector<Site> flatten(const Schedule& s) {
+  std::vector<Site> sites;
+  for (std::size_t i = 0; i < s.injectors.size(); ++i)
+    for (std::size_t e = 0; e < s.injectors[i].plan.episodes().size(); ++e)
+      sites.emplace_back(i, e);
+  return sites;
+}
+
+/// Rebuild a schedule keeping only the episodes named in `keep` (which is
+/// sorted in flatten order).
+Schedule rebuild(const Schedule& base, const std::vector<Site>& keep) {
+  Schedule out;
+  out.scenario = base.scenario;
+  out.seed = base.seed;
+  out.injectors.reserve(base.injectors.size());
+  for (std::size_t i = 0; i < base.injectors.size(); ++i) {
+    InjectorSpec spec;
+    spec.host = base.injectors[i].host;
+    spec.rng_seed = base.injectors[i].rng_seed;
+    for (const Site& site : keep)
+      if (site.first == i)
+        spec.plan.add(base.injectors[i].plan.episodes()[site.second]);
+    out.injectors.push_back(std::move(spec));
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Schedule& failing,
+                    const std::function<bool(const Schedule&)>& still_fails,
+                    std::size_t max_runs) {
+  ShrinkResult result;
+  result.episodes_before = failing.episode_count();
+
+  std::vector<Site> kept = flatten(failing);
+
+  // ddmin: remove chunks of size n, halving n when a whole sweep at that
+  // granularity fails to shed anything, down to single episodes.
+  std::size_t chunk = std::max<std::size_t>(kept.size() / 2, 1);
+  while (!kept.empty()) {
+    bool removed_any = false;
+    for (std::size_t at = 0; at < kept.size() && result.runs < max_runs;) {
+      const std::size_t take = std::min(chunk, kept.size() - at);
+      std::vector<Site> candidate;
+      candidate.reserve(kept.size() - take);
+      candidate.insert(candidate.end(), kept.begin(),
+                       kept.begin() + static_cast<std::ptrdiff_t>(at));
+      candidate.insert(candidate.end(),
+                       kept.begin() + static_cast<std::ptrdiff_t>(at + take),
+                       kept.end());
+      ++result.runs;
+      if (still_fails(rebuild(failing, candidate))) {
+        kept = std::move(candidate);  // chunk was irrelevant; drop it
+        removed_any = true;
+        // `at` now indexes the element after the removed chunk.
+      } else {
+        at += take;  // chunk is load-bearing; step past it
+      }
+    }
+    if (result.runs >= max_runs) break;
+    if (!removed_any && chunk == 1) {
+      result.converged = true;  // 1-minimal: no single episode removable
+      break;
+    }
+    if (!removed_any) chunk = std::max<std::size_t>(chunk / 2, 1);
+  }
+  if (kept.empty()) result.converged = true;
+
+  result.schedule = rebuild(failing, kept);
+  result.episodes_after = result.schedule.episode_count();
+  return result;
+}
+
+}  // namespace ldlp::check

@@ -1,0 +1,40 @@
+// Failing-seed shrinker: delta-debugging over fault schedules.
+//
+// A random chaos schedule that breaks an oracle typically carries a dozen
+// episodes of which one or two matter. shrink() minimises it the ddmin
+// way: flatten every (injector, episode) pair into one list, try removing
+// progressively smaller chunks, keep any removal after which the caller's
+// predicate still reports failure, and repeat until no single episode can
+// be removed. The predicate re-runs the scenario — deterministically,
+// since a Schedule pins every random decision — so each accepted removal
+// is *verified*, not guessed. The result is the schedule a human debugs:
+// minimal, reproducible via `chaos_soak --replay`, small enough to commit
+// next to the fix.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "check/schedule.hpp"
+
+namespace ldlp::check {
+
+struct ShrinkResult {
+  Schedule schedule;            ///< Minimal still-failing schedule.
+  std::size_t episodes_before = 0;
+  std::size_t episodes_after = 0;
+  std::size_t runs = 0;         ///< Predicate invocations spent.
+  bool converged = false;       ///< False when max_runs cut shrinking short.
+};
+
+/// Minimise `failing` under `still_fails` (must return true for `failing`
+/// itself; the caller has already observed that run fail). At most
+/// `max_runs` predicate calls are spent. Injector specs whose plans end
+/// up empty are kept (an attached injector with no episodes is inert but
+/// preserves host wiring).
+[[nodiscard]] ShrinkResult shrink(
+    const Schedule& failing,
+    const std::function<bool(const Schedule&)>& still_fails,
+    std::size_t max_runs = 256);
+
+}  // namespace ldlp::check

@@ -48,6 +48,8 @@ class DnsServer {
   std::size_t poll();
 
   [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+  /// Socket queries arrive on (for delivery oracles).
+  [[nodiscard]] stack::SocketId socket() const noexcept { return socket_; }
 
  private:
   struct ZoneEntry {
@@ -106,6 +108,8 @@ class DnsResolver {
   [[nodiscard]] std::size_t inflight() const noexcept {
     return inflight_.size();
   }
+  /// Socket the resolver receives responses on (for delivery oracles).
+  [[nodiscard]] stack::SocketId socket() const noexcept { return socket_; }
 
  private:
   struct CacheEntry {

@@ -16,8 +16,17 @@ const char* fault_kind_name(FaultKind kind) noexcept {
     case FaultKind::kDelayJitter: return "delay-jitter";
     case FaultKind::kDeviceStall: return "device-stall";
     case FaultKind::kPoolExhaustion: return "pool-exhaustion";
+    case FaultKind::kGilbertElliott: return "gilbert-elliott";
   }
   return "?";
+}
+
+std::optional<FaultKind> fault_kind_from_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+    const auto kind = static_cast<FaultKind>(i);
+    if (name == fault_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
 }
 
 FaultPlan& FaultPlan::add(Episode episode) {
@@ -63,6 +72,11 @@ FaultPlan FaultPlan::random(std::uint64_t seed, double horizon_sec,
         break;
       case FaultKind::kPoolExhaustion:
         e.param = static_cast<std::uint32_t>(rng.bounded(17));  // mbufs left
+        break;
+      case FaultKind::kGilbertElliott:
+        e.rate = rng.uniform(0.5, 0.95);                // loss while Bad
+        e.magnitude = rng.uniform(0.02, 0.20);          // Good→Bad per frame
+        e.param = static_cast<std::uint32_t>(rng.bounded(7) + 2);  // burst len
         break;
     }
     plan.add(e);

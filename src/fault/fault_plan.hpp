@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ldlp::fault {
@@ -24,11 +26,19 @@ enum class FaultKind : std::uint8_t {
   kDelayJitter,     ///< Hold affected frames up to `magnitude` seconds.
   kDeviceStall,     ///< Device stops delivering; frames queue in its ring.
   kPoolExhaustion,  ///< Squeeze the mbuf pool down to `param` free mbufs.
+  kGilbertElliott,  ///< Two-state burst-loss channel: Good→Bad with
+                    ///< per-frame probability `magnitude`, Bad→Good with
+                    ///< probability 1/`param` (mean burst of `param`
+                    ///< frames), dropping at `rate` while Bad.
 };
 
-inline constexpr std::size_t kFaultKindCount = 7;
+inline constexpr std::size_t kFaultKindCount = 8;
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
+
+/// Inverse of fault_kind_name (schedule files store kinds by name).
+[[nodiscard]] std::optional<FaultKind> fault_kind_from_name(
+    std::string_view name) noexcept;
 
 struct Episode {
   FaultKind kind = FaultKind::kLossBurst;

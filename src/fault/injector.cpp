@@ -51,6 +51,28 @@ FrameVerdict FaultInjector::on_frame(std::vector<std::uint8_t>& bytes) {
     ++stats_.dropped;
     return v;
   }
+  if (const Episode* e = plan_.active(FaultKind::kGilbertElliott, t);
+      e != nullptr) {
+    // Two-state Markov channel (Gilbert-Elliott): advance the state once
+    // per arriving frame, then lose the frame with the Bad-state rate.
+    // The Good state is clean; mean burst length is `param` frames.
+    if (!ge_bad_) {
+      if (rng_.chance(e->magnitude)) {
+        ge_bad_ = true;
+        ++stats_.burst_entries;
+      }
+    } else if (rng_.chance(1.0 / std::max<std::uint32_t>(e->param, 1))) {
+      ge_bad_ = false;
+    }
+    if (ge_bad_ && rng_.chance(e->rate)) {
+      v.drop = true;
+      ++stats_.dropped;
+      ++stats_.burst_dropped;
+      return v;
+    }
+  } else {
+    ge_bad_ = false;  // channel heals between episodes
+  }
   if (const Episode* e = plan_.active(FaultKind::kCorrupt, t);
       e != nullptr && rng_.chance(e->rate)) {
     // Corrupt only inside IPv4 payloads, where the software checksums

@@ -32,6 +32,8 @@ struct FaultStats {
   std::uint64_t duplicated = 0;
   std::uint64_t reordered = 0;
   std::uint64_t delayed = 0;
+  std::uint64_t burst_dropped = 0;   ///< Gilbert-Elliott Bad-state losses.
+  std::uint64_t burst_entries = 0;   ///< Good→Bad transitions taken.
   std::uint64_t pool_squeezes = 0;   ///< Mbufs taken hostage, cumulative.
   std::size_t mbufs_held_peak = 0;
 };
@@ -114,6 +116,7 @@ class FaultInjector {
   FaultPlan plan_;
   Rng rng_;
   const double* now_sec_ = nullptr;
+  bool ge_bad_ = false;  ///< Gilbert-Elliott channel state (Bad = bursty).
   std::vector<Delayed> delayed_;
   buf::MbufPool* squeezed_pool_ = nullptr;
   std::vector<buf::Mbuf*> held_;

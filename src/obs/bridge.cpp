@@ -91,6 +91,9 @@ void publish_fault(Registry& registry, const fault::FaultInjector& injector,
   set_counter(registry, join(prefix, "frames_duplicated"), fs.duplicated);
   set_counter(registry, join(prefix, "frames_reordered"), fs.reordered);
   set_counter(registry, join(prefix, "frames_delayed"), fs.delayed);
+  set_counter(registry, join(prefix, "frames_burst_dropped"),
+              fs.burst_dropped);
+  set_counter(registry, join(prefix, "burst_entries"), fs.burst_entries);
   set_counter(registry, join(prefix, "pool_squeezes"), fs.pool_squeezes);
   registry.gauge(join(prefix, "mbufs_held_peak"))
       .set(static_cast<double>(fs.mbufs_held_peak));

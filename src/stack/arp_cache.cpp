@@ -40,6 +40,37 @@ bool ArpCache::should_request(std::uint32_t ip) {
   return true;
 }
 
+bool ArpCache::audit(std::string* why) const {
+  std::size_t counted = 0;
+  for (const auto& [ip, state] : pending_) {
+    counted += state.packets.size();
+    if (state.packets.size() > max_pending_) {
+      if (why != nullptr)
+        *why = "per-IP pending queue exceeds cap (" +
+               std::to_string(state.packets.size()) + " > " +
+               std::to_string(max_pending_) + ")";
+      return false;
+    }
+    if (!state.packets.empty() && table_.count(ip) != 0) {
+      if (why != nullptr)
+        *why = "IP has parked packets while already resolved";
+      return false;
+    }
+  }
+  if (counted != pending_total_) {
+    if (why != nullptr)
+      *why = "pending_total accounting drift (" + std::to_string(counted) +
+             " queued vs " + std::to_string(pending_total_) + " counted)";
+    return false;
+  }
+  if (pending_total_ > max_pending_total_) {
+    if (why != nullptr)
+      *why = "global pending count exceeds cap";
+    return false;
+  }
+  return true;
+}
+
 std::vector<buf::Packet> ArpCache::take_pending(std::uint32_t ip) {
   const auto it = pending_.find(ip);
   if (it == pending_.end()) return {};

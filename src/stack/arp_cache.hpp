@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -55,6 +56,11 @@ class ArpCache {
     return pending_total_;
   }
   [[nodiscard]] const ArpCacheStats& stats() const noexcept { return stats_; }
+
+  /// Structural invariant check for chaos builds: pending accounting
+  /// matches the queues, caps are respected, and no IP is simultaneously
+  /// resolved and pending. Returns false and fills `why` on violation.
+  [[nodiscard]] bool audit(std::string* why) const;
 
  private:
   struct PendingState {

@@ -87,6 +87,7 @@ std::size_t Host::pump(std::size_t max_frames) {
     any = true;
   }
   if (any && cfg_.mode == core::SchedMode::kLdlp) graph_.run();
+  if (any && post_pass_hook_) post_pass_hook_();
   return handled;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -68,6 +69,13 @@ class Host {
   /// runs layer by layer; conventionally each frame runs to completion.
   std::size_t pump(std::size_t max_frames = SIZE_MAX);
 
+  /// Hook run at the end of every pump() that handled at least one frame
+  /// — i.e. after every scheduler pass. Chaos builds hang the ldlp::check
+  /// invariant auditors here; clean builds leave it empty (one branch).
+  void set_post_pass_hook(std::function<void()> hook) {
+    post_pass_hook_ = std::move(hook);
+  }
+
  private:
   HostConfig cfg_;
   double now_ = 0.0;
@@ -82,6 +90,7 @@ class Host {
   core::StackGraph graph_;
   core::LayerId eth_id_ = core::kNoLayer;
   fault::FaultInjector* fault_ = nullptr;
+  std::function<void()> post_pass_hook_;
 };
 
 }  // namespace ldlp::stack

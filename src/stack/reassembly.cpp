@@ -68,6 +68,37 @@ buf::Packet ReassemblyTable::assemble(Datagram& d) {
   return whole;
 }
 
+bool ReassemblyTable::audit(std::string* why) const {
+  if (table_.size() > max_datagrams_) {
+    if (why != nullptr)
+      *why = "reassembly table exceeds max_datagrams (" +
+             std::to_string(table_.size()) + " > " +
+             std::to_string(max_datagrams_) + ")";
+    return false;
+  }
+  for (const auto& [key, datagram] : table_) {
+    std::uint32_t prev_end = 0;
+    bool first = true;
+    for (const Fragment& frag : datagram.fragments) {
+      if (!first && frag.offset_bytes < prev_end) {
+        if (why != nullptr)
+          *why = "accepted fragments overlap (offset " +
+                 std::to_string(frag.offset_bytes) + " < previous end " +
+                 std::to_string(prev_end) + ")";
+        return false;
+      }
+      first = false;
+      prev_end = frag.offset_bytes + frag.payload.length();
+      if (datagram.total_len.has_value() && prev_end > *datagram.total_len) {
+        if (why != nullptr)
+          *why = "fragment extends past known datagram length";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 void ReassemblyTable::expire(double now_sec) {
   for (auto it = table_.begin(); it != table_.end();) {
     if (now_sec - it->second.first_seen > timeout_sec_) {

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "buf/packet.hpp"
@@ -41,6 +42,11 @@ class ReassemblyTable {
     return stats_;
   }
   [[nodiscard]] std::size_t pending() const noexcept { return table_.size(); }
+
+  /// Structural invariant check for chaos builds: bounded table, sorted
+  /// non-overlapping fragments per datagram. Returns false and fills
+  /// `why` (if non-null) on the first violation.
+  [[nodiscard]] bool audit(std::string* why) const;
 
  private:
   struct Key {

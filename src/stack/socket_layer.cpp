@@ -48,8 +48,14 @@ void SocketLayer::process(core::Message msg) {
 
   const std::uint32_t len = msg.packet.length();
   if (socket.stream.size() + len > socket.hiwat) {
+    // TCP's advertised window normally prevents this, but under deferred
+    // (LDLP) scheduling the window is computed while earlier segments
+    // still sit in the tcp→socket queue, so a burst can land past hiwat.
+    // These bytes are already ACKed (rcv_nxt advanced in deliver_payload);
+    // dropping them here would tear an unrecoverable hole in the stream —
+    // the peer has cleared its rtx entry. Accept the transient overshoot
+    // (bounded by the advertised window) and count it.
     ++socket.stats.overflows;
-    return;  // TCP's window should prevent this; drop defensively.
   }
   // sbappend: copy mbuf bytes into the socket buffer.
   std::vector<std::uint8_t> bytes(len);
@@ -57,6 +63,7 @@ void SocketLayer::process(core::Message msg) {
   trace_pkt(trace::RefKind::kRead, len);
   socket.stream.insert(socket.stream.end(), bytes.begin(), bytes.end());
   socket.stats.appended_bytes += len;
+  if (tap_ != nullptr) tap_->on_stream_append(id, bytes);
   wake(socket, id);
 }
 
@@ -70,6 +77,7 @@ void SocketLayer::deliver_datagram(SocketId id, Datagram dgram) {
     return;
   }
   socket.stats.appended_bytes += dgram.payload.size();
+  if (tap_ != nullptr) tap_->on_datagram(id, dgram);
   socket.dgrams.push_back(std::move(dgram));
   wake(socket, id);
 }

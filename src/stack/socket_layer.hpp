@@ -33,7 +33,21 @@ struct SocketStats {
   std::uint64_t appended_bytes = 0;
   std::uint64_t read_bytes = 0;
   std::uint64_t wakeups = 0;
-  std::uint64_t overflows = 0;  ///< Data dropped: receive buffer full.
+  std::uint64_t overflows = 0;  ///< Deliveries past hiwat (dgram: dropped;
+                                ///< stream: accepted, see process()).
+};
+
+/// Wire-tap on socket-layer delivery, the last point before the
+/// application. Conformance oracles (ldlp::check) implement this to
+/// assert what the stack delivered against what the peer sent.
+class SocketTap {
+ public:
+  virtual ~SocketTap() = default;
+  /// Stream bytes appended to `id`'s receive buffer (sbappend).
+  virtual void on_stream_append(SocketId id,
+                                std::span<const std::uint8_t> bytes) = 0;
+  /// Datagram queued on `id` (about to wake the application).
+  virtual void on_datagram(SocketId id, const Datagram& dgram) = 0;
 };
 
 class SocketLayer final : public core::Layer {
@@ -62,6 +76,10 @@ class SocketLayer final : public core::Layer {
   /// as Messages through process()).
   void deliver_datagram(SocketId id, Datagram dgram);
 
+  /// Attach a delivery wire-tap observing every append on every socket
+  /// (nullptr detaches). Used by chaos builds; nullptr costs one branch.
+  void set_tap(SocketTap* tap) noexcept { tap_ = tap; }
+
  protected:
   /// Stream delivery: msg.flow_id is the SocketId, packet holds payload.
   void process(core::Message msg) override;
@@ -81,6 +99,7 @@ class SocketLayer final : public core::Layer {
   void wake(Socket& socket, SocketId id);
 
   std::vector<Socket> sockets_;
+  SocketTap* tap_ = nullptr;
 };
 
 }  // namespace ldlp::stack

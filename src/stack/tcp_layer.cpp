@@ -1,6 +1,7 @@
 #include "stack/tcp_layer.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/assert.hpp"
 #include "common/byteorder.hpp"
@@ -67,6 +68,7 @@ PcbId TcpLayer::connect(std::uint32_t dst_ip, std::uint16_t dst_port) {
   p.iss = next_iss();
   p.snd_una = p.iss;
   p.snd_nxt = p.iss;
+  p.snd_max = p.iss;
   p.snd_wnd = 1;  // enough for the handshake; real window arrives with it
   p.mss = cfg_.mss;
   p.rto_sec = cfg_.rto_initial_sec;
@@ -85,6 +87,7 @@ bool TcpLayer::send(PcbId id, std::span<const std::uint8_t> data) {
   if (p.send_buffer.size() + data.size() > cfg_.send_buffer_bytes)
     return false;
   p.send_buffer.insert(p.send_buffer.end(), data.begin(), data.end());
+  if (send_tap_) send_tap_(id, data);
   if (p.state == TcpState::kEstablished || p.state == TcpState::kCloseWait)
     try_send_data(id);
   return true;
@@ -246,6 +249,7 @@ void TcpLayer::process(core::Message msg) {
     child.iss = next_iss();
     child.snd_una = child.iss;
     child.snd_nxt = child.iss;
+    child.snd_max = child.iss;
     child.snd_wnd = header->window;
     child.mss = std::min(cfg_.mss, header->mss.value_or(536));
     child.rto_sec = cfg_.rto_initial_sec;
@@ -511,6 +515,20 @@ void TcpLayer::try_send_data(PcbId id) {
                         p.send_buffer.begin() + take);
   }
 
+  // Persist: if the peer's window is closed with nothing in flight, no
+  // ACK will ever arrive to reopen it — arm the probe timer. Any other
+  // state (window open, or data in flight whose ACK will carry a window
+  // update) disarms it.
+  const bool zero_window_stall =
+      p.snd_wnd == 0 && p.rtx.empty() && !p.send_buffer.empty() &&
+      (p.state == TcpState::kEstablished || p.state == TcpState::kCloseWait);
+  if (zero_window_stall) {
+    if (!std::isfinite(p.persist_deadline))
+      p.persist_deadline = now() + p.rto_sec;
+  } else {
+    p.persist_deadline = std::numeric_limits<double>::infinity();
+  }
+
   // FIN once the buffer drains. State advances only if the FIN actually
   // went out; otherwise fin_queued stays set for a later attempt.
   if (p.fin_queued && p.send_buffer.empty()) {
@@ -581,6 +599,7 @@ bool TcpLayer::send_segment(PcbId id, std::uint8_t flags,
           seq, static_cast<std::uint32_t>(payload.size()), flags,
           std::move(payload)});
       p.snd_nxt = seq + seg_space;
+      if (seq_gt(p.snd_nxt, p.snd_max)) p.snd_max = p.snd_nxt;
       if (p.rtx_deadline == std::numeric_limits<double>::infinity())
         p.rtx_deadline = now() + p.rto_sec;
     }
@@ -639,6 +658,7 @@ void TcpLayer::enter_established(PcbId id) {
 void TcpLayer::cancel_timers(TcpPcb& p) noexcept {
   p.rtx_deadline = std::numeric_limits<double>::infinity();
   p.delack_deadline = std::numeric_limits<double>::infinity();
+  p.persist_deadline = std::numeric_limits<double>::infinity();
   p.retries = 0;
   p.segs_since_ack = 0;
 }
@@ -688,6 +708,28 @@ void TcpLayer::on_timer() {
     }
     if (t >= p.delack_deadline) {
       send_ack(id);
+    }
+    if (t >= p.persist_deadline) {
+      // Zero-window probe: force one byte past the closed window. The
+      // receiver either accepts it (and its ACK reopens the window) or
+      // dup-ACKs with the current window; either way we learn the truth.
+      // The probe byte rides the normal rtx queue, so backoff and loss
+      // recovery come for free; try_send_data re-arms if the window is
+      // still closed once the probe is ACKed.
+      p.persist_deadline = std::numeric_limits<double>::infinity();
+      if (!p.send_buffer.empty() && p.rtx.empty() &&
+          (p.state == TcpState::kEstablished ||
+           p.state == TcpState::kCloseWait)) {
+        ++p.stats.persist_probes;
+        std::vector<std::uint8_t> probe(p.send_buffer.begin(),
+                                        p.send_buffer.begin() + 1);
+        if (send_segment(id, static_cast<std::uint8_t>(kAck | kPsh),
+                         std::move(probe), /*retransmission=*/false)) {
+          p.send_buffer.pop_front();
+        } else {
+          p.persist_deadline = t + p.rto_sec;  // pool dry: retry later
+        }
+      }
     }
     if (!p.rtx.empty() && t >= p.rtx_deadline) {
       ++p.retries;

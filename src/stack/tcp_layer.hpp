@@ -66,6 +66,16 @@ class TcpLayer final : public core::Layer {
   [[nodiscard]] TcpState state(PcbId id) const;
   [[nodiscard]] SocketId socket_of(PcbId id) const;
   [[nodiscard]] const TcpPcbStats& pcb_stats(PcbId id) const;
+  /// Read-only PCB view for invariant checkers and tests.
+  [[nodiscard]] const TcpPcb& pcb_view(PcbId id) const { return pcb(id); }
+
+  /// Wire-tap on the send API: fires with exactly the bytes accepted into
+  /// the send buffer by a successful send(). Conformance oracles record
+  /// these as the ground truth the peer's socket layer must deliver.
+  void set_send_tap(
+      std::function<void(PcbId, std::span<const std::uint8_t>)> tap) {
+    send_tap_ = std::move(tap);
+  }
   [[nodiscard]] const TcpLayerStats& tcp_stats() const noexcept {
     return stats_;
   }
@@ -122,6 +132,7 @@ class TcpLayer final : public core::Layer {
   std::uint16_t next_ephemeral_ = 49152;
   std::uint32_t iss_counter_ = 0x1000;
   std::function<void(PcbId)> accept_hook_;
+  std::function<void(PcbId, std::span<const std::uint8_t>)> send_tap_;
   TcpLayerStats stats_;
 };
 

@@ -80,6 +80,7 @@ struct TcpPcbStats {
   std::uint64_t retransmits = 0;
   std::uint64_t ooo_buffered = 0;
   std::uint64_t dup_acks_sent = 0;
+  std::uint64_t persist_probes = 0;  ///< Zero-window probes sent.
 };
 
 struct TcpPcb {
@@ -93,6 +94,8 @@ struct TcpPcb {
   std::uint32_t irs = 0;       ///< Initial receive sequence.
   std::uint32_t snd_una = 0;
   std::uint32_t snd_nxt = 0;
+  std::uint32_t snd_max = 0;   ///< Highest snd_nxt ever reached (invariant:
+                               ///< snd_una <= snd_nxt <= snd_max).
   std::uint32_t snd_wnd = 0;   ///< Peer's advertised window.
   std::uint32_t rcv_nxt = 0;
   std::uint16_t mss = 536;
@@ -108,6 +111,11 @@ struct TcpPcb {
   std::uint32_t segs_since_ack = 0;
   double delack_deadline = std::numeric_limits<double>::infinity();
   double time_wait_deadline = std::numeric_limits<double>::infinity();
+  /// Persist timer: armed when the peer advertises a zero window while
+  /// data waits in send_buffer with nothing in flight. Without it the
+  /// connection deadlocks — the peer only announces a reopened window on
+  /// an ACK, and it has nothing to ACK (4.4BSD tcp_setpersist).
+  double persist_deadline = std::numeric_limits<double>::infinity();
 
   std::map<std::uint32_t, std::vector<std::uint8_t>> ooo;  ///< seq -> bytes.
   bool fin_received = false;

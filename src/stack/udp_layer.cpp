@@ -61,6 +61,7 @@ void UdpLayer::send(std::uint16_t src_port, std::uint32_t dst_ip,
                     std::uint16_t dst_port,
                     std::span<const std::uint8_t> payload) {
   ++stats_.tx;
+  if (send_tap_) send_tap_(src_port, dst_ip, dst_port, payload);
   buf::Packet pkt = buf::Packet::make(ip_.pool());
   if (!pkt) return;
   std::uint8_t header_bytes[wire::kUdpHeaderLen];

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "core/stack_graph.hpp"
@@ -30,6 +31,16 @@ class UdpLayer final : public core::Layer {
   void send(std::uint16_t src_port, std::uint32_t dst_ip,
             std::uint16_t dst_port, std::span<const std::uint8_t> payload);
 
+  /// Wire-tap on the send API: fires once per send() with the exact
+  /// payload handed down, before any wire impairment can touch it.
+  void set_send_tap(
+      std::function<void(std::uint16_t src_port, std::uint32_t dst_ip,
+                         std::uint16_t dst_port,
+                         std::span<const std::uint8_t>)>
+          tap) {
+    send_tap_ = std::move(tap);
+  }
+
   [[nodiscard]] const UdpStats& udp_stats() const noexcept { return stats_; }
 
  protected:
@@ -39,6 +50,9 @@ class UdpLayer final : public core::Layer {
   Ip4Layer& ip_;
   SocketLayer& sockets_;
   std::unordered_map<std::uint16_t, SocketId> ports_;
+  std::function<void(std::uint16_t, std::uint32_t, std::uint16_t,
+                     std::span<const std::uint8_t>)>
+      send_tap_;
   UdpStats stats_;
 };
 

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "dns/resolver.hpp"
+#include "check/invariants.hpp"
+#include "check/oracle.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "obs/bridge.hpp"
@@ -130,11 +132,29 @@ TEST_P(ChaosSeeds, TcpTransferConvergesAfterFaults) {
   SCOPED_TRACE(trace_for(seed, *net.fault_a));
   SCOPED_TRACE(trace_for(seed ^ 0xbeefULL, *net.fault_b));
 
+  // Conformance checking rides along: structural invariants after every
+  // scheduler pass, and a delivery oracle on the a->b stream.
+  check::HostAuditor aud_a(*net.a);
+  check::HostAuditor aud_b(*net.b);
+  aud_a.install();
+  aud_b.install();
+  check::DeliveryOracle oracle;
+  const auto flow = oracle.open_stream("a->b");
+  net.b->sockets().set_tap(&oracle);
+
   stack::PcbId accepted = stack::kNoPcb;
-  net.b->tcp().set_accept_hook([&accepted](stack::PcbId id) { accepted = id; });
+  net.b->tcp().set_accept_hook([&](stack::PcbId id) {
+    if (accepted == stack::kNoPcb)
+      oracle.bind_stream_rx(flow, net.b->tcp().socket_of(id));
+    accepted = id;
+  });
   (void)net.b->tcp().listen(80);
   const stack::PcbId conn =
       net.a->tcp().connect(ip_from_parts(10, 0, 0, 2), 80);
+  net.a->tcp().set_send_tap(
+      [&](stack::PcbId id, std::span<const std::uint8_t> bytes) {
+        if (id == conn) oracle.stream_sent(flow, bytes);
+      });
 
   // Connect straight into the fault window; SYN retransmission must carry
   // the handshake through once the faults clear.
@@ -171,6 +191,13 @@ TEST_P(ChaosSeeds, TcpTransferConvergesAfterFaults) {
   net.check_invariants();
   EXPECT_EQ(net.a->pool().stats().mbufs_outstanding(), 0u);
   EXPECT_EQ(net.b->pool().stats().mbufs_outstanding(), 0u);
+
+  EXPECT_TRUE(oracle.finalize())
+      << (oracle.violations().empty() ? "" : oracle.violations()[0]);
+  EXPECT_TRUE(aud_a.ok()) << (aud_a.ok() ? "" : aud_a.violations()[0]);
+  EXPECT_TRUE(aud_b.ok()) << (aud_b.ok() ? "" : aud_b.violations()[0]);
+  EXPECT_GT(aud_a.stats().passes, 0u);
+  net.b->sockets().set_tap(nullptr);
 }
 
 // ---- DNS under chaos -------------------------------------------------------

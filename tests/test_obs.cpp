@@ -9,7 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "check/oracle.hpp"
 #include "core/stack_graph.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
 #include "obs/bench_result.hpp"
 #include "obs/bridge.hpp"
 #include "obs/json.hpp"
@@ -126,7 +129,9 @@ std::string golden_path() {
   return std::string(LDLP_GOLDEN_DIR) + "/obs_snapshot.json";
 }
 
-/// A deterministic registry covering all three metric kinds.
+/// A deterministic registry covering all three metric kinds, plus the
+/// conformance (check.*) and wire-impairment (fault.*) metric families —
+/// the golden file pins their names and layout.
 obs::Snapshot reference_snapshot() {
   obs::Registry reg;
   reg.counter("graph.injected").set(1000);
@@ -134,6 +139,41 @@ obs::Snapshot reference_snapshot() {
   reg.gauge("graph.layer.tcp.mean_batch").set(6.25);
   obs::Histogram& h = reg.histogram("graph.drain_sec", 1e-7, 1e3, 20);
   for (int i = 1; i <= 32; ++i) h.add(i * 125e-6);
+
+  // check.*: a delivery oracle that saw one exact stream and a duplicated
+  // (but permitted) datagram.
+  check::DeliveryOracle oracle;
+  oracle.set_allow_duplicates(true);
+  const auto stream = oracle.open_stream("a->b");
+  oracle.bind_stream_rx(stream, 1);
+  const std::uint8_t bytes[] = {1, 2, 3, 4};
+  oracle.stream_sent(stream, bytes);
+  oracle.on_stream_append(1, bytes);
+  const auto query = oracle.open_datagram("dns");
+  oracle.bind_datagram_rx(query, 2);
+  oracle.datagram_sent(query, {bytes, 2});
+  stack::Datagram d;
+  d.payload = {1, 2};
+  oracle.on_datagram(2, d);
+  oracle.on_datagram(2, d);  // wire duplicate, allowed
+  oracle.publish(reg);
+
+  // fault.*: a deterministic injector run through reorder, duplicate and
+  // Gilbert-Elliott episodes (seed pinned, so counters are stable).
+  fault::FaultPlan plan;
+  plan.add({fault::FaultKind::kReorder, 0.0, 1.0, 1.0, 2, 0.0});
+  plan.add({fault::FaultKind::kDuplicate, 1.0, 2.0, 1.0, 0, 0.0});
+  plan.add({fault::FaultKind::kGilbertElliott, 2.0, 3.0, 1.0, 4, 0.5});
+  fault::FaultInjector inj(plan, 7);
+  double t = 0.0;
+  inj.set_clock(&t);
+  std::vector<std::uint8_t> frame(32, 0x5a);
+  for (int i = 0; i < 300; ++i) {
+    t += 0.01;
+    (void)inj.on_frame(frame);
+  }
+  obs::publish_fault(reg, inj);
+
   return reg.snapshot();
 }
 

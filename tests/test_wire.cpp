@@ -1,6 +1,7 @@
 // Unit and property tests for the wire codecs and checksums.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
 #include "buf/packet.hpp"
@@ -305,6 +306,197 @@ TEST(Hexdump, FormatsBytes) {
   const std::string out = hexdump({data, 4});
   EXPECT_NE(out.find("48 69 00 ff"), std::string::npos);
   EXPECT_NE(out.find("|Hi..|"), std::string::npos);
+}
+
+// ---- Directed malformed input: truncation at every boundary ----------------
+//
+// Each parser must reject every strict prefix of a minimal valid message.
+// Byte-at-a-time truncation catches off-by-one length checks that a single
+// "too short" probe (or the random fuzzer) can miss.
+
+template <typename Parser>
+void expect_all_prefixes_rejected(std::span<const std::uint8_t> valid,
+                                  Parser parse) {
+  ASSERT_TRUE(parse(valid).has_value()) << "baseline message must parse";
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    EXPECT_FALSE(parse(valid.first(len)).has_value())
+        << "accepted a " << len << "-byte prefix of a " << valid.size()
+        << "-byte message";
+  }
+}
+
+TEST(Malformed, EthernetTruncationSweep) {
+  EthHeader header;
+  header.dst = {1, 2, 3, 4, 5, 6};
+  header.src = {7, 8, 9, 10, 11, 12};
+  header.ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+  std::uint8_t buf[kEthHeaderLen];
+  ASSERT_EQ(write_eth(header, buf), kEthHeaderLen);
+  expect_all_prefixes_rejected(
+      buf, [](std::span<const std::uint8_t> d) { return parse_eth(d); });
+}
+
+TEST(Malformed, ArpTruncationSweep) {
+  ArpPacket pkt;
+  pkt.op = ArpOp::kRequest;
+  pkt.sender_ip = ip_from_parts(10, 0, 0, 1);
+  pkt.target_ip = ip_from_parts(10, 0, 0, 2);
+  std::uint8_t buf[kArpLen];
+  ASSERT_EQ(write_arp(pkt, buf), kArpLen);
+  expect_all_prefixes_rejected(
+      buf, [](std::span<const std::uint8_t> d) { return parse_arp(d); });
+}
+
+TEST(Malformed, Ipv4TruncationSweep) {
+  Ipv4Header header;
+  header.total_len = 40;
+  header.protocol = 17;
+  header.ttl = 64;
+  header.src = ip_from_parts(10, 0, 0, 1);
+  header.dst = ip_from_parts(10, 0, 0, 2);
+  std::uint8_t buf[kIpMinHeaderLen];
+  ASSERT_EQ(write_ipv4(header, buf), kIpMinHeaderLen);
+  expect_all_prefixes_rejected(
+      buf, [](std::span<const std::uint8_t> d) { return parse_ipv4(d); });
+}
+
+TEST(Malformed, Ipv4OptionsTruncationSweep) {
+  // ihl = 6: a 24-byte header. Truncating anywhere inside the options
+  // must reject even though 20 bytes (the minimum) are present.
+  Ipv4Header header;
+  header.total_len = 44;
+  header.protocol = 6;
+  header.ttl = 64;
+  header.src = ip_from_parts(10, 0, 0, 1);
+  header.dst = ip_from_parts(10, 0, 0, 2);
+  std::uint8_t buf[kIpMinHeaderLen + 4] = {};
+  ASSERT_EQ(write_ipv4(header, {buf, kIpMinHeaderLen}), kIpMinHeaderLen);
+  buf[0] = 0x46;              // version 4, ihl 6
+  buf[20] = 1;                // one NOP option + 3 EOL bytes
+  buf[10] = buf[11] = 0;      // recompute the header checksum
+  const std::uint16_t sum = cksum_simple({buf, sizeof buf});
+  buf[10] = static_cast<std::uint8_t>(sum >> 8);
+  buf[11] = static_cast<std::uint8_t>(sum);
+  expect_all_prefixes_rejected(
+      buf, [](std::span<const std::uint8_t> d) { return parse_ipv4(d); });
+}
+
+TEST(Malformed, UdpTruncationSweep) {
+  UdpHeader header{5353, 53, 20, 0xbeef};
+  std::uint8_t buf[kUdpHeaderLen];
+  ASSERT_EQ(write_udp(header, buf), kUdpHeaderLen);
+  expect_all_prefixes_rejected(
+      buf, [](std::span<const std::uint8_t> d) { return parse_udp(d); });
+}
+
+TEST(Malformed, TcpTruncationSweep) {
+  TcpHeader header;
+  header.src_port = 49152;
+  header.dst_port = 80;
+  header.flags = tcpflags::kSyn;
+  header.mss = 1460;  // 24-byte header: truncation inside options too
+  std::uint8_t buf[kTcpMinHeaderLen + 4];
+  ASSERT_EQ(write_tcp(header, buf), kTcpMinHeaderLen + 4);
+  expect_all_prefixes_rejected(
+      buf, [](std::span<const std::uint8_t> d) { return parse_tcp(d); });
+}
+
+// ---- Directed malformed input: option/length field abuse -------------------
+
+TEST(Malformed, TcpOptionLengthZeroRejected) {
+  // optlen 0 on a non-NOP option must reject, not loop forever.
+  TcpHeader header;
+  header.mss = 1460;
+  std::uint8_t buf[kTcpMinHeaderLen + 4];
+  ASSERT_EQ(write_tcp(header, buf), kTcpMinHeaderLen + 4);
+  buf[kTcpMinHeaderLen + 1] = 0;  // MSS option, length 0
+  EXPECT_FALSE(parse_tcp(buf).has_value());
+}
+
+TEST(Malformed, TcpOptionLengthOneRejected) {
+  TcpHeader header;
+  header.mss = 1460;
+  std::uint8_t buf[kTcpMinHeaderLen + 4];
+  ASSERT_EQ(write_tcp(header, buf), kTcpMinHeaderLen + 4);
+  buf[kTcpMinHeaderLen + 1] = 1;  // length 1 cannot cover kind+len itself
+  EXPECT_FALSE(parse_tcp(buf).has_value());
+}
+
+TEST(Malformed, TcpOptionKindWithoutLengthByteRejected) {
+  // A lone option kind as the very last header byte (its length byte
+  // would sit past data_off) must reject.
+  TcpHeader header;
+  header.mss = 1460;
+  std::uint8_t buf[kTcpMinHeaderLen + 4];
+  ASSERT_EQ(write_tcp(header, buf), kTcpMinHeaderLen + 4);
+  buf[kTcpMinHeaderLen + 0] = 1;  // NOP
+  buf[kTcpMinHeaderLen + 1] = 1;  // NOP
+  buf[kTcpMinHeaderLen + 2] = 1;  // NOP
+  buf[kTcpMinHeaderLen + 3] = 8;  // kind 8, no room for its length byte
+  EXPECT_FALSE(parse_tcp(buf).has_value());
+}
+
+TEST(Malformed, TcpUnknownOptionSkippedMssStillFound) {
+  // Well-formed unknown options must be stepped over, not rejected.
+  TcpHeader header;
+  std::uint8_t buf[kTcpMinHeaderLen + 8] = {};
+  ASSERT_EQ(write_tcp(header, {buf, kTcpMinHeaderLen}), kTcpMinHeaderLen);
+  buf[12] = 0x70;                  // data_off 7 words = 28 bytes
+  buf[kTcpMinHeaderLen + 0] = 8;   // unknown kind
+  buf[kTcpMinHeaderLen + 1] = 4;   // length 4 (2 bytes of payload)
+  buf[kTcpMinHeaderLen + 4] = 2;   // MSS
+  buf[kTcpMinHeaderLen + 5] = 4;
+  buf[kTcpMinHeaderLen + 6] = 0x05;
+  buf[kTcpMinHeaderLen + 7] = 0xb4;
+  const auto parsed = parse_tcp(buf);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->mss.has_value());
+  EXPECT_EQ(*parsed->mss, 1460);
+}
+
+TEST(Malformed, TcpDataOffsetPastBufferRejected) {
+  TcpHeader header;
+  std::uint8_t buf[kTcpMinHeaderLen];
+  ASSERT_EQ(write_tcp(header, buf), kTcpMinHeaderLen);
+  buf[12] = 0xf0;  // data_off 15 words = 60 bytes, buffer has 20
+  EXPECT_FALSE(parse_tcp(buf).has_value());
+}
+
+TEST(Malformed, Ipv4TotalLenSmallerThanHeaderRejected) {
+  Ipv4Header header;
+  header.total_len = 19;  // less than the 20-byte header it describes
+  header.protocol = 17;
+  header.src = ip_from_parts(1, 2, 3, 4);
+  header.dst = ip_from_parts(5, 6, 7, 8);
+  std::uint8_t buf[kIpMinHeaderLen];
+  ASSERT_EQ(write_ipv4(header, buf), kIpMinHeaderLen);
+  EXPECT_FALSE(parse_ipv4(buf).has_value());
+}
+
+TEST(Malformed, UdpZeroLengthField) {
+  // length == 8 is a legal zero-payload datagram; smaller values cannot
+  // even cover the header.
+  UdpHeader zero_payload{1000, 2000, kUdpHeaderLen, 0};
+  std::uint8_t buf[kUdpHeaderLen];
+  ASSERT_EQ(write_udp(zero_payload, buf), kUdpHeaderLen);
+  const auto parsed = parse_udp(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->length, kUdpHeaderLen);
+
+  for (const std::uint16_t bad : {0, 1, 7}) {
+    UdpHeader h{1000, 2000, bad, 0};
+    ASSERT_EQ(write_udp(h, buf), kUdpHeaderLen);
+    EXPECT_FALSE(parse_udp(buf).has_value()) << "length " << bad;
+  }
+}
+
+TEST(Malformed, ArpBadOpRejected) {
+  ArpPacket pkt;
+  std::uint8_t buf[kArpLen];
+  ASSERT_EQ(write_arp(pkt, buf), kArpLen);
+  buf[6] = 0;
+  buf[7] = 3;  // op 3: neither request nor reply
+  EXPECT_FALSE(parse_arp(buf).has_value());
 }
 
 }  // namespace

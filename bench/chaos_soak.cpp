@@ -13,14 +13,31 @@
 //
 //   chaos_soak --replay=<schedule.json>
 //
-// Seed-range soaks use --seed_lo=<n> --seed_hi=<n> (half-open). Failing
-// seeds are listed in BENCH_chaos_soak.json under config.failing_seeds.
-// Exit status is nonzero when any seed fails, so the soak slots into CI.
+// Seed-range soaks use --seed_lo=<n> --seed_hi=<n> (half-open); --scenario
+// restricts the run to one scenario name. Failing seeds are listed in
+// BENCH_chaos_soak.json under config.failing_seeds. Exit status is nonzero
+// when any seed fails, so the soak slots into CI.
+//
+// Every scenario is additionally judged by ldlp::recover: a
+// ConvergenceOracle demands that once the last fault episode has cleared,
+// every TCP connection reaches a terminal or quiescent state within a
+// pass budget, and a ProgressWatchdog condemns hosts that hold queued
+// work while their progress counters stand still. The *-heal scenarios
+// draw fault plans from FaultPlan::random_heal(), which includes the
+// network-healing kinds (partition, link-flap, host-restart) the legacy
+// seed-stable draw excludes.
+//
+// Each schedule run is bounded by a wall-clock budget (--seed_timeout_ms,
+// default 20000, 0 disables): a hung seed becomes a reported failing seed
+// with its schedule dumped instead of a hung CI job.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -31,6 +48,8 @@
 #include "dns/resolver.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
+#include "recover/convergence.hpp"
+#include "recover/watchdog.hpp"
 #include "stack/host.hpp"
 
 namespace {
@@ -39,6 +58,25 @@ using namespace ldlp;
 using wire::ip_from_parts;
 
 constexpr double kHorizon = 1.0;
+
+// Per-schedule wall-clock budget. Armed at the top of run_schedule (so
+// every shrink candidate gets a fresh allowance) and checked cooperatively
+// inside every scenario loop: a wedged stack turns into a failing seed
+// with a serialised schedule rather than a hung soak.
+std::uint64_t g_seed_timeout_ms = 20000;
+std::chrono::steady_clock::time_point g_deadline;
+bool g_deadline_armed = false;
+
+void arm_deadline() {
+  g_deadline_armed = g_seed_timeout_ms != 0;
+  if (g_deadline_armed)
+    g_deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(g_seed_timeout_ms);
+}
+
+bool timed_out() {
+  return g_deadline_armed && std::chrono::steady_clock::now() >= g_deadline;
+}
 
 struct SoakResult {
   bool pass = true;
@@ -98,12 +136,55 @@ check::Schedule make_tcp_slow_schedule(std::uint64_t seed) {
   return s;
 }
 
+/// TCP under the healing kinds: partitions, link flaps and host restarts
+/// join the legacy adversity. The transfer may be legitimately truncated
+/// (a rebooted endpoint loses its connections); the assertions shift from
+/// "everything arrives" to "everything that arrives is the exact stream
+/// prefix, and the network converges once the faults clear".
+check::Schedule make_tcp_heal_schedule(std::uint64_t seed) {
+  const std::uint64_t base = seed ^ 0x4ea1ULL;
+  check::Schedule s;
+  s.scenario = "tcp-heal";
+  s.seed = seed;
+  s.injectors.push_back({"a", base * 2 + 1,
+                         fault::FaultPlan::random_heal(base, kHorizon)});
+  s.injectors.push_back(
+      {"b", base * 2 + 2,
+       fault::FaultPlan::random_heal(base ^ 0xbeefULL, kHorizon)});
+  return s;
+}
+
+/// DNS across partitions and link flaps: a resolver that failed during
+/// the outage must re-resolve once the network heals (negative cache
+/// entries expire on their backoff TTL). Host restarts are excluded —
+/// a reboot wipes the server's UDP binding and zone, which the scenario's
+/// fixed server object does not model.
+check::Schedule make_dns_heal_schedule(std::uint64_t seed) {
+  const std::uint64_t base = seed ^ 0xd05ea1ULL;
+  check::Schedule s;
+  s.scenario = "dns-heal";
+  s.seed = seed;
+  s.injectors.push_back(
+      {"a", base * 2 + 1,
+       fault::FaultPlan::random_heal(base, kHorizon, 6,
+                                     /*allow_restart=*/false)});
+  s.injectors.push_back(
+      {"b", base * 2 + 2,
+       fault::FaultPlan::random_heal(base ^ 0xbeefULL, kHorizon, 6,
+                                     /*allow_restart=*/false)});
+  return s;
+}
+
 // ---------------------------------------------------------------------------
 
 struct Net {
   std::unique_ptr<stack::Host> a;
   std::unique_ptr<stack::Host> b;
   std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
+  fault::FaultInjector* inj_a = nullptr;
+  fault::FaultInjector* inj_b = nullptr;
+  recover::ConvergenceOracle* conv_ = nullptr;
+  recover::ProgressWatchdog* dog_ = nullptr;
 
   explicit Net(const check::Schedule& schedule) {
     stack::HostConfig ca;
@@ -120,6 +201,13 @@ struct Net {
     // windows, allocation failure mid-batch — actually occur. The
     // conventional path gets its chaos coverage from tests/test_chaos.cpp.
     ca.mode = core::SchedMode::kLdlp;
+    // Keepalive on: a peer that vanished (host restart, permanent loss)
+    // is probed and the connection torn down instead of idling forever.
+    // The idle clock resets on every received segment, so an active
+    // transfer never sees a probe.
+    ca.tcp.keepalive_idle_sec = 5.0;
+    ca.tcp.keepalive_intvl_sec = 1.0;
+    ca.tcp.keepalive_probes = 4;
     stack::HostConfig cb = ca;
     cb.name = "b";
     cb.mac = {2, 0, 0, 0, 0, 2};
@@ -134,6 +222,7 @@ struct Net {
       injectors.push_back(
           std::make_unique<fault::FaultInjector>(spec.plan, spec.rng_seed));
       host->attach_fault(injectors.back().get());
+      (host == a.get() ? inj_a : inj_b) = injectors.back().get();
     }
   }
 
@@ -149,6 +238,20 @@ struct Net {
     b->pump();
     a->pump();
     b->pump();
+    if (conv_ != nullptr) conv_->on_pass();
+    if (dog_ != nullptr) dog_->on_pass();
+  }
+
+  /// Put the run under recovery supervision: both hosts are tracked (with
+  /// their injectors, so the liveness clocks only start once the faults
+  /// have cleared) and every tick() counts as one oracle pass.
+  void watch(recover::ConvergenceOracle& conv, recover::ProgressWatchdog& dog) {
+    conv.add_host(*a, inj_a);
+    conv.add_host(*b, inj_b);
+    dog.add_host(*a, inj_a);
+    dog.add_host(*b, inj_b);
+    conv_ = &conv;
+    dog_ = &dog;
   }
 
   [[nodiscard]] bool faults_cleared() const {
@@ -160,8 +263,11 @@ struct Net {
   /// Post-scenario invariants shared by both scenarios: faults cleared,
   /// graphs drained, queue occupancy within bounds, pools leak-free.
   void check(SoakResult& r) {
-    for (int i = 0; i < 80 && !faults_cleared(); ++i) tick(0.1);
-    if (!faults_cleared())
+    for (int i = 0; i < 80 && !faults_cleared() && !timed_out(); ++i)
+      tick(0.1);
+    if (timed_out())
+      r.fail("seed wall-clock budget exceeded (--seed_timeout_ms)");
+    else if (!faults_cleared())
       r.fail("faults never cleared (delayed frames or held mbufs remain)");
     a->attach_fault(nullptr);
     b->attach_fault(nullptr);
@@ -198,40 +304,77 @@ void collect(SoakResult& r, const check::DeliveryOracle& oracle,
   }
 }
 
+/// Fold liveness findings into the scenario result.
+void collect_recovery(SoakResult& r, const recover::ConvergenceOracle& conv,
+                      const recover::ProgressWatchdog& dog) {
+  for (const std::string& v : conv.violations()) {
+    r.fail("convergence oracle: " + v);
+    r.violations.push_back("recover: " + v);
+  }
+  for (const std::string& v : dog.violations()) {
+    r.fail("progress watchdog: " + v);
+    r.violations.push_back("recover: " + v);
+  }
+}
+
 SoakResult run_tcp(const check::Schedule& schedule,
                    std::size_t payload_bytes, std::size_t read_chunk) {
   SoakResult r;
   const std::uint64_t seed = schedule.seed;
+  // A restart wipes an endpoint's connections: the stream may end short
+  // (still prefix-exact), the handshake may never complete, and the
+  // server's listener must be re-established like init restarting a
+  // daemon after boot.
+  const bool restarts = schedule.has_kind(fault::FaultKind::kHostRestart);
   Net net(schedule);
   check::HostAuditor aud_a(*net.a);
   check::HostAuditor aud_b(*net.b);
   aud_a.install();
   aud_b.install();
 
+  recover::ConvergenceOracle conv;
+  recover::ProgressWatchdog dog;
+  net.watch(conv, dog);
+
   check::DeliveryOracle oracle;
+  oracle.set_allow_truncation(restarts);
   const auto flow = oracle.open_stream("a->b");
   net.b->sockets().set_tap(&oracle);
 
   stack::PcbId accepted = stack::kNoPcb;
+  // Cached at accept time: the socket slot stays addressable across a
+  // crash, while socket_of(accepted) on a wiped pcb would not.
+  stack::SocketId accepted_socket = stack::kNoSocket;
   net.b->tcp().set_accept_hook([&](stack::PcbId id) {
     if (accepted == stack::kNoPcb) {
       accepted = id;
-      oracle.bind_stream_rx(flow, net.b->tcp().socket_of(id));
+      accepted_socket = net.b->tcp().socket_of(id);
+      oracle.bind_stream_rx(flow, accepted_socket);
     }
   });
-  (void)net.b->tcp().listen(80);
+  stack::PcbId listener = net.b->tcp().listen(80);
   const stack::PcbId conn =
       net.a->tcp().connect(ip_from_parts(10, 0, 0, 2), 80);
   net.a->tcp().set_send_tap(
       [&](stack::PcbId id, std::span<const std::uint8_t> bytes) {
         if (id == conn) oracle.stream_sent(flow, bytes);
       });
-  for (int i = 0; i < 1600 &&
+  const auto ensure_listener = [&] {
+    if (!restarts) return;
+    if (net.b->tcp().state(listener) != stack::TcpState::kListen)
+      listener = net.b->tcp().listen(80);
+  };
+  for (int i = 0; i < 1600 && !timed_out() &&
                   net.a->tcp().state(conn) != stack::TcpState::kEstablished;
-       ++i)
+       ++i) {
+    ensure_listener();
     net.tick(0.05);
-  if (net.a->tcp().state(conn) != stack::TcpState::kEstablished) {
-    r.fail("TCP never established");
+  }
+  const bool established =
+      net.a->tcp().state(conn) == stack::TcpState::kEstablished;
+  if (!established && !restarts) {
+    r.fail(timed_out() ? "seed wall-clock budget exceeded (--seed_timeout_ms)"
+                       : "TCP never established");
     return r;
   }
   std::vector<std::uint8_t> payload(payload_bytes);
@@ -241,22 +384,38 @@ SoakResult run_tcp(const check::Schedule& schedule,
   // connection drains.
   std::size_t queued = 0;
   std::vector<std::uint8_t> got;
-  for (int i = 0; i < 2400 && got.size() < payload.size(); ++i) {
-    if (queued < payload.size()) {
+  bool conn_died = false;
+  for (int i = 0; established && i < 2400 && !timed_out() &&
+                  got.size() < payload.size();
+       ++i) {
+    ensure_listener();
+    if (net.a->tcp().state(conn) == stack::TcpState::kClosed)
+      conn_died = true;
+    if (!conn_died && queued < payload.size()) {
       const std::span<const std::uint8_t> rest(payload.data() + queued,
                                                payload.size() - queued);
       if (net.a->tcp().send(conn, rest)) queued = payload.size();
     }
     net.tick(0.05);
-    if (accepted == stack::kNoPcb) continue;
+    if (accepted_socket == stack::kNoSocket) continue;
     std::vector<std::uint8_t> chunk(read_chunk);
-    const std::size_t n =
-        net.b->sockets().read(net.b->tcp().socket_of(accepted), chunk);
+    const std::size_t n = net.b->sockets().read(accepted_socket, chunk);
     got.insert(got.end(), chunk.begin(),
                chunk.begin() + static_cast<std::ptrdiff_t>(n));
+    // Once the connection is dead and the wire is quiet nothing more can
+    // arrive; convergence is judged in the drain below.
+    if (conn_died && net.faults_cleared()) break;
   }
-  if (queued != payload.size()) r.fail("send refused");
-  if (got != payload) {
+  if (restarts) {
+    // Truncation is legitimate; exactness of what did arrive is not
+    // negotiable.
+    if (got.size() > payload.size() ||
+        !std::equal(got.begin(), got.end(), payload.begin()))
+      r.fail("delivered bytes diverge from the sent stream");
+  } else if (queued != payload.size()) {
+    r.fail("send refused");
+  }
+  if (!restarts && got != payload) {
     r.fail("stream not delivered intact");
     std::size_t diff = 0;
     while (diff < got.size() && diff < payload.size() &&
@@ -286,10 +445,17 @@ SoakResult run_tcp(const check::Schedule& schedule,
   }
   net.a->tcp().close(conn);
   if (accepted != stack::kNoPcb) net.b->tcp().close(accepted);
-  for (int i = 0; i < 8; ++i) net.tick(1.0);
+  // The application is done: from here on the stack owes convergence —
+  // every pcb must reach a terminal or quiescent state within the
+  // oracle's pass budget once the faults have cleared.
+  conv.arm();
+  for (int i = 0; i < 8 && !timed_out(); ++i) net.tick(1.0);
+  for (int i = 0; i < 2200 && !conv.settled() && !timed_out(); ++i)
+    net.tick(0.05);
   net.check(r);
   (void)oracle.finalize();
   collect(r, oracle, aud_a, aud_b);
+  collect_recovery(r, conv, dog);
   net.b->sockets().set_tap(nullptr);
   return r;
 }
@@ -301,6 +467,10 @@ SoakResult run_dns(const check::Schedule& schedule) {
   check::HostAuditor aud_b(*net.b);
   aud_a.install();
   aud_b.install();
+
+  recover::ConvergenceOracle conv;
+  recover::ProgressWatchdog dog;
+  net.watch(conv, dog);
 
   dns::DnsServer server(*net.b);
   constexpr int kNames = 8;
@@ -352,7 +522,7 @@ SoakResult run_dns(const check::Schedule& schedule) {
         });
   };
   for (int i = 0; i < kNames; ++i) kick(i);
-  for (int iter = 0; iter < 500; ++iter) {
+  for (int iter = 0; iter < 500 && !timed_out(); ++iter) {
     net.tick(0.25);
     server.poll();
     net.b->pump();
@@ -366,6 +536,8 @@ SoakResult run_dns(const check::Schedule& schedule) {
     }
     if (done) break;
   }
+  if (timed_out())
+    r.fail("seed wall-clock budget exceeded (--seed_timeout_ms)");
   for (int i = 0; i < kNames; ++i) {
     if (!results[i].has_value())
       r.fail("lookup " + std::to_string(i) + " never converged");
@@ -384,10 +556,19 @@ SoakResult run_dns(const check::Schedule& schedule) {
                " answered=" + std::to_string(server.stats().answered) +
                " malformed=" + std::to_string(server.stats().malformed);
   }
+  // No TCP state here, so convergence reduces to "faults cleared and the
+  // graphs drain"; the watchdog still guards against silently held work.
+  conv.arm();
+  for (int i = 0; i < 40 && !conv.settled() && !timed_out(); ++i) {
+    net.tick(0.1);
+    server.poll();
+    resolver.poll();
+  }
   net.check(r);
   (void)to_server.finalize();
   (void)to_resolver.finalize();
   collect(r, to_server, aud_a, aud_b);
+  collect_recovery(r, conv, dog);
   for (const std::string& v : to_resolver.violations()) {
     r.fail("delivery oracle: " + v);
     r.violations.push_back("oracle: " + v);
@@ -398,11 +579,13 @@ SoakResult run_dns(const check::Schedule& schedule) {
 }
 
 SoakResult run_schedule(const check::Schedule& schedule) {
-  if (schedule.scenario == "tcp")
+  arm_deadline();
+  if (schedule.scenario == "tcp" || schedule.scenario == "tcp-heal")
     return run_tcp(schedule, /*payload_bytes=*/8000, /*read_chunk=*/2000);
   if (schedule.scenario == "tcp-slow")
     return run_tcp(schedule, /*payload_bytes=*/24000, /*read_chunk=*/900);
-  if (schedule.scenario == "dns") return run_dns(schedule);
+  if (schedule.scenario == "dns" || schedule.scenario == "dns-heal")
+    return run_dns(schedule);
   SoakResult r;
   r.fail("unknown scenario '" + schedule.scenario + "'");
   return r;
@@ -447,6 +630,7 @@ std::string shrink_and_save(const check::Schedule& failing,
 
 int main(int argc, char** argv) {
   benchutil::Flags flags(argc, argv);
+  g_seed_timeout_ms = flags.u64("seed_timeout_ms", 20000);
 
   // --replay runs one serialised schedule and reports, nothing else.
   const char* replay = flags.str("replay", nullptr);
@@ -476,6 +660,27 @@ int main(int argc, char** argv) {
   const bool verbose = flags.u64("verbose", 0) != 0;
   const bool no_shrink = flags.u64("no_shrink", 0) != 0;
   const std::string out_dir = flags.str("out_dir", ".");
+  const std::string only = flags.str("scenario", "");
+
+  struct ScenarioDef {
+    const char* name;
+    check::Schedule (*make)(std::uint64_t);
+  };
+  constexpr ScenarioDef kScenarios[] = {
+      {"tcp", make_tcp_schedule},         {"tcp-slow", make_tcp_slow_schedule},
+      {"dns", make_dns_schedule},         {"tcp-heal", make_tcp_heal_schedule},
+      {"dns-heal", make_dns_heal_schedule},
+  };
+  constexpr std::size_t kScenarioCount =
+      sizeof(kScenarios) / sizeof(kScenarios[0]);
+  if (!only.empty()) {
+    bool known = false;
+    for (const ScenarioDef& def : kScenarios) known |= only == def.name;
+    if (!known) {
+      std::fprintf(stderr, "error: unknown --scenario '%s'\n", only.c_str());
+      return 2;
+    }
+  }
   std::error_code mkdir_ec;
   std::filesystem::create_directories(out_dir, mkdir_ec);
   ldlp::benchutil::BenchReport report("chaos_soak", flags);
@@ -484,35 +689,37 @@ int main(int argc, char** argv) {
 
   benchutil::heading(
       "Chaos soak: TCP + DNS under seeded fault schedules, oracle-checked");
-  std::printf("seeds [%llu, %llu); horizon %.1f s per plan\n\n",
+  std::printf("seeds [%llu, %llu); horizon %.1f s per plan%s%s\n\n",
               static_cast<unsigned long long>(seed_lo),
-              static_cast<unsigned long long>(seed_hi), kHorizon);
+              static_cast<unsigned long long>(seed_hi), kHorizon,
+              only.empty() ? "" : "; scenario ",
+              only.empty() ? "" : only.c_str());
 
   std::uint64_t failures = 0;
-  std::uint64_t tcp_failures = 0;
-  std::uint64_t dns_failures = 0;
+  std::uint64_t scenario_failures[kScenarioCount] = {};
   std::string failing_seeds;
   for (std::uint64_t seed = seed_lo; seed < seed_hi; ++seed) {
-    const check::Schedule tcp_schedule = make_tcp_schedule(seed);
-    const check::Schedule slow_schedule = make_tcp_slow_schedule(seed);
-    const check::Schedule dns_schedule = make_dns_schedule(seed);
-    const SoakResult tcp = run_schedule(tcp_schedule);
-    const SoakResult slow = run_schedule(slow_schedule);
-    const SoakResult dns_r = run_schedule(dns_schedule);
-    const bool pass = tcp.pass && slow.pass && dns_r.pass;
-    if (!tcp.pass || !slow.pass) ++tcp_failures;
-    if (!dns_r.pass) ++dns_failures;
-    std::printf("seed %6llu  tcp:%s  tcp-slow:%s  dns:%s\n",
-                static_cast<unsigned long long>(seed),
-                tcp.pass ? "PASS" : "FAIL", slow.pass ? "PASS" : "FAIL",
-                dns_r.pass ? "PASS" : "FAIL");
+    bool pass = true;
+    std::printf("seed %6llu", static_cast<unsigned long long>(seed));
+    std::vector<std::pair<SoakResult, check::Schedule>> failed;
+    for (std::size_t si = 0; si < kScenarioCount; ++si) {
+      const ScenarioDef& def = kScenarios[si];
+      if (!only.empty() && only != def.name) continue;
+      check::Schedule schedule = def.make(seed);
+      SoakResult res = run_schedule(schedule);
+      std::printf("  %s:%s", def.name, res.pass ? "PASS" : "FAIL");
+      if (!res.pass) {
+        pass = false;
+        ++scenario_failures[si];
+        failed.emplace_back(std::move(res), std::move(schedule));
+      }
+    }
+    std::printf("\n");
     if (!pass || verbose) {
-      if (!tcp.pass) print_failure(tcp, tcp_schedule);
-      if (!slow.pass) print_failure(slow, slow_schedule);
-      if (!dns_r.pass) print_failure(dns_r, dns_schedule);
-      if (!tcp.pass && !no_shrink) shrink_and_save(tcp_schedule, out_dir);
-      if (!slow.pass && !no_shrink) shrink_and_save(slow_schedule, out_dir);
-      if (!dns_r.pass && !no_shrink) shrink_and_save(dns_schedule, out_dir);
+      for (const auto& [res, schedule] : failed) {
+        print_failure(res, schedule);
+        if (!no_shrink) shrink_and_save(schedule, out_dir);
+      }
       std::printf(
           "  reproduce: chaos_soak --seed_lo=%llu --seed_hi=%llu "
           "--verbose=1\n",
@@ -529,11 +736,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(seeds - failures),
               static_cast<unsigned long long>(seeds));
   report.config("failing_seeds", failing_seeds);
+  if (!only.empty()) report.config("scenario", only);
   report.tolerance(0.0);  // pass/fail counts must match exactly
   report.metric("seeds_run", static_cast<double>(seeds));
   report.metric("seeds_failed", static_cast<double>(failures));
-  report.metric("tcp_failures", static_cast<double>(tcp_failures));
-  report.metric("dns_failures", static_cast<double>(dns_failures));
+  // Legacy rollups (tcp covers both loss-profile TCP scenarios) plus a
+  // combined healing-scenario count.
+  report.metric("tcp_failures", static_cast<double>(scenario_failures[0] +
+                                                    scenario_failures[1]));
+  report.metric("dns_failures", static_cast<double>(scenario_failures[2]));
+  report.metric("heal_failures", static_cast<double>(scenario_failures[3] +
+                                                     scenario_failures[4]));
   report.write();
   return failures == 0 ? 0 : 1;
 }

@@ -106,6 +106,7 @@ void DeliveryOracle::on_datagram(stack::SocketId id,
 bool DeliveryOracle::finalize() {
   for (const StreamFlow& f : streams_) {
     if (f.poisoned) continue;  // already condemned with a better message
+    if (allow_truncation_) continue;  // prefix-exactness already enforced
     if (f.delivered != f.sent.size()) {
       violation("stream '" + f.label + "': only " +
                 std::to_string(f.delivered) + " of " +

@@ -69,6 +69,15 @@ class DeliveryOracle final : public stack::SocketTap {
     allow_duplicates_ = allow;
   }
 
+  /// Permit stream flows to end short (set when the fault plan contains
+  /// host-restart episodes — a crashed endpoint legitimately truncates
+  /// the stream). Every byte that *does* arrive must still be the exact
+  /// in-order continuation; only finalize()'s completeness demand is
+  /// relaxed.
+  void set_allow_truncation(bool allow) noexcept {
+    allow_truncation_ = allow;
+  }
+
   // stack::SocketTap
   void on_stream_append(stack::SocketId id,
                         std::span<const std::uint8_t> bytes) override;
@@ -112,6 +121,7 @@ class DeliveryOracle final : public stack::SocketTap {
   std::map<stack::SocketId, FlowId> stream_rx_;
   std::map<stack::SocketId, FlowId> datagram_rx_;
   bool allow_duplicates_ = false;
+  bool allow_truncation_ = false;
   std::vector<std::string> violations_;
   OracleStats stats_;
 };

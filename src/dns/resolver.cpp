@@ -201,9 +201,19 @@ void DnsResolver::poll() {
     }
     if (inflight.tries > cfg_.max_retries) {
       ++stats_.failures;
+      ++stats_.exhaustions_cached;
       std::vector<Callback> callbacks = std::move(inflight.callbacks);
       const std::string name = inflight.name;
       it = inflight_.erase(it);
+      // Remember the unreachable name briefly so a retry storm can't
+      // hammer a dead path; the cache is written before the callbacks
+      // fire so a re-entrant resolve() is absorbed by it.
+      const auto prev = cache_.find(name);
+      const double last = prev == cache_.end() ? 0.0 : prev->second.backoff;
+      const double ttl = last <= 0.0
+                             ? cfg_.failure_ttl
+                             : std::min(last * 2.0, cfg_.failure_ttl_max);
+      cache_[name] = CacheEntry{std::nullopt, host_.now() + ttl, ttl};
       for (Callback& cb : callbacks) cb(name, std::nullopt);
       continue;
     }

@@ -74,6 +74,7 @@ struct ResolverStats {
   std::uint64_t retries = 0;
   std::uint64_t answers = 0;
   std::uint64_t failures = 0;
+  std::uint64_t exhaustions_cached = 0;  ///< Retry-exhaustion negatives.
 };
 
 class DnsResolver {
@@ -90,6 +91,14 @@ class DnsResolver {
     double retry_max_sec = 2.0;  ///< Backoff ceiling.
     std::uint32_t max_retries = 3;
     double negative_ttl = 30.0;
+    /// Negative-cache TTL written when a lookup exhausts its retries —
+    /// a dead or partitioned server, as opposed to an authoritative
+    /// NXDOMAIN. Short by design: the cache absorbs a retry storm
+    /// without wedging recovery once the path heals. Consecutive
+    /// exhaustions for the same name double the TTL up to
+    /// failure_ttl_max; any answer resets the backoff.
+    double failure_ttl = 0.25;
+    double failure_ttl_max = 4.0;
   };
 
   DnsResolver(stack::Host& host, Config config);
@@ -115,6 +124,11 @@ class DnsResolver {
   struct CacheEntry {
     std::optional<std::uint32_t> address;  ///< nullopt = negative entry.
     double expires_at = 0.0;
+    /// Last retry-exhaustion TTL for this name (0 = none). Kept in the
+    /// entry past expiry so consecutive-failure memory survives — the
+    /// expired entry is no longer served, but the next exhaustion
+    /// continues the backoff instead of restarting it.
+    double backoff = 0.0;
   };
   struct Inflight {
     std::string name;

@@ -17,6 +17,9 @@ const char* fault_kind_name(FaultKind kind) noexcept {
     case FaultKind::kDeviceStall: return "device-stall";
     case FaultKind::kPoolExhaustion: return "pool-exhaustion";
     case FaultKind::kGilbertElliott: return "gilbert-elliott";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kLinkFlap: return "link-flap";
+    case FaultKind::kHostRestart: return "host-restart";
   }
   return "?";
 }
@@ -36,17 +39,12 @@ FaultPlan& FaultPlan::add(Episode episode) {
   return *this;
 }
 
-FaultPlan FaultPlan::random(std::uint64_t seed, double horizon_sec,
-                            std::size_t episodes) {
-  Rng rng(seed ^ 0xfa017b00c5ULL);
-  FaultPlan plan;
-  for (std::size_t i = 0; i < episodes; ++i) {
-    Episode e;
-    e.kind = static_cast<FaultKind>(rng.bounded(kFaultKindCount));
-    const double duration = horizon_sec * rng.uniform(0.10, 0.30);
-    e.start = rng.uniform(0.0, horizon_sec - duration);
-    e.end = e.start + duration;
-    switch (e.kind) {
+namespace {
+
+// Shared by random() and random_heal(): fill in the kind-specific knobs
+// for one episode whose kind and window are already chosen.
+void parameterize(Episode& e, Rng& rng, double horizon_sec, double duration) {
+  switch (e.kind) {
       case FaultKind::kLossBurst:
         e.rate = rng.uniform(0.2, 0.9);
         break;
@@ -78,7 +76,64 @@ FaultPlan FaultPlan::random(std::uint64_t seed, double horizon_sec,
         e.magnitude = rng.uniform(0.02, 0.20);          // Good→Bad per frame
         e.param = static_cast<std::uint32_t>(rng.bounded(7) + 2);  // burst len
         break;
+      case FaultKind::kPartition:
+        // Total blackhole; keep it short so the convergence budget after
+        // end_time() dominates the run, not the outage itself.
+        e.rate = 1.0;
+        e.end = e.start + std::min(duration, horizon_sec * 0.20);
+        break;
+      case FaultKind::kLinkFlap:
+        e.rate = rng.uniform(0.3, 0.7);                 // down duty-cycle
+        e.magnitude = rng.uniform(0.02, 0.10);          // cycle period (sec)
+        break;
+      case FaultKind::kHostRestart:
+        // One crash at episode start; the host stays dark until the end.
+        e.end = e.start + std::min(duration, horizon_sec * 0.15);
+        break;
     }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::random(std::uint64_t seed, double horizon_sec,
+                            std::size_t episodes) {
+  Rng rng(seed ^ 0xfa017b00c5ULL);
+  FaultPlan plan;
+  for (std::size_t i = 0; i < episodes; ++i) {
+    Episode e;
+    // Legacy kinds only: drawing from the full kind set would silently
+    // remap every historical seed's plan.
+    e.kind = static_cast<FaultKind>(rng.bounded(kLegacyFaultKindCount));
+    const double duration = horizon_sec * rng.uniform(0.10, 0.30);
+    e.start = rng.uniform(0.0, horizon_sec - duration);
+    e.end = e.start + duration;
+    parameterize(e, rng, horizon_sec, duration);
+    plan.add(e);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random_heal(std::uint64_t seed, double horizon_sec,
+                                 std::size_t episodes, bool allow_restart) {
+  Rng rng(seed ^ 0x4ea1b0075ULL);
+  FaultPlan plan;
+  const std::size_t kinds =
+      allow_restart ? kFaultKindCount : kFaultKindCount - 1;
+  for (std::size_t i = 0; i < episodes; ++i) {
+    Episode e;
+    if (i == 0) {
+      // Guarantee at least one healing episode per plan; otherwise small
+      // plans frequently degenerate into pure legacy adversity.
+      const std::size_t heal_kinds = kinds - kLegacyFaultKindCount;
+      e.kind = static_cast<FaultKind>(kLegacyFaultKindCount +
+                                      rng.bounded(heal_kinds));
+    } else {
+      e.kind = static_cast<FaultKind>(rng.bounded(kinds));
+    }
+    const double duration = horizon_sec * rng.uniform(0.10, 0.30);
+    e.start = rng.uniform(0.0, horizon_sec - duration);
+    e.end = e.start + duration;
+    parameterize(e, rng, horizon_sec, duration);
     plan.add(e);
   }
   return plan;

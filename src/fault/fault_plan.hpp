@@ -30,9 +30,26 @@ enum class FaultKind : std::uint8_t {
                     ///< per-frame probability `magnitude`, Bad→Good with
                     ///< probability 1/`param` (mean burst of `param`
                     ///< frames), dropping at `rate` while Bad.
+  kPartition,       ///< Bidirectional blackhole: the attached host's
+                    ///< device drops every frame in both directions for
+                    ///< the episode (rate/param/magnitude unused).
+  kLinkFlap,        ///< Carrier down/up cycles: every `magnitude` seconds
+                    ///< the link repeats one cycle whose first `rate`
+                    ///< fraction is carrier-down; frames in either
+                    ///< direction during a down phase are lost.
+  kHostRestart,     ///< Host crash + reboot: protocol state (TCP PCBs,
+                    ///< sockets, ARP, reassembly, device ring) is wiped
+                    ///< at episode start and the host is dark — dropping
+                    ///< all frames — until the episode ends.
 };
 
-inline constexpr std::size_t kFaultKindCount = 8;
+inline constexpr std::size_t kFaultKindCount = 11;
+
+/// Kinds the original (pre-recovery) chaos soaks draw from. Keeping the
+/// legacy random() sampler on this prefix preserves every historical
+/// (seed → plan) mapping; the recovery kinds only enter plans through
+/// random_heal() or explicit episodes.
+inline constexpr std::size_t kLegacyFaultKindCount = 8;
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
 
@@ -62,9 +79,20 @@ class FaultPlan {
   /// A randomized-but-seeded plan: `episodes` fault windows drawn over
   /// [0, horizon_sec), with kind, intensity and placement all derived
   /// from `seed`. Windows may overlap — compound adversity is the point.
+  /// Draws only the legacy kinds (see kLegacyFaultKindCount) so existing
+  /// seeds keep their exact historical plans.
   [[nodiscard]] static FaultPlan random(std::uint64_t seed,
                                         double horizon_sec,
                                         std::size_t episodes = 6);
+
+  /// Like random(), but the draw includes the network-healing kinds —
+  /// partition and link_flap always, host_restart when `allow_restart`.
+  /// Recovery episodes are kept short relative to the horizon so the
+  /// post-fault convergence budget stays meaningful.
+  [[nodiscard]] static FaultPlan random_heal(std::uint64_t seed,
+                                             double horizon_sec,
+                                             std::size_t episodes = 6,
+                                             bool allow_restart = true);
 
   [[nodiscard]] const std::vector<Episode>& episodes() const noexcept {
     return episodes_;

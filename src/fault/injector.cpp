@@ -1,6 +1,7 @@
 #include "fault/injector.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace ldlp::fault {
 
@@ -113,6 +114,40 @@ FrameVerdict FaultInjector::on_frame(std::vector<std::uint8_t>& bytes) {
     ++stats_.reordered;
   }
   return v;
+}
+
+bool FaultInjector::link_blocked() const noexcept {
+  const double t = now();
+  if (plan_.active(FaultKind::kPartition, t) != nullptr) return true;
+  if (plan_.active(FaultKind::kHostRestart, t) != nullptr) return true;
+  if (const Episode* e = plan_.active(FaultKind::kLinkFlap, t);
+      e != nullptr) {
+    const double period = std::max(e->magnitude, 1e-9);
+    const double phase = std::fmod(t - e->start, period);
+    if (phase < e->rate * period) return true;
+  }
+  return false;
+}
+
+void FaultInjector::count_blocked_frame() noexcept {
+  const double t = now();
+  // Attribute to the most specific cause: a restart outage is also a
+  // blackhole, but its losses belong to the restart counter.
+  if (plan_.active(FaultKind::kHostRestart, t) != nullptr) {
+    ++stats_.restart_dropped;
+  } else if (plan_.active(FaultKind::kPartition, t) != nullptr) {
+    ++stats_.partition_dropped;
+  } else {
+    ++stats_.flap_dropped;
+  }
+}
+
+bool FaultInjector::host_restart_pending() noexcept {
+  const Episode* e = plan_.active(FaultKind::kHostRestart, now());
+  if (e == nullptr || e == last_restart_) return false;
+  last_restart_ = e;
+  ++stats_.host_restarts;
+  return true;
 }
 
 MessageVerdict FaultInjector::on_message() {

@@ -36,6 +36,10 @@ struct FaultStats {
   std::uint64_t burst_entries = 0;   ///< Good→Bad transitions taken.
   std::uint64_t pool_squeezes = 0;   ///< Mbufs taken hostage, cumulative.
   std::size_t mbufs_held_peak = 0;
+  std::uint64_t partition_dropped = 0;  ///< Frames lost to a blackhole.
+  std::uint64_t flap_dropped = 0;       ///< Frames lost to carrier-down.
+  std::uint64_t restart_dropped = 0;    ///< Frames lost while host dark.
+  std::uint64_t host_restarts = 0;      ///< Crash/reboot cycles executed.
 };
 
 /// Frame-scope decision. When `delayed` is set the injector has taken the
@@ -79,6 +83,26 @@ class FaultInjector {
     return plan_.active(FaultKind::kDeviceStall, now()) != nullptr;
   }
 
+  /// True while frames must be lost in *both* directions: a partition
+  /// episode, the carrier-down phase of a link-flap cycle, or the dark
+  /// window of a host restart. Pure function of (plan, now) — no RNG —
+  /// so TX and RX observe the same outages and schedules stay shrinkable.
+  [[nodiscard]] bool link_blocked() const noexcept;
+
+  /// Bump the per-cause blocked-frame counter; the device calls this for
+  /// each frame it discards because link_blocked() held.
+  void count_blocked_frame() noexcept;
+
+  /// True while a host-restart episode is active (the host is dark).
+  [[nodiscard]] bool host_down() const noexcept {
+    return plan_.active(FaultKind::kHostRestart, now()) != nullptr;
+  }
+
+  /// One-shot crash trigger: returns true exactly once per host-restart
+  /// episode, at the first query after the episode begins. The host wipes
+  /// its protocol state when it sees true (Host::advance does).
+  [[nodiscard]] bool host_restart_pending() noexcept;
+
   /// Delayed frames whose release time has passed, in release order.
   [[nodiscard]] std::vector<std::vector<std::uint8_t>> collect_released();
   [[nodiscard]] std::size_t delayed_pending() const noexcept {
@@ -117,6 +141,7 @@ class FaultInjector {
   Rng rng_;
   const double* now_sec_ = nullptr;
   bool ge_bad_ = false;  ///< Gilbert-Elliott channel state (Bad = bursty).
+  const Episode* last_restart_ = nullptr;  ///< Episode already crashed for.
   std::vector<Delayed> delayed_;
   buf::MbufPool* squeezed_pool_ = nullptr;
   std::vector<buf::Mbuf*> held_;

@@ -95,6 +95,12 @@ void publish_fault(Registry& registry, const fault::FaultInjector& injector,
               fs.burst_dropped);
   set_counter(registry, join(prefix, "burst_entries"), fs.burst_entries);
   set_counter(registry, join(prefix, "pool_squeezes"), fs.pool_squeezes);
+  set_counter(registry, join(prefix, "frames_partition_dropped"),
+              fs.partition_dropped);
+  set_counter(registry, join(prefix, "frames_flap_dropped"), fs.flap_dropped);
+  set_counter(registry, join(prefix, "frames_restart_dropped"),
+              fs.restart_dropped);
+  set_counter(registry, join(prefix, "host_restarts"), fs.host_restarts);
   registry.gauge(join(prefix, "mbufs_held_peak"))
       .set(static_cast<double>(fs.mbufs_held_peak));
   registry.gauge(join(prefix, "delayed_pending"))
@@ -134,6 +140,9 @@ void publish_host(Registry& registry, stack::Host& host,
   set_counter(registry, join(p, "arp.requests_allowed"), as.requests_allowed);
   set_counter(registry, join(p, "arp.requests_suppressed"),
               as.requests_suppressed);
+  set_counter(registry, join(p, "arp.retries"), as.retries);
+  set_counter(registry, join(p, "arp.resolve_failures"),
+              as.resolve_failures);
 
   const stack::IpStats& is = host.ip().ip_stats();
   set_counter(registry, join(p, "ip.rx"), is.rx);
@@ -156,6 +165,9 @@ void publish_host(Registry& registry, stack::Host& host,
   set_counter(registry, join(p, "tcp.pcb_cache_hits"), ts.pcb_cache_hits);
   set_counter(registry, join(p, "tcp.pcb_cache_misses"), ts.pcb_cache_misses);
   set_counter(registry, join(p, "tcp.rsts_sent"), ts.rsts_sent);
+  set_counter(registry, join(p, "tcp.rsts_ignored"), ts.rsts_ignored);
+  set_counter(registry, join(p, "tcp.time_wait_reuses"), ts.time_wait_reuses);
+  set_counter(registry, join(p, "tcp.keepalive_drops"), ts.keepalive_drops);
   set_counter(registry, join(p, "tcp.conns_established"),
               ts.conns_established);
   set_counter(registry, join(p, "tcp.conns_reset"), ts.conns_reset);

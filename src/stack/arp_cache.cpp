@@ -71,6 +71,41 @@ bool ArpCache::audit(std::string* why) const {
   return true;
 }
 
+std::vector<std::uint32_t> ArpCache::poll_retries(double now) {
+  std::vector<std::uint32_t> due;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    PendingState& state = it->second;
+    if (state.packets.empty()) {
+      ++it;
+      continue;
+    }
+    if (state.retry_deadline == 0.0) {
+      // First timer pass after the park: arm only. The park itself
+      // already sent a request; the timer exists for when that one dies.
+      state.retry_deadline = now + state.retry_gap_sec;
+      ++it;
+      continue;
+    }
+    if (now < state.retry_deadline) {
+      ++it;
+      continue;
+    }
+    if (state.tries >= kMaxTries) {
+      ++stats_.resolve_failures;
+      pending_total_ -= state.packets.size();
+      it = pending_.erase(it);  // frees the parked packets
+      continue;
+    }
+    ++state.tries;
+    ++stats_.retries;
+    state.retry_gap_sec = std::min(state.retry_gap_sec * 2.0, kMaxRetryGapSec);
+    state.retry_deadline = now + state.retry_gap_sec;
+    due.push_back(it->first);
+    ++it;
+  }
+  return due;
+}
+
 std::vector<buf::Packet> ArpCache::take_pending(std::uint32_t ip) {
   const auto it = pending_.find(ip);
   if (it == pending_.end()) return {};

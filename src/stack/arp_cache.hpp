@@ -23,6 +23,8 @@ struct ArpCacheStats {
   std::uint64_t park_drops = 0;  ///< Packets refused (per-IP or global cap).
   std::uint64_t requests_allowed = 0;
   std::uint64_t requests_suppressed = 0;  ///< Backoff said "not yet".
+  std::uint64_t retries = 0;            ///< Timer-driven re-requests.
+  std::uint64_t resolve_failures = 0;   ///< Entries that exhausted retries.
 };
 
 class ArpCache {
@@ -51,11 +53,30 @@ class ArpCache {
   /// Remove and return the packets parked on `ip` (called on resolution).
   [[nodiscard]] std::vector<buf::Packet> take_pending(std::uint32_t ip);
 
+  /// Timer hook (4.4BSD arptimer): returns the IPs whose pending
+  /// resolution is due for a re-request. Park-triggered requests alone
+  /// deadlock when the one request for a lone parked packet is lost —
+  /// nothing ever parks again, so nothing ever re-requests, and the
+  /// packet (an mbuf) is parked forever. Retries back off 0.5 s
+  /// doubling to 4 s; an IP that stays silent past `kMaxTries` retries
+  /// has its parked packets dropped (freed) and is forgotten —
+  /// resolution failure, as BSD's EHOSTDOWN, not a leak.
+  [[nodiscard]] std::vector<std::uint32_t> poll_retries(double now);
+
   [[nodiscard]] std::size_t entries() const noexcept { return table_.size(); }
   [[nodiscard]] std::size_t pending_total() const noexcept {
     return pending_total_;
   }
   [[nodiscard]] const ArpCacheStats& stats() const noexcept { return stats_; }
+
+  /// Forget everything — resolutions, parked packets, backoff state — as
+  /// a crashing host does (FaultKind::kHostRestart). Parked packets are
+  /// freed, not transmitted.
+  void flush() noexcept {
+    table_.clear();
+    pending_.clear();
+    pending_total_ = 0;
+  }
 
   /// Structural invariant check for chaos builds: pending accounting
   /// matches the queues, caps are respected, and no IP is simultaneously
@@ -68,9 +89,14 @@ class ArpCache {
     std::uint32_t parks = 0;          ///< Packets parked since creation.
     std::uint32_t next_request = 1;   ///< Park count of the next request.
     std::uint32_t gap = 2;            ///< Current backoff gap, doubling.
+    double retry_deadline = 0.0;      ///< 0 = not yet armed by the timer.
+    double retry_gap_sec = 0.5;       ///< Timer backoff, doubling to cap.
+    std::uint32_t tries = 0;          ///< Timer retries issued so far.
   };
 
   static constexpr std::uint32_t kMaxRequestGap = 64;
+  static constexpr double kMaxRetryGapSec = 4.0;
+  static constexpr std::uint32_t kMaxTries = 5;
 
   std::size_t max_pending_;
   std::size_t max_pending_total_;

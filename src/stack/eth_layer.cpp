@@ -135,4 +135,10 @@ void EthLayer::output_ip(buf::Packet datagram, std::uint32_t next_hop_ip) {
   send_frame(std::move(datagram), *mac, wire::EtherType::kIpv4);
 }
 
+void EthLayer::on_timer(double now) {
+  for (const std::uint32_t ip : arp_.poll_retries(now)) {
+    send_arp(wire::ArpOp::kRequest, ip, {});
+  }
+}
+
 }  // namespace ldlp::stack

@@ -33,6 +33,10 @@ class EthLayer final : public core::Layer {
   /// Resolves via ARP; parks the packet and emits a request on a miss.
   void output_ip(buf::Packet datagram, std::uint32_t next_hop_ip);
 
+  /// Re-request stalled ARP resolutions (and expire hopeless ones).
+  /// Called from Host::advance with the host clock.
+  void on_timer(double now);
+
   [[nodiscard]] const EthLayerStats& eth_stats() const noexcept {
     return stats_;
   }

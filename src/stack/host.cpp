@@ -43,10 +43,20 @@ void Host::attach_fault(fault::FaultInjector* injector) noexcept {
   if (fault_ != nullptr) fault_->set_clock(&now_);
 }
 
+void Host::restart() {
+  tcp_->crash();
+  sock_->crash();
+  eth_->arp().flush();
+  ip_->flush_reassembly();
+  (void)dev_.clear_rx_ring();
+}
+
 void Host::advance(double dt_sec) {
   now_ += dt_sec;
+  if (fault_ != nullptr && fault_->host_restart_pending()) restart();
   tcp_->on_timer();
   igmp_->on_timer();
+  eth_->on_timer(now_);
   ip_->expire_reassembly();
   if (fault_ != nullptr) fault_->apply_pool_pressure(pool_);
 }

@@ -64,6 +64,16 @@ class Host {
   /// Advance simulated time and fire protocol timers.
   void advance(double dt_sec);
 
+  /// Crash and reboot in place: TCP PCBs, socket buffers, the ARP cache,
+  /// partial reassemblies, and the device RX ring are wiped — none of
+  /// that survives a power cycle — while the scheduler's in-flight queues
+  /// (software, conceptually re-run after boot) and every statistics
+  /// counter (the observer's ledger, not the host's) are preserved, so
+  /// the chaos conservation laws keep holding across the crash.
+  /// advance() calls this when the attached injector reports a pending
+  /// FaultKind::kHostRestart episode; tests may call it directly.
+  void restart();
+
   /// Drain the device RX ring through the stack. Returns frames handled.
   /// Under LDLP the whole backlog is injected first and the graph then
   /// runs layer by layer; conventionally each frame runs to completion.

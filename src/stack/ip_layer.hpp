@@ -67,6 +67,8 @@ class Ip4Layer final : public core::Layer {
   /// groups and protocol-2 delivery).
   void set_igmp(IgmpHost* igmp) noexcept { igmp_ = igmp; }
   void expire_reassembly();
+  /// Host restart: partial datagrams do not survive a crash.
+  void flush_reassembly() noexcept { reasm_.clear(); }
 
   [[nodiscard]] const IpStats& ip_stats() const noexcept { return stats_; }
   [[nodiscard]] const ReassemblyTable& reassembly() const noexcept {

@@ -26,6 +26,14 @@ bool NetDevice::transmit(buf::Packet frame) noexcept {
     ++stats_.tx_drops;
     return false;
   }
+  // Outage faults are bidirectional: a partition, a carrier-down flap
+  // phase, or a dark (restarting) host loses frames leaving this side
+  // just as inject() loses frames arriving at it.
+  if (fault_ != nullptr && fault_->link_blocked()) {
+    fault_->count_blocked_frame();
+    ++stats_.tx_drops;
+    return false;
+  }
   // Driver transmit path: stage the frame into device buffer memory.
   trace_fn(Fn::kLeStart);
   trace_fn(Fn::kCopyToBufGap2);
@@ -67,6 +75,11 @@ void NetDevice::ring_push(std::vector<std::uint8_t> frame_bytes,
 }
 
 void NetDevice::inject(std::vector<std::uint8_t> frame_bytes) noexcept {
+  if (fault_ != nullptr && fault_->link_blocked()) {
+    fault_->count_blocked_frame();
+    ++stats_.rx_drops;
+    return;
+  }
   if (loss_rate_ > 0.0 && loss_rng_.chance(loss_rate_)) {
     ++stats_.rx_drops;
     return;
@@ -92,6 +105,13 @@ void NetDevice::inject(std::vector<std::uint8_t> frame_bytes) noexcept {
 void NetDevice::poll() noexcept {
   if (fault_ == nullptr) return;
   for (auto& bytes : fault_->collect_released()) ring_push(std::move(bytes), 0);
+}
+
+std::size_t NetDevice::clear_rx_ring() noexcept {
+  const std::size_t lost = rx_ring_.size();
+  stats_.rx_drops += lost;
+  rx_ring_.clear();
+  return lost;
 }
 
 buf::Packet NetDevice::receive() noexcept {

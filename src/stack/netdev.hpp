@@ -98,6 +98,11 @@ class NetDevice {
   /// Called by Host::pump; harmless without an injector.
   void poll() noexcept;
 
+  /// Discard every frame waiting in the RX ring — device memory does not
+  /// survive a host crash (FaultKind::kHostRestart). Returns how many
+  /// frames were lost; they are counted as rx_drops.
+  std::size_t clear_rx_ring() noexcept;
+
  private:
   std::string name_;
   wire::MacAddr mac_;

@@ -38,6 +38,10 @@ class ReassemblyTable {
   /// Drop datagrams older than the timeout.
   void expire(double now_sec);
 
+  /// Drop every partial datagram (host restart): fragments held across a
+  /// crash never complete, the peer's transport retransmits instead.
+  void clear() noexcept { table_.clear(); }
+
   [[nodiscard]] const ReassemblyStats& stats() const noexcept {
     return stats_;
   }

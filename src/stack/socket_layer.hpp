@@ -80,6 +80,19 @@ class SocketLayer final : public core::Layer {
   /// (nullptr detaches). Used by chaos builds; nullptr costs one branch.
   void set_tap(SocketTap* tap) noexcept { tap_ = tap; }
 
+  /// Host crash: unread buffers and application wakeup hooks are gone,
+  /// but the socket slots stay addressable — in-flight stream messages
+  /// already in the scheduler's queues still land somewhere (on a dead
+  /// socket, harmlessly) rather than faulting. Stats survive; they
+  /// describe the machine, not the incarnation.
+  void crash() {
+    for (Socket& s : sockets_) {
+      s.stream.clear();
+      s.dgrams.clear();
+      s.wakeup = nullptr;
+    }
+  }
+
  protected:
   /// Stream delivery: msg.flow_id is the SocketId, packet holds payload.
   void process(core::Message msg) override;

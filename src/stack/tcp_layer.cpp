@@ -72,6 +72,7 @@ PcbId TcpLayer::connect(std::uint32_t dst_ip, std::uint16_t dst_port) {
   p.snd_wnd = 1;  // enough for the handshake; real window arrives with it
   p.mss = cfg_.mss;
   p.rto_sec = cfg_.rto_initial_sec;
+  p.last_rcv_time = now();
   p.socket = sockets_.create(SocketKind::kStream);
   send_segment(id, kSyn, {}, /*retransmission=*/false);
   return id;
@@ -207,7 +208,7 @@ void TcpLayer::process(core::Message msg) {
   }
 
   const std::uint32_t payload_len = total_len - header->header_len();
-  const PcbId id = demux(src_ip, header->src_port, dst_ip, header->dst_port);
+  PcbId id = demux(src_ip, header->src_port, dst_ip, header->dst_port);
   if (id == kNoPcb) {
     ++stats_.no_pcb;
     if (!header->has(kRst)) {
@@ -225,8 +226,29 @@ void TcpLayer::process(core::Message msg) {
     return;
   }
 
+  // TIME_WAIT reuse (2MSL shortcut, 4.4BSD): a fresh SYN whose sequence
+  // is strictly beyond the old incarnation's receive point cannot be a
+  // stray duplicate of it, so the wait may be cut short — retire the old
+  // PCB and hand the SYN to the listener on the same port.
+  if (pcb(id).state == TcpState::kTimeWait && header->has(kSyn) &&
+      !header->has(kAck) && !header->has(kRst) &&
+      seq_gt(header->seq, pcb(id).rcv_nxt)) {
+    const std::uint16_t port = pcb(id).local_port;
+    for (PcbId lid = 0; lid < pcbs_.size(); ++lid) {
+      if (pcbs_[lid]->state == TcpState::kListen &&
+          pcbs_[lid]->local_port == port) {
+        ++stats_.time_wait_reuses;
+        reset_connection(id);
+        id = lid;
+        break;
+      }
+    }
+  }
+
   TcpPcb& p = pcb(id);
   ++p.stats.segs_in;
+  p.last_rcv_time = now();
+  p.keep_probes_sent = 0;  // any segment is proof of life
 
   // ---- LISTEN ----------------------------------------------------------
   if (p.state == TcpState::kListen) {
@@ -253,6 +275,7 @@ void TcpLayer::process(core::Message msg) {
     child.snd_wnd = header->window;
     child.mss = std::min(cfg_.mss, header->mss.value_or(536));
     child.rto_sec = cfg_.rto_initial_sec;
+    child.last_rcv_time = now();
     child.socket = sockets_.create(SocketKind::kStream);
     send_segment(child_id, static_cast<std::uint8_t>(kSyn | kAck), {},
                  /*retransmission=*/false);
@@ -340,7 +363,32 @@ void TcpLayer::process(core::Message msg) {
     return;
   }
 
+  // Zero-length acceptability (RFC 793): a segment carrying no sequence
+  // space is acceptable only at rcv_nxt (window closed) or inside the
+  // receive window. An unacceptable one gets an ACK in reply — which is
+  // exactly how a live endpoint answers a keepalive probe (its sequence
+  // sits one below rcv_nxt) — unless it is a RST, which must be dropped
+  // silently: replying would start an ACK war, and honouring it would
+  // hand blind off-window RSTs a connection kill.
+  if (seg_space == 0) {
+    const std::uint32_t rwnd = advertised_window(p);
+    const bool acceptable =
+        rwnd == 0 ? header->seq == p.rcv_nxt
+                  : (seq_geq(header->seq, p.rcv_nxt) &&
+                     seq_lt(header->seq, p.rcv_nxt + rwnd));
+    if (!acceptable) {
+      if (header->has(kRst)) {
+        ++stats_.rsts_ignored;
+      } else {
+        ++p.stats.dup_acks_sent;
+        send_ack(id);
+      }
+      return;
+    }
+  }
+
   if (header->has(kRst)) {
+    // In-window by the checks above: a valid abort from the peer.
     reset_connection(id);
     return;
   }
@@ -522,7 +570,7 @@ void TcpLayer::try_send_data(PcbId id) {
   const bool zero_window_stall =
       p.snd_wnd == 0 && p.rtx.empty() && !p.send_buffer.empty() &&
       (p.state == TcpState::kEstablished || p.state == TcpState::kCloseWait);
-  if (zero_window_stall) {
+  if (zero_window_stall && cfg_.enable_persist_timer) {
     if (!std::isfinite(p.persist_deadline))
       p.persist_deadline = now() + p.rto_sec;
   } else {
@@ -661,6 +709,7 @@ void TcpLayer::cancel_timers(TcpPcb& p) noexcept {
   p.persist_deadline = std::numeric_limits<double>::infinity();
   p.retries = 0;
   p.segs_since_ack = 0;
+  p.keep_probes_sent = 0;
 }
 
 void TcpLayer::enter_time_wait(PcbId id) {
@@ -689,6 +738,14 @@ void TcpLayer::reset_connection(PcbId id) {
   p.fin_received = false;
 }
 
+void TcpLayer::crash() {
+  // No RSTs, no state transitions observable on the wire: the machine
+  // simply stops existing mid-thought. Each slot is reinitialised so
+  // alloc_pcb() can hand it out fresh after the reboot.
+  for (auto& p : pcbs_) *p = TcpPcb{};
+  last_pcb_ = kNoPcb;
+}
+
 void TcpLayer::on_timer() {
   const double t = now();
   for (PcbId id = 0; id < pcbs_.size(); ++id) {
@@ -708,6 +765,30 @@ void TcpLayer::on_timer() {
     }
     if (t >= p.delack_deadline) {
       send_ack(id);
+    }
+    // Keepalive: a peer silent past the idle threshold may be gone —
+    // crashed, or the other half of a half-open connection. Probe with a
+    // zero-length segment one byte below snd_una: a live peer must answer
+    // it with an ACK (zero-length acceptability), a restarted peer
+    // answers with a RST, and a dead one answers nothing — after
+    // `keepalive_probes` silences the connection is torn down rather
+    // than wedged forever (4.4BSD tcp_keepalive semantics).
+    if (cfg_.keepalive_idle_sec > 0.0 && p.rtx.empty() &&
+        (p.state == TcpState::kEstablished ||
+         p.state == TcpState::kCloseWait ||
+         p.state == TcpState::kFinWait2)) {
+      const double due = p.last_rcv_time + cfg_.keepalive_idle_sec +
+                         p.keep_probes_sent * cfg_.keepalive_intvl_sec;
+      if (t >= due) {
+        if (p.keep_probes_sent >= cfg_.keepalive_probes) {
+          ++stats_.keepalive_drops;
+          reset_connection(id);
+          continue;
+        }
+        ++p.keep_probes_sent;
+        ++p.stats.keepalive_probes;
+        send_segment(id, kAck, {}, /*retransmission=*/true, p.snd_una - 1);
+      }
     }
     if (t >= p.persist_deadline) {
       // Zero-window probe: force one byte past the closed window. The

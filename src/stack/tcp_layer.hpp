@@ -28,6 +28,9 @@ struct TcpLayerStats {
   std::uint64_t rsts_sent = 0;
   std::uint64_t conns_established = 0;
   std::uint64_t conns_reset = 0;
+  std::uint64_t rsts_ignored = 0;      ///< Out-of-window RSTs dropped.
+  std::uint64_t time_wait_reuses = 0;  ///< TIME_WAIT recycled by a new SYN.
+  std::uint64_t keepalive_drops = 0;   ///< Half-open conns torn down.
 };
 
 class TcpLayer final : public core::Layer {
@@ -54,6 +57,12 @@ class TcpLayer final : public core::Layer {
   void close(PcbId id);
   /// Abortive close (RST).
   void abort(PcbId id);
+
+  /// Host crash: drop every PCB on the floor without a single segment on
+  /// the wire — the peer only learns via RST-on-probe or keepalive after
+  /// the host returns (FaultKind::kHostRestart). Layer-level counters
+  /// survive; they describe the machine, not the incarnation.
+  void crash();
 
   /// Drive retransmit / delayed-ACK / TIME_WAIT timers.
   void on_timer();

@@ -61,6 +61,18 @@ struct TcpConfig {
   std::uint32_t delack_every = 2;    ///< ACK every Nth data segment.
   double delack_timeout_sec = 0.05;
   std::size_t send_buffer_bytes = 64 * 1024;
+  /// Keepalive: after `keepalive_idle_sec` without hearing from the peer,
+  /// probe (zero-length segment at snd_una-1, 4.4BSD tcp_keepalive) every
+  /// `keepalive_intvl_sec`; `keepalive_probes` unanswered probes abort
+  /// the half-open connection. 0 disables — keepalive is app opt-in
+  /// (SO_KEEPALIVE) in 4.4BSD, so the default stays off.
+  double keepalive_idle_sec = 0.0;
+  double keepalive_intvl_sec = 0.5;
+  std::uint32_t keepalive_probes = 4;
+  /// Test hook (mutation revert-guard): false re-introduces the PR-4
+  /// zero-window wedge — the persist timer never arms — so liveness
+  /// oracles can prove they would have caught it.
+  bool enable_persist_timer = true;
 };
 
 /// A transmitted-but-unacknowledged segment.
@@ -80,7 +92,8 @@ struct TcpPcbStats {
   std::uint64_t retransmits = 0;
   std::uint64_t ooo_buffered = 0;
   std::uint64_t dup_acks_sent = 0;
-  std::uint64_t persist_probes = 0;  ///< Zero-window probes sent.
+  std::uint64_t persist_probes = 0;    ///< Zero-window probes sent.
+  std::uint64_t keepalive_probes = 0;  ///< Idle-peer probes sent.
 };
 
 struct TcpPcb {
@@ -120,6 +133,9 @@ struct TcpPcb {
   std::map<std::uint32_t, std::vector<std::uint8_t>> ooo;  ///< seq -> bytes.
   bool fin_received = false;
   bool fin_queued = false;  ///< Application closed; FIN follows the data.
+
+  double last_rcv_time = 0.0;          ///< Clock at the last segment heard.
+  std::uint32_t keep_probes_sent = 0;  ///< Unanswered keepalive probes.
 
   TcpPcbStats stats;
 

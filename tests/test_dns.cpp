@@ -260,10 +260,97 @@ TEST(DnsEndToEnd, RetryExhaustionFailsCleanly) {
   EXPECT_EQ(callbacks, 1);
   EXPECT_FALSE(result.has_value());
   EXPECT_EQ(net.resolver->inflight(), 0u);
-  // Failure is not negatively cached — a later lookup tries again.
+  EXPECT_EQ(net.resolver->stats().exhaustions_cached, 1u);
+  // The failure is negatively cached only for failure_ttl (0.25 s) —
+  // long since expired by now, so a later lookup tries the wire again.
   const auto sent = net.resolver->stats().queries_sent;
   net.resolver->resolve("host.test", [&](const std::string&, auto) {});
   EXPECT_GT(net.resolver->stats().queries_sent, sent);
+}
+
+/// Drive one lookup to retry exhaustion against a black-holed server.
+/// Returns the number of 0.05 s ticks it took.
+int exhaust_lookup(DnsNet& net, const std::string& name) {
+  int callbacks = 0;
+  net.resolver->resolve(name, [&](const std::string&, auto) { ++callbacks; });
+  int ticks = 0;
+  while (callbacks == 0 && ticks < 400) {
+    net.tick(0.05);
+    ++ticks;
+  }
+  EXPECT_EQ(callbacks, 1) << "lookup never exhausted";
+  return ticks;
+}
+
+TEST(DnsEndToEnd, ExhaustionNegativelyCachedBriefly) {
+  DnsNet net;
+  net.dns->add_a("host.test", ip_from_parts(10, 1, 1, 1));
+  net.server->device().set_loss(1.0, 5);  // server never hears us
+  exhaust_lookup(net, "host.test");
+
+  // Within failure_ttl a retry storm is absorbed by the cache: the
+  // repeat lookup fails instantly without touching the wire.
+  const auto sent = net.resolver->stats().queries_sent;
+  int callbacks = 0;
+  std::optional<std::uint32_t> result = 1;
+  net.resolver->resolve("host.test", [&](const std::string&, auto addr) {
+    ++callbacks;
+    result = addr;
+  });
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(net.resolver->stats().queries_sent, sent);
+  EXPECT_EQ(net.resolver->stats().negative_hits, 1u);
+  EXPECT_EQ(net.resolver->inflight(), 0u);
+}
+
+TEST(DnsEndToEnd, ConsecutiveExhaustionsDoubleTheNegativeTtl) {
+  DnsNet net;
+  net.dns->add_a("host.test", ip_from_parts(10, 1, 1, 1));
+  net.server->device().set_loss(1.0, 5);
+  exhaust_lookup(net, "host.test");
+
+  // Past the first 0.25 s TTL: the entry is stale and a full retry
+  // cycle runs again, ending in a second exhaustion.
+  net.tick(0.3);
+  exhaust_lookup(net, "host.test");
+  EXPECT_EQ(net.resolver->stats().exhaustions_cached, 2u);
+
+  // The second failure doubled the TTL to 0.5 s, so 0.3 s later the
+  // negative entry is still live — a first-failure TTL would have
+  // expired and sent another query.
+  net.tick(0.3);
+  const auto sent = net.resolver->stats().queries_sent;
+  int callbacks = 0;
+  net.resolver->resolve("host.test",
+                        [&](const std::string&, auto) { ++callbacks; });
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(net.resolver->stats().queries_sent, sent);
+  EXPECT_GE(net.resolver->stats().negative_hits, 1u);
+}
+
+TEST(DnsEndToEnd, HealedPathResolvesOnceNegativeTtlExpires) {
+  DnsNet net;
+  net.dns->add_a("host.test", ip_from_parts(10, 1, 1, 1));
+  net.server->device().set_loss(1.0, 5);
+  exhaust_lookup(net, "host.test");
+
+  // The path heals. The short negative TTL must not wedge recovery:
+  // once it lapses, the next lookup goes to the wire and succeeds.
+  net.server->device().set_loss(0.0);
+  net.tick(0.3);
+  bool done = false;
+  std::optional<std::uint32_t> result;
+  net.resolver->resolve("host.test", [&](const std::string&, auto addr) {
+    done = true;
+    result = addr;
+  });
+  // Allow an ARP round trip (the request died with the old path) plus a
+  // query retry before the answer lands.
+  for (int i = 0; i < 60 && !done; ++i) net.tick(0.1);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, ip_from_parts(10, 1, 1, 1));
+  EXPECT_GE(net.resolver->stats().answers, 1u);
 }
 
 TEST(DnsEndToEnd, CacheEntryExpiresByTtl) {

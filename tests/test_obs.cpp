@@ -17,6 +17,8 @@
 #include "obs/bridge.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "recover/convergence.hpp"
+#include "recover/watchdog.hpp"
 #include "stack/host.hpp"
 #include "wire/ipv4.hpp"
 
@@ -173,6 +175,16 @@ obs::Snapshot reference_snapshot() {
     (void)inj.on_frame(frame);
   }
   obs::publish_fault(reg, inj);
+
+  // recover.*: the liveness oracles, armed over an empty host set so
+  // they settle deterministically — pins the counter family names.
+  recover::ConvergenceOracle conv;
+  conv.arm();
+  for (int i = 0; i < 3; ++i) conv.on_pass();
+  conv.publish(reg);
+  recover::ProgressWatchdog dog;
+  for (int i = 0; i < 3; ++i) dog.on_pass();
+  dog.publish(reg);
 
   return reg.snapshot();
 }

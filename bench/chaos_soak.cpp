@@ -30,6 +30,14 @@
 // Each schedule run is bounded by a wall-clock budget (--seed_timeout_ms,
 // default 20000, 0 disables): a hung seed becomes a reported failing seed
 // with its schedule dumped instead of a hung CI job.
+//
+// --jobs=N runs the seeds on N real threads (ldlp::par::WorkerPool). Seeds
+// are independent simulations, results land in seed-indexed slots, and all
+// printing/shrinking happens after the barrier in seed order — so stdout,
+// the failing-seed list and every shrunk schedule artifact are
+// bit-identical to --jobs=1. --check_jobs=N proves it: the range is run
+// serially and with N workers and the outcomes are compared field by
+// field (nonzero exit on any divergence).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -48,6 +56,8 @@
 #include "dns/resolver.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
+#include "obs/metrics.hpp"
+#include "par/worker_pool.hpp"
 #include "recover/convergence.hpp"
 #include "recover/watchdog.hpp"
 #include "stack/host.hpp"
@@ -62,10 +72,12 @@ constexpr double kHorizon = 1.0;
 // Per-schedule wall-clock budget. Armed at the top of run_schedule (so
 // every shrink candidate gets a fresh allowance) and checked cooperatively
 // inside every scenario loop: a wedged stack turns into a failing seed
-// with a serialised schedule rather than a hung soak.
+// with a serialised schedule rather than a hung soak. The timeout value is
+// set once before any worker starts; the deadline itself is thread-local
+// so --jobs workers each budget their own schedule.
 std::uint64_t g_seed_timeout_ms = 20000;
-std::chrono::steady_clock::time_point g_deadline;
-bool g_deadline_armed = false;
+thread_local std::chrono::steady_clock::time_point g_deadline;
+thread_local bool g_deadline_armed = false;
 
 void arm_deadline() {
   g_deadline_armed = g_seed_timeout_ms != 0;
@@ -626,6 +638,108 @@ std::string shrink_and_save(const check::Schedule& failing,
   return path;
 }
 
+// ---------------------------------------------------------------------------
+// Seed-range execution. One seed = one job for the worker pool: results go
+// into seed-indexed slots, printing and shrinking stay on the main thread
+// after the barrier, so the output stream is identical for any --jobs.
+
+struct ScenarioDef {
+  const char* name;
+  check::Schedule (*make)(std::uint64_t);
+};
+constexpr ScenarioDef kScenarios[] = {
+    {"tcp", make_tcp_schedule},         {"tcp-slow", make_tcp_slow_schedule},
+    {"dns", make_dns_schedule},         {"tcp-heal", make_tcp_heal_schedule},
+    {"dns-heal", make_dns_heal_schedule},
+};
+constexpr std::size_t kScenarioCount =
+    sizeof(kScenarios) / sizeof(kScenarios[0]);
+
+struct ScenarioOutcome {
+  std::size_t si = 0;  ///< Index into kScenarios.
+  SoakResult res;
+  check::Schedule schedule;
+};
+
+struct SeedOutcome {
+  std::uint64_t seed = 0;
+  std::vector<ScenarioOutcome> runs;  ///< In kScenarios order.
+
+  [[nodiscard]] bool pass() const {
+    for (const ScenarioOutcome& run : runs)
+      if (!run.res.pass) return false;
+    return true;
+  }
+};
+
+/// Run seeds [seed_lo, seed_lo + count) across `jobs` workers. Per-worker
+/// registries count scenario runs/failures and merge into `reg`
+/// (order-independent combiners, so any jobs value yields the same
+/// counters).
+std::vector<SeedOutcome> compute_outcomes(std::uint64_t seed_lo,
+                                          std::uint64_t count,
+                                          const std::string& only,
+                                          std::uint64_t jobs,
+                                          obs::Registry& reg) {
+  par::WorkerPool pool(static_cast<std::size_t>(jobs));
+  std::vector<SeedOutcome> outcomes(count);
+  pool.run(static_cast<std::size_t>(count),
+           [&](std::size_t j, par::WorkerContext& ctx) {
+             SeedOutcome& out = outcomes[j];
+             out.seed = seed_lo + j;
+             for (std::size_t si = 0; si < kScenarioCount; ++si) {
+               if (!only.empty() && only != kScenarios[si].name) continue;
+               ScenarioOutcome run;
+               run.si = si;
+               run.schedule = kScenarios[si].make(out.seed);
+               run.res = run_schedule(run.schedule);
+               ctx.registry->counter("par.soak.scenarios").add(1);
+               if (!run.res.pass)
+                 ctx.registry->counter("par.soak.scenario_failures").add(1);
+               out.runs.push_back(std::move(run));
+             }
+           });
+  pool.publish(reg);
+  pool.merge_registries(reg);
+  return outcomes;
+}
+
+/// Field-by-field equality for the --check_jobs determinism audit.
+bool outcomes_identical(const std::vector<SeedOutcome>& serial,
+                        const std::vector<SeedOutcome>& parallel,
+                        std::string* first_diff) {
+  if (serial.size() != parallel.size()) {
+    *first_diff = "outcome counts differ";
+    return false;
+  }
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const SeedOutcome& s = serial[i];
+    const SeedOutcome& p = parallel[i];
+    const std::string tag = "seed " + std::to_string(s.seed) + ": ";
+    if (s.seed != p.seed || s.runs.size() != p.runs.size()) {
+      *first_diff = tag + "seed/run-count mismatch";
+      return false;
+    }
+    for (std::size_t r = 0; r < s.runs.size(); ++r) {
+      const ScenarioOutcome& sr = s.runs[r];
+      const ScenarioOutcome& pr = p.runs[r];
+      if (sr.si != pr.si || sr.res.pass != pr.res.pass ||
+          sr.res.why != pr.res.why ||
+          sr.res.violations != pr.res.violations) {
+        *first_diff = tag + std::string(kScenarios[sr.si].name) +
+                      " verdict diverges";
+        return false;
+      }
+      if (sr.schedule.to_json().dump(2) != pr.schedule.to_json().dump(2)) {
+        *first_diff = tag + std::string(kScenarios[sr.si].name) +
+                      " schedule serialisation diverges";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -661,18 +775,8 @@ int main(int argc, char** argv) {
   const bool no_shrink = flags.u64("no_shrink", 0) != 0;
   const std::string out_dir = flags.str("out_dir", ".");
   const std::string only = flags.str("scenario", "");
-
-  struct ScenarioDef {
-    const char* name;
-    check::Schedule (*make)(std::uint64_t);
-  };
-  constexpr ScenarioDef kScenarios[] = {
-      {"tcp", make_tcp_schedule},         {"tcp-slow", make_tcp_slow_schedule},
-      {"dns", make_dns_schedule},         {"tcp-heal", make_tcp_heal_schedule},
-      {"dns-heal", make_dns_heal_schedule},
-  };
-  constexpr std::size_t kScenarioCount =
-      sizeof(kScenarios) / sizeof(kScenarios[0]);
+  const std::uint64_t jobs = std::max<std::uint64_t>(1, flags.u64("jobs", 1));
+  const std::uint64_t check_jobs = flags.u64("check_jobs", 0);
   if (!only.empty()) {
     bool known = false;
     for (const ScenarioDef& def : kScenarios) known |= only == def.name;
@@ -683,9 +787,54 @@ int main(int argc, char** argv) {
   }
   std::error_code mkdir_ec;
   std::filesystem::create_directories(out_dir, mkdir_ec);
+
+  // --check_jobs: the parallel-determinism audit. Same range twice — one
+  // worker, then N — and every verdict, reason, violation list and
+  // schedule serialisation must agree.
+  if (check_jobs > 0) {
+    benchutil::heading("Chaos soak determinism check: --jobs=1 vs --jobs=N");
+    std::printf("seeds [%llu, %llu), %llu workers\n",
+                static_cast<unsigned long long>(seed_lo),
+                static_cast<unsigned long long>(seed_hi),
+                static_cast<unsigned long long>(check_jobs));
+    obs::Registry serial_reg;
+    obs::Registry parallel_reg;
+    const auto serial =
+        compute_outcomes(seed_lo, seeds, only, 1, serial_reg);
+    const auto parallel =
+        compute_outcomes(seed_lo, seeds, only, check_jobs, parallel_reg);
+    std::string diff;
+    if (!outcomes_identical(serial, parallel, &diff)) {
+      std::printf("FAIL: %s\n", diff.c_str());
+      return 1;
+    }
+    // The merged soak counters must agree too — the whole point of the
+    // order-independent combiners. (par.pool.* self-description metrics
+    // legitimately differ: worker count is part of the configuration.)
+    const obs::Snapshot ss = serial_reg.snapshot();
+    const obs::Snapshot ps = parallel_reg.snapshot();
+    for (const char* name :
+         {"par.soak.scenarios", "par.soak.scenario_failures"}) {
+      if (ss.value(name) != ps.value(name)) {
+        std::printf("FAIL: merged counter %s diverges: %.0f (jobs=1) vs "
+                    "%.0f (jobs=%llu)\n",
+                    name, ss.value(name), ps.value(name),
+                    static_cast<unsigned long long>(check_jobs));
+        return 1;
+      }
+    }
+    std::printf("PASS: %llu seeds bit-identical across jobs=1 and jobs=%llu "
+                "(%.0f scenario runs)\n",
+                static_cast<unsigned long long>(seeds),
+                static_cast<unsigned long long>(check_jobs),
+                ss.value("par.soak.scenarios"));
+    return 0;
+  }
+
   ldlp::benchutil::BenchReport report("chaos_soak", flags);
   report.config_u64("seed_lo", seed_lo);
   report.config_u64("seed_hi", seed_hi);
+  report.config_u64("jobs", jobs);
 
   benchutil::heading(
       "Chaos soak: TCP + DNS under seeded fault schedules, oracle-checked");
@@ -695,41 +844,39 @@ int main(int argc, char** argv) {
               only.empty() ? "" : "; scenario ",
               only.empty() ? "" : only.c_str());
 
+  obs::Registry reg;
+  const std::vector<SeedOutcome> outcomes =
+      compute_outcomes(seed_lo, seeds, only, jobs, reg);
+
+  // Reporting pass: main thread, seed order — identical for every --jobs.
   std::uint64_t failures = 0;
   std::uint64_t scenario_failures[kScenarioCount] = {};
   std::string failing_seeds;
-  for (std::uint64_t seed = seed_lo; seed < seed_hi; ++seed) {
-    bool pass = true;
-    std::printf("seed %6llu", static_cast<unsigned long long>(seed));
-    std::vector<std::pair<SoakResult, check::Schedule>> failed;
-    for (std::size_t si = 0; si < kScenarioCount; ++si) {
-      const ScenarioDef& def = kScenarios[si];
-      if (!only.empty() && only != def.name) continue;
-      check::Schedule schedule = def.make(seed);
-      SoakResult res = run_schedule(schedule);
-      std::printf("  %s:%s", def.name, res.pass ? "PASS" : "FAIL");
-      if (!res.pass) {
-        pass = false;
-        ++scenario_failures[si];
-        failed.emplace_back(std::move(res), std::move(schedule));
-      }
+  for (const SeedOutcome& out : outcomes) {
+    const bool pass = out.pass();
+    std::printf("seed %6llu", static_cast<unsigned long long>(out.seed));
+    for (const ScenarioOutcome& run : out.runs) {
+      std::printf("  %s:%s", kScenarios[run.si].name,
+                  run.res.pass ? "PASS" : "FAIL");
+      if (!run.res.pass) ++scenario_failures[run.si];
     }
     std::printf("\n");
     if (!pass || verbose) {
-      for (const auto& [res, schedule] : failed) {
-        print_failure(res, schedule);
-        if (!no_shrink) shrink_and_save(schedule, out_dir);
+      for (const ScenarioOutcome& run : out.runs) {
+        if (run.res.pass) continue;
+        print_failure(run.res, run.schedule);
+        if (!no_shrink) shrink_and_save(run.schedule, out_dir);
       }
       std::printf(
           "  reproduce: chaos_soak --seed_lo=%llu --seed_hi=%llu "
           "--verbose=1\n",
-          static_cast<unsigned long long>(seed),
-          static_cast<unsigned long long>(seed + 1));
+          static_cast<unsigned long long>(out.seed),
+          static_cast<unsigned long long>(out.seed + 1));
     }
     if (!pass) {
       ++failures;
       if (!failing_seeds.empty()) failing_seeds += ",";
-      failing_seeds += std::to_string(seed);
+      failing_seeds += std::to_string(out.seed);
     }
   }
   std::printf("\n%llu/%llu seeds passed\n",

@@ -15,12 +15,14 @@
 // exactly what the gate is for).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/blocking.hpp"
 #include "obs/bench_result.hpp"
+#include "par/shard_engine.hpp"
 #include "sim/cpu_model.hpp"
 #include "stack/rx_path_trace.hpp"
 #include "synth/sweep.hpp"
@@ -145,6 +147,41 @@ inline obs::BenchResult gate_synth() {
   return result;
 }
 
+/// A reduced ext_shard_sweep: coalesced flow-sharded LDLP at 1/4/8 shards,
+/// equal total load. The acceptance line is the `i_miss_ratio@N` metrics —
+/// the busiest shard's i-cache miss count over the single-queue LDLP
+/// baseline, which must stay at or below 1. Bit-deterministic in the seed;
+/// 5% tolerance, same rationale as gate_synth.
+inline obs::BenchResult gate_shard_sweep() {
+  obs::BenchResult result;
+  result.name = "gate_shard_sweep";
+  result.tolerance = 0.05;
+
+  double single_queue_i = 0.0;
+  for (const std::uint32_t shards : {1u, 4u, 8u}) {
+    par::ShardEngineConfig cfg;
+    cfg.shards = shards;
+    cfg.flows = 64;
+    cfg.messages = 6000;
+    cfg.arrival_rate_hz = 16000.0;
+    cfg.coalesce_sec = 750e-6;
+    cfg.seed = 0x5eed;
+    const par::ShardEngineResult r = par::ShardEngine(cfg).run();
+    std::uint64_t max_i = 0;
+    for (const par::ShardStats& s : r.shards)
+      max_i = std::max<std::uint64_t>(max_i, s.i_misses);
+    if (shards == 1) single_queue_i = static_cast<double>(max_i);
+    const std::string key = "@" + std::to_string(shards);
+    result.set_metric("i_miss_ratio" + key,
+                      static_cast<double>(max_i) / single_queue_i);
+    result.set_metric("i_miss_per_msg" + key, r.i_miss_per_msg);
+    result.set_metric("mean_latency_sec" + key, r.mean_latency_sec);
+    result.set_metric("mean_batch" + key, r.mean_batch);
+    result.set_metric("max_shard_share" + key, r.max_shard_share);
+  }
+  return result;
+}
+
 struct GateCase {
   const char* name;
   obs::BenchResult (*run)();
@@ -156,6 +193,7 @@ inline std::vector<GateCase> suite() {
       {"gate_working_set", &gate_working_set},
       {"gate_checksum", &gate_checksum},
       {"gate_synth", &gate_synth},
+      {"gate_shard_sweep", &gate_shard_sweep},
   };
 }
 

@@ -41,6 +41,16 @@ class Mbuf {
   [[nodiscard]] Mbuf* next() const noexcept { return next_; }
   void set_next(Mbuf* m) noexcept { next_ = m; }
 
+  /// BSD m_nextpkt: links whole packets (head mbufs) on protocol queues,
+  /// so a FIFO of packets needs no per-enqueue allocation — the queue is
+  /// threaded through storage the packets already own.
+  [[nodiscard]] Mbuf* nextpkt() const noexcept { return nextpkt_; }
+  void set_nextpkt(Mbuf* m) noexcept { nextpkt_ = m; }
+
+  /// Owning pool (set at allocation); lets a queue of raw chains rebuild
+  /// the RAII Packet handle on dequeue.
+  [[nodiscard]] MbufPool* pool() const noexcept { return pool_; }
+
   /// --- Data window -------------------------------------------------------
   [[nodiscard]] std::uint32_t len() const noexcept { return len_; }
   [[nodiscard]] std::uint8_t* data() noexcept { return data_; }
@@ -94,6 +104,7 @@ class Mbuf {
   friend class MbufPool;
 
   Mbuf* next_ = nullptr;
+  Mbuf* nextpkt_ = nullptr;
   std::uint8_t* data_ = nullptr;
   std::uint32_t len_ = 0;
   std::uint32_t pkt_len_ = 0;
@@ -103,7 +114,7 @@ class Mbuf {
 
   // Internal data area fills the rest of the fixed-size object, as in BSD.
   static constexpr std::size_t kHeaderBytes =
-      sizeof(Mbuf*) + sizeof(std::uint8_t*) + 2 * sizeof(std::uint32_t) +
+      2 * sizeof(Mbuf*) + sizeof(std::uint8_t*) + 2 * sizeof(std::uint32_t) +
       sizeof(bool) + sizeof(Cluster*) + sizeof(MbufPool*);
   std::uint8_t internal_[kMbufSize - ((kHeaderBytes + 7) / 8) * 8]{};
 };

@@ -1,9 +1,16 @@
 // Bounded FIFO of packets — the per-layer input queues of section 3.2 and
 // the 500-packet receive buffer of section 4.
+//
+// Intrusive singly-linked ring threaded through Mbuf::nextpkt (BSD's
+// m_nextpkt), exactly like a 4.4BSD ifqueue: push links the new tail,
+// pop unlinks the head, and neither touches the allocator — the deque of
+// Packet handles this used to be paid one node allocation (and a Packet
+// move) per enqueue on the hottest receive-side path. The queue briefly
+// owns the raw chains; pop() rebuilds the RAII Packet from the head
+// mbuf's pool backref, so leak accounting is unchanged.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "buf/packet.hpp"
 
@@ -14,35 +21,63 @@ class PacketQueue {
   explicit PacketQueue(std::size_t max_packets = SIZE_MAX)
       : max_packets_(max_packets) {}
 
+  PacketQueue(const PacketQueue&) = delete;
+  PacketQueue& operator=(const PacketQueue&) = delete;
+
+  ~PacketQueue() { clear(); }
+
   /// Returns false (and frees the packet) when the queue is full — a
   /// protocol stack sheds load by dropping, never by blocking the driver.
   [[nodiscard]] bool push(Packet pkt) {
-    if (queue_.size() >= max_packets_) {
+    if (pkt.empty()) return false;  // nothing to queue
+    if (size_ >= max_packets_) {
       ++drops_;
       return false;  // pkt destructor returns the chain to its pool
     }
-    queue_.push_back(std::move(pkt));
-    if (queue_.size() > high_water_) high_water_ = queue_.size();
+    Mbuf* head = pkt.release();
+    head->set_nextpkt(nullptr);
+    if (tail_ != nullptr) {
+      tail_->set_nextpkt(head);
+    } else {
+      head_ = head;
+    }
+    tail_ = head;
+    ++size_;
+    if (size_ > high_water_) high_water_ = size_;
     return true;
   }
 
   [[nodiscard]] Packet pop() {
-    if (queue_.empty()) return {};
-    Packet pkt = std::move(queue_.front());
-    queue_.pop_front();
-    return pkt;
+    if (head_ == nullptr) return {};
+    Mbuf* head = head_;
+    head_ = head->nextpkt();
+    if (head_ == nullptr) tail_ = nullptr;
+    head->set_nextpkt(nullptr);
+    --size_;
+    return Packet(*head->pool(), head);
   }
 
-  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return head_ == nullptr; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return max_packets_; }
   [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
   [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
 
-  void clear() noexcept { queue_.clear(); }
+  void clear() noexcept {
+    while (head_ != nullptr) {
+      Mbuf* head = head_;
+      head_ = head->nextpkt();
+      head->set_nextpkt(nullptr);
+      Packet dropped(*head->pool(), head);  // destructor frees the chain
+    }
+    tail_ = nullptr;
+    size_ = 0;
+  }
 
  private:
-  std::deque<Packet> queue_;
+  Mbuf* head_ = nullptr;
+  Mbuf* tail_ = nullptr;
+  std::size_t size_ = 0;
   std::size_t max_packets_;
   std::size_t high_water_ = 0;
   std::uint64_t drops_ = 0;

@@ -30,6 +30,7 @@ Mbuf* MbufPool::alloc(bool pkthdr) noexcept {
   Mbuf* m = mbuf_free_.back();
   mbuf_free_.pop_back();
   m->next_ = nullptr;
+  m->nextpkt_ = nullptr;
   m->len_ = 0;
   m->pkt_len_ = 0;
   m->pkthdr_ = pkthdr;
@@ -80,6 +81,7 @@ Mbuf* MbufPool::free_one(Mbuf* m) noexcept {
     m->cluster_ = nullptr;
   }
   m->next_ = nullptr;
+  m->nextpkt_ = nullptr;
   m->pool_ = nullptr;
   mbuf_free_.push_back(m);
   ++stats_.mbuf_frees;

@@ -28,4 +28,15 @@ BlockingEstimate estimate_blocking(const StackFootprint& stack,
   return out;
 }
 
+ShardPlan plan_shards(const StackFootprint& stack,
+                      const sim::CacheConfig& icache,
+                      const sim::CacheConfig& dcache,
+                      std::uint32_t shards) noexcept {
+  ShardPlan plan;
+  plan.shards = std::max<std::uint32_t>(1, shards);
+  plan.blocking = estimate_blocking(stack, icache, dcache);
+  plan.batch_limit = plan.blocking.batch_limit;
+  return plan;
+}
+
 }  // namespace ldlp::core

@@ -35,4 +35,22 @@ struct BlockingEstimate {
     const StackFootprint& stack, const sim::CacheConfig& icache,
     const sim::CacheConfig& dcache) noexcept;
 
+/// Receive-side sharding plan (ldlp::par): how a flow-hashed multi-queue
+/// receive path should schedule per-shard LDLP batches.
+struct ShardPlan {
+  std::uint32_t shards = 1;
+  /// Entry-layer batch bound per shard. Every shard owns a private
+  /// primary-cache pair, so the per-shard bound equals the single-queue
+  /// bound — sharding multiplies d-cache capacity, it does not split it.
+  std::uint32_t batch_limit = 1;
+  BlockingEstimate blocking{};  ///< The per-shard estimate behind it.
+};
+
+/// Plan `shards` contexts over a stack: per-shard blocking estimate from
+/// the (private) primary geometry. shards == 0 is clamped to 1.
+[[nodiscard]] ShardPlan plan_shards(const StackFootprint& stack,
+                                    const sim::CacheConfig& icache,
+                                    const sim::CacheConfig& dcache,
+                                    std::uint32_t shards) noexcept;
+
 }  // namespace ldlp::core

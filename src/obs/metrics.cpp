@@ -24,11 +24,12 @@ std::string fmt(double v) {
 }  // namespace
 
 const SnapshotEntry* Snapshot::find(std::string_view name) const noexcept {
-  const auto it = std::lower_bound(
-      entries.begin(), entries.end(), name,
-      [](const SnapshotEntry& e, std::string_view n) { return e.name < n; });
-  if (it == entries.end() || it->name != name) return nullptr;
-  return &*it;
+  // Entries are (insertion, name)-ordered, not name-sorted: linear scan.
+  // Snapshots are cold-path objects (report emission, assertions).
+  for (const SnapshotEntry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
 }
 
 double Snapshot::value(std::string_view name) const noexcept {
@@ -88,7 +89,8 @@ Counter& Registry::counter(std::string_view name) {
                     "metric re-registered with a different kind");
     return *it->second.counter;
   }
-  Metric m{MetricKind::kCounter, std::make_unique<Counter>(), nullptr, nullptr};
+  Metric m{MetricKind::kCounter, std::make_unique<Counter>(), nullptr, nullptr,
+           next_rank_++};
   return *metrics_.emplace(std::string(name), std::move(m))
               .first->second.counter;
 }
@@ -100,7 +102,8 @@ Gauge& Registry::gauge(std::string_view name) {
                     "metric re-registered with a different kind");
     return *it->second.gauge;
   }
-  Metric m{MetricKind::kGauge, nullptr, std::make_unique<Gauge>(), nullptr};
+  Metric m{MetricKind::kGauge, nullptr, std::make_unique<Gauge>(), nullptr,
+           next_rank_++};
   return *metrics_.emplace(std::string(name), std::move(m))
               .first->second.gauge;
 }
@@ -114,9 +117,51 @@ Histogram& Registry::histogram(std::string_view name, double lo, double hi,
     return *it->second.histogram;
   }
   Metric m{MetricKind::kHistogram, nullptr, nullptr,
-           std::make_unique<Histogram>(lo, hi, per_decade)};
+           std::make_unique<Histogram>(lo, hi, per_decade), next_rank_++};
   return *metrics_.emplace(std::string(name), std::move(m))
               .first->second.histogram;
+}
+
+void Registry::merge(const Registry& other) {
+  // std::map iteration is name-sorted, so names new to this registry are
+  // created in name order; they all share kMergedRank, which keeps the
+  // merged tail name-sorted in snapshots no matter how many merges
+  // contribute to it or in which order they run.
+  for (const auto& [name, theirs] : other.metrics_) {
+    const auto it = metrics_.find(name);
+    if (it == metrics_.end()) {
+      Metric m{theirs.kind, nullptr, nullptr, nullptr, kMergedRank};
+      switch (theirs.kind) {
+        case MetricKind::kCounter:
+          m.counter = std::make_unique<Counter>(*theirs.counter);
+          break;
+        case MetricKind::kGauge:
+          m.gauge = std::make_unique<Gauge>(*theirs.gauge);
+          break;
+        case MetricKind::kHistogram:
+          m.histogram = std::make_unique<Histogram>(*theirs.histogram);
+          break;
+      }
+      metrics_.emplace(name, std::move(m));
+      continue;
+    }
+    Metric& ours = it->second;
+    LDLP_ASSERT_MSG(ours.kind == theirs.kind,
+                    "merge: metric registered with a different kind");
+    switch (ours.kind) {
+      case MetricKind::kCounter:
+        ours.counter->add(theirs.counter->value());
+        break;
+      case MetricKind::kGauge:
+        // max() is the only order-independent combiner that makes sense
+        // for instantaneous values (peak depth, peak batch factor).
+        ours.gauge->set(std::max(ours.gauge->value(), theirs.gauge->value()));
+        break;
+      case MetricKind::kHistogram:
+        ours.histogram->merge(*theirs.histogram);
+        break;
+    }
+  }
 }
 
 void Registry::reset() {
@@ -132,6 +177,8 @@ void Registry::reset() {
 Snapshot Registry::snapshot() const {
   Snapshot snap;
   snap.entries.reserve(metrics_.size());
+  std::vector<std::uint64_t> ranks;
+  ranks.reserve(metrics_.size());
   for (const auto& [name, metric] : metrics_) {
     SnapshotEntry e;
     e.name = name;
@@ -154,9 +201,22 @@ Snapshot Registry::snapshot() const {
         break;
       }
     }
+    ranks.push_back(metric.rank);
     snap.entries.push_back(std::move(e));
   }
-  return snap;  // std::map iteration order is already name-sorted
+  // Map iteration gave us name order; re-sort into (insertion, name).
+  // Ranks are unique except for the shared merged rank, whose ties the
+  // stable sort leaves in the map's name order.
+  std::vector<std::size_t> idx(snap.entries.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(), [&ranks](std::size_t a, std::size_t b) {
+    return ranks[a] < ranks[b];
+  });
+  Snapshot ordered;
+  ordered.entries.reserve(snap.entries.size());
+  for (const std::size_t i : idx)
+    ordered.entries.push_back(std::move(snap.entries[i]));
+  return ordered;
 }
 
 }  // namespace ldlp::obs

@@ -10,11 +10,16 @@
 //
 // Hot-path discipline: metrics are registered once (a name lookup) and then
 // held by reference; add()/set() are plain arithmetic, O(1), no allocation,
-// no locking (the simulator is single-threaded, as is each bench).
+// no locking (each registry is owned by a single thread; ldlp::par gives
+// every worker its own registry and merges them at the barrier).
 //
-// Registry::snapshot() freezes every metric into a name-sorted value list
-// with JSON and CSV emitters; the JSON schema ("ldlp.obs.v1") is locked by
-// a golden-file test (tests/test_obs.cpp).
+// Registry::snapshot() freezes every metric into a value list ordered by
+// (insertion, name): metrics registered directly appear in registration
+// order, and metrics that arrived through merge() are appended name-sorted
+// after them — so a snapshot of merged per-worker registries is identical
+// no matter how the workers interleaved or which worker registered a name
+// first. JSON and CSV emitters; the JSON schema ("ldlp.obs.v1") is locked
+// by a golden-file test (tests/test_obs.cpp).
 #pragma once
 
 #include <cstdint>
@@ -60,6 +65,9 @@ class Histogram {
       : hist_(lo, hi, per_decade) {}
 
   void add(double v) noexcept { hist_.add(v); }
+  /// Fold another histogram's samples in (bucket layouts must match —
+  /// register merged histograms with identical bounds).
+  void merge(const Histogram& other) { hist_.merge(other.hist_); }
   void reset() noexcept { hist_.reset(); }
 
   [[nodiscard]] std::uint64_t count() const noexcept { return hist_.count(); }
@@ -89,7 +97,7 @@ struct SnapshotEntry {
 };
 
 struct Snapshot {
-  std::vector<SnapshotEntry> entries;  ///< Sorted by name.
+  std::vector<SnapshotEntry> entries;  ///< (insertion, name) order.
 
   /// Lookup by exact name; nullptr when absent.
   [[nodiscard]] const SnapshotEntry* find(std::string_view name) const noexcept;
@@ -121,6 +129,23 @@ class Registry {
   /// Zero every metric (names stay registered).
   void reset();
 
+  /// Forget every metric — outstanding references die with them. Used to
+  /// recycle per-worker registries between parallel runs.
+  void clear() noexcept {
+    metrics_.clear();
+    next_rank_ = 0;
+  }
+
+  /// Fold `other` into this registry (the ldlp::par barrier merge):
+  /// counters sum, histograms pool their samples, gauges take the maximum
+  /// — all three combiners are order-independent, so merging worker
+  /// registries in any order yields the same values. Names not yet present
+  /// are cloned in and snapshot after every directly-registered metric in
+  /// name order (see the header comment on snapshot ordering), making the
+  /// merged emission deterministic regardless of which worker happened to
+  /// touch a name first.
+  void merge(const Registry& other);
+
   [[nodiscard]] Snapshot snapshot() const;
 
  private:
@@ -129,11 +154,18 @@ class Registry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    /// Snapshot rank: registration sequence for direct registrations,
+    /// kMergedRank for metrics that arrived via merge() (which then order
+    /// among themselves by name).
+    std::uint64_t rank = 0;
   };
 
-  // std::map (ordered, < on string) gives snapshots their sorted order and
-  // keeps node references stable across inserts.
+  static constexpr std::uint64_t kMergedRank = ~std::uint64_t{0};
+
+  // std::map (ordered, < on string) keeps node references stable across
+  // inserts; emission order is decided by Metric::rank at snapshot time.
   std::map<std::string, Metric, std::less<>> metrics_;
+  std::uint64_t next_rank_ = 0;
 };
 
 }  // namespace ldlp::obs

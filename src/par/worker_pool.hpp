@@ -1,0 +1,79 @@
+// ldlp::par — real-thread parallel execution engine.
+//
+// Everything else in this repository is a deterministic simulation; par is
+// the one place real std::thread concurrency enters, and it is built so
+// that determinism survives the contact. The rules:
+//
+//   * Jobs are independent by construction (separate hosts, pools, seeds)
+//     and write results only into job-indexed slots, so the result vector
+//     is identical whatever the thread interleaving.
+//   * Each worker gets a private obs::Registry; after the barrier the
+//     per-worker registries merge into one with order-independent
+//     combiners (counters sum, gauges max, histograms pool), so the
+//     merged snapshot is identical for --jobs 1 and --jobs 8.
+//   * Reporting happens after the barrier, on the caller's thread, in job
+//     order — stdout and artifacts are bit-identical to a serial run.
+//
+// With workers <= 1 run() executes inline on the calling thread through
+// the same code path, which is what makes "serial" a degenerate case of
+// "parallel" rather than a second implementation to keep in sync.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ldlp::par {
+
+/// Per-worker execution context handed to every job.
+struct WorkerContext {
+  std::size_t worker = 0;          ///< Worker index in [0, workers()).
+  obs::Registry* registry = nullptr;  ///< This worker's private registry.
+};
+
+/// A job: invoked with its job index and the running worker's context.
+using Job = std::function<void(std::size_t job, WorkerContext&)>;
+
+class WorkerPool {
+ public:
+  /// `workers` real threads; 0 and 1 both mean "inline on the caller".
+  explicit WorkerPool(std::size_t workers);
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+
+  /// Run jobs [0, count) to completion — returns only after every job has
+  /// finished (the barrier). Jobs are claimed from a shared cursor, so
+  /// which worker runs which job is scheduling-dependent; anything a job
+  /// writes must therefore be job-indexed or go through its context
+  /// registry. The first exception a job throws is rethrown here after
+  /// the barrier.
+  void run(std::size_t count, const Job& job);
+
+  /// Merge every per-worker registry into `target` (worker order — which
+  /// is immaterial, since the combiners are order-independent) and clear
+  /// them for the next run.
+  void merge_registries(obs::Registry& target);
+
+  /// Direct access, e.g. for a serial caller that wants to read worker 0.
+  [[nodiscard]] obs::Registry& worker_registry(std::size_t w) {
+    return *registries_[w];
+  }
+
+  /// Pool counters (par.pool.*) into `reg`: workers, jobs run, barriers.
+  void publish(obs::Registry& reg) const;
+
+ private:
+  std::size_t workers_;
+  // unique_ptr keeps registries stable if the vector ever reallocates.
+  std::vector<std::unique_ptr<obs::Registry>> registries_;
+  std::uint64_t jobs_run_ = 0;
+  std::uint64_t barriers_ = 0;
+};
+
+}  // namespace ldlp::par

@@ -6,8 +6,8 @@
 
 namespace ldlp::sim {
 
-MemorySystem::MemorySystem(MemoryConfig cfg)
-    : cfg_(cfg), icache_(cfg.icache), dcache_(cfg.dcache) {
+MemorySystem::MemorySystem(MemoryConfig cfg) : cfg_(cfg) {
+  contexts_.push_back(Context{Cache(cfg_.icache), Cache(cfg_.dcache)});
   if (cfg_.l2.has_value()) l2_ = std::make_unique<Cache>(*cfg_.l2);
   if (cfg_.tlb_enabled) {
     LDLP_ASSERT(std::has_single_bit(cfg_.tlb_page_bytes) &&
@@ -19,10 +19,19 @@ MemorySystem::MemorySystem(MemoryConfig cfg)
   }
 }
 
+void MemorySystem::set_context_count(std::size_t n) {
+  LDLP_ASSERT_MSG(n >= 1, "the memory system needs at least one context");
+  contexts_.clear();
+  contexts_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    contexts_.push_back(Context{Cache(cfg_.icache), Cache(cfg_.dcache)});
+  cur_ = 0;
+}
+
 std::uint64_t MemorySystem::access(Access kind, std::uint64_t addr,
                                    std::uint64_t len) noexcept {
   if (len == 0) return 0;
-  Cache& target = (kind == Access::kIFetch) ? icache_ : dcache();
+  Cache& target = (kind == Access::kIFetch) ? icache() : dcache();
   std::uint64_t stall = 0;
 
   if (tlb_ != nullptr) {
@@ -62,15 +71,19 @@ std::uint64_t MemorySystem::access(Access kind, std::uint64_t addr,
 }
 
 void MemorySystem::flush() noexcept {
-  icache_.flush();
-  if (!cfg_.unified) dcache_.flush();
+  for (Context& ctx : contexts_) {
+    ctx.icache.flush();
+    if (!cfg_.unified) ctx.dcache.flush();
+  }
   if (l2_ != nullptr) l2_->flush();
   if (tlb_ != nullptr) tlb_->flush();
 }
 
 void MemorySystem::reset_stats() noexcept {
-  icache_.reset_stats();
-  if (!cfg_.unified) dcache_.reset_stats();
+  for (Context& ctx : contexts_) {
+    ctx.icache.reset_stats();
+    if (!cfg_.unified) ctx.dcache.reset_stats();
+  }
   if (l2_ != nullptr) l2_->reset_stats();
   if (tlb_ != nullptr) tlb_->reset_stats();
   stall_cycles_ = 0;

@@ -59,6 +59,28 @@ class MemorySystem {
 
   [[nodiscard]] const MemoryConfig& config() const noexcept { return cfg_; }
 
+  /// Model `n` execution contexts (cores): each context gets its own
+  /// private primary cache pair built from the configured geometry, while
+  /// L2 and the TLB stay shared — the sharding machine of ldlp::par.
+  /// Rebuilds the primary level cold with fresh statistics; existing
+  /// references from icache()/dcache() are invalidated. Default is 1.
+  void set_context_count(std::size_t n);
+  [[nodiscard]] std::size_t context_count() const noexcept {
+    return contexts_.size();
+  }
+
+  /// Route subsequent accesses through context `ctx`'s primary caches.
+  void set_context(std::size_t ctx) noexcept { cur_ = ctx; }
+  [[nodiscard]] std::size_t context() const noexcept { return cur_; }
+
+  /// Per-context primary caches (read-only; for miss accounting).
+  [[nodiscard]] const Cache& icache_of(std::size_t ctx) const noexcept {
+    return contexts_[ctx].icache;
+  }
+  [[nodiscard]] const Cache& dcache_of(std::size_t ctx) const noexcept {
+    return cfg_.unified ? contexts_[ctx].icache : contexts_[ctx].dcache;
+  }
+
   /// Touch [addr, addr+len); returns the stall cycles incurred.
   std::uint64_t access(Access kind, std::uint64_t addr,
                        std::uint64_t len) noexcept;
@@ -74,13 +96,17 @@ class MemorySystem {
     return scope_misses_;
   }
 
-  [[nodiscard]] Cache& icache() noexcept { return icache_; }
+  /// Current context's primary caches (context 0 unless set_context ran —
+  /// i.e. exactly the historical single-cache behaviour).
+  [[nodiscard]] Cache& icache() noexcept { return contexts_[cur_].icache; }
   [[nodiscard]] Cache& dcache() noexcept {
-    return cfg_.unified ? icache_ : dcache_;
+    return cfg_.unified ? contexts_[cur_].icache : contexts_[cur_].dcache;
   }
-  [[nodiscard]] const Cache& icache() const noexcept { return icache_; }
+  [[nodiscard]] const Cache& icache() const noexcept {
+    return contexts_[cur_].icache;
+  }
   [[nodiscard]] const Cache& dcache() const noexcept {
-    return cfg_.unified ? icache_ : dcache_;
+    return cfg_.unified ? contexts_[cur_].icache : contexts_[cur_].dcache;
   }
 
   [[nodiscard]] std::uint64_t total_stall_cycles() const noexcept {
@@ -98,9 +124,16 @@ class MemorySystem {
   void reset_stats() noexcept;
 
  private:
+  /// One context = one private primary cache pair (dcache unused when the
+  /// config says unified).
+  struct Context {
+    Cache icache;
+    Cache dcache;
+  };
+
   MemoryConfig cfg_;
-  Cache icache_;
-  Cache dcache_;
+  std::vector<Context> contexts_;
+  std::size_t cur_ = 0;
   std::unique_ptr<Cache> l2_;
   std::unique_ptr<Cache> tlb_;
   std::uint64_t stall_cycles_ = 0;

@@ -4,7 +4,7 @@
 
 namespace ldlp::stack {
 
-StackTracer* StackTracer::active_ = nullptr;
+thread_local StackTracer* StackTracer::active_ = nullptr;
 
 namespace {
 

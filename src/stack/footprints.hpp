@@ -160,7 +160,10 @@ class StackTracer {
   }
 
  private:
-  static StackTracer* active_;
+  // Thread-local: tracing is a per-thread measurement activity, so a
+  // tracer armed on one thread (a fig/table bench) never races with
+  // ldlp::par workers pumping their own untraced hosts.
+  static thread_local StackTracer* active_;
 
   trace::CodeMap code_;
   trace::DataMap data_;

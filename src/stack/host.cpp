@@ -33,6 +33,7 @@ Host::Host(HostConfig config)
 
   graph_.set_mode(cfg_.mode);
   graph_.set_batch_limit(cfg_.batch_limit);
+  if (cfg_.rx_queues > 1) dev_.set_rx_queues(cfg_.rx_queues, cfg_.rx_symmetric);
 }
 
 void Host::attach_fault(fault::FaultInjector* injector) noexcept {
@@ -61,11 +62,10 @@ void Host::advance(double dt_sec) {
   if (fault_ != nullptr) fault_->apply_pool_pressure(pool_);
 }
 
-std::size_t Host::pump(std::size_t max_frames) {
-  dev_.poll();  // surface any delay-released frames first
+std::size_t Host::pump_queue(std::size_t queue, std::size_t max_frames) {
   std::size_t handled = 0;
   bool any = false;
-  while (handled < max_frames && dev_.rx_pending() > 0) {
+  while (handled < max_frames && dev_.rx_pending(queue) > 0) {
     // Device interrupt path: vector through the interrupt glue, copy the
     // frame out of device memory into a fresh mbuf chain.
     trace_fn(Fn::kXentInt);
@@ -82,7 +82,7 @@ std::size_t Host::pump(std::size_t max_frames) {
     trace_rgn(Rgn::kBufFreelistMut);
     trace_rgn(Rgn::kBufBucketsRo, 0.5);
 
-    buf::Packet frame = dev_.receive();
+    buf::Packet frame = dev_.receive_queue(queue);
     if (!frame) break;  // pool exhausted; leave frames in device memory
     trace_pkt(trace::RefKind::kWrite, frame.length());
 
@@ -96,8 +96,20 @@ std::size_t Host::pump(std::size_t max_frames) {
     ++handled;
     any = true;
   }
+  // Per-shard LDLP pass: this queue's backlog runs through the layers as
+  // one batch before the next shard is touched.
   if (any && cfg_.mode == core::SchedMode::kLdlp) graph_.run();
-  if (any && post_pass_hook_) post_pass_hook_();
+  return handled;
+}
+
+std::size_t Host::pump(std::size_t max_frames) {
+  dev_.poll();  // surface any delay-released frames first
+  std::size_t handled = 0;
+  for (std::size_t q = 0; q < dev_.rx_queue_count(); ++q) {
+    if (handled >= max_frames) break;
+    handled += pump_queue(q, max_frames - handled);
+  }
+  if (handled > 0 && post_pass_hook_) post_pass_hook_();
   return handled;
 }
 

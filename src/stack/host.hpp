@@ -32,6 +32,8 @@ struct HostConfig {
   std::size_t pool_clusters = 2048;
   core::SchedMode mode = core::SchedMode::kConventional;
   std::size_t batch_limit = 0;  ///< LDLP entry-layer yield bound; 0 = all.
+  std::size_t rx_queues = 1;    ///< RX queues (flow-hash sharded when > 1).
+  bool rx_symmetric = false;    ///< Co-steer both directions of a flow.
   TcpConfig tcp{};
 };
 
@@ -74,10 +76,26 @@ class Host {
   /// FaultKind::kHostRestart episode; tests may call it directly.
   void restart();
 
-  /// Drain the device RX ring through the stack. Returns frames handled.
-  /// Under LDLP the whole backlog is injected first and the graph then
-  /// runs layer by layer; conventionally each frame runs to completion.
+  /// Drain the device RX rings through the stack. Returns frames handled.
+  /// Under LDLP each RX queue's backlog is injected and the graph then
+  /// runs layer by layer — one batch per queue, so with rx_queues > 1 each
+  /// shard's flows stay together and its d-cache state stays hot while
+  /// i-cache amortisation happens within the shard's batch. Conventionally
+  /// each frame runs to completion; with one queue this is the classic
+  /// single-ring pump, bit for bit.
   std::size_t pump(std::size_t max_frames = SIZE_MAX);
+
+  /// Drain one RX queue only (the per-shard pump step): injects that
+  /// queue's frames and, under LDLP, runs the graph for that shard's
+  /// batch. Returns frames handled. Does not run the post-pass hook;
+  /// callers driving shards individually invoke run_post_pass() after the
+  /// last shard of a pass.
+  std::size_t pump_queue(std::size_t queue, std::size_t max_frames = SIZE_MAX);
+
+  /// Fire the post-pass hook (invariant auditors) if any is attached.
+  void run_post_pass() {
+    if (post_pass_hook_) post_pass_hook_();
+  }
 
   /// Hook run at the end of every pump() that handled at least one frame
   /// — i.e. after every scheduler pass. Chaos builds hang the ldlp::check

@@ -17,6 +17,7 @@
 #include "obs/bridge.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "par/worker_pool.hpp"
 #include "recover/convergence.hpp"
 #include "recover/watchdog.hpp"
 #include "stack/host.hpp"
@@ -64,23 +65,73 @@ TEST(ObsRegistry, HistogramPercentiles) {
   EXPECT_GE(h.max(), 0.1 - 1e-12);
 }
 
-TEST(ObsRegistry, SnapshotSortedAndTyped) {
+TEST(ObsRegistry, SnapshotInsertionOrderedAndTyped) {
   obs::Registry reg;
   reg.counter("z.last").add(1);
   reg.gauge("a.first").set(2.0);
   reg.histogram("m.mid").add(0.5);
 
+  // Registration order, not name order: the registry is the narrative of
+  // what the program instrumented, and merged-in names (see MergedTail)
+  // sort after everything registered directly.
   const obs::Snapshot snap = reg.snapshot();
   ASSERT_EQ(snap.entries.size(), 3u);
-  EXPECT_EQ(snap.entries[0].name, "a.first");
-  EXPECT_EQ(snap.entries[1].name, "m.mid");
-  EXPECT_EQ(snap.entries[2].name, "z.last");
-  EXPECT_EQ(snap.entries[0].kind, obs::MetricKind::kGauge);
-  EXPECT_EQ(snap.entries[1].kind, obs::MetricKind::kHistogram);
-  EXPECT_EQ(snap.entries[2].kind, obs::MetricKind::kCounter);
+  EXPECT_EQ(snap.entries[0].name, "z.last");
+  EXPECT_EQ(snap.entries[1].name, "a.first");
+  EXPECT_EQ(snap.entries[2].name, "m.mid");
+  EXPECT_EQ(snap.entries[0].kind, obs::MetricKind::kCounter);
+  EXPECT_EQ(snap.entries[1].kind, obs::MetricKind::kGauge);
+  EXPECT_EQ(snap.entries[2].kind, obs::MetricKind::kHistogram);
   EXPECT_DOUBLE_EQ(snap.value("a.first"), 2.0);
   EXPECT_DOUBLE_EQ(snap.value("z.last"), 1.0);
   EXPECT_EQ(snap.find("missing"), nullptr);
+}
+
+TEST(ObsRegistry, MergeCombinesAndOrdersDeterministically) {
+  // Two "worker" registries that registered overlapping names in
+  // different orders, as racing threads would.
+  obs::Registry w0;
+  w0.counter("par.jobs").add(3);
+  w0.gauge("par.depth").set(2.0);
+  w0.histogram("par.lat").add(0.25);
+  obs::Registry w1;
+  w1.histogram("par.lat").add(0.75);
+  w1.counter("par.only1").add(7);
+  w1.counter("par.jobs").add(5);
+  w1.gauge("par.depth").set(1.0);
+
+  obs::Registry main;
+  main.counter("seeds").add(2);
+  main.merge(w0);
+  main.merge(w1);
+
+  const obs::Snapshot snap = main.snapshot();
+  // Counters sum, gauges keep the max, histograms pool samples.
+  EXPECT_DOUBLE_EQ(snap.value("par.jobs"), 8.0);
+  EXPECT_DOUBLE_EQ(snap.value("par.depth"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.value("par.lat"), 2.0);  // histogram count
+  EXPECT_DOUBLE_EQ(snap.value("par.only1"), 7.0);
+
+  // Direct registrations first (insertion order), merged names after in
+  // name order — identical no matter which worker merged first.
+  ASSERT_EQ(snap.entries.size(), 5u);
+  EXPECT_EQ(snap.entries[0].name, "seeds");
+  EXPECT_EQ(snap.entries[1].name, "par.depth");
+  EXPECT_EQ(snap.entries[2].name, "par.jobs");
+  EXPECT_EQ(snap.entries[3].name, "par.lat");
+  EXPECT_EQ(snap.entries[4].name, "par.only1");
+
+  obs::Registry reversed;
+  reversed.counter("seeds").add(2);
+  reversed.merge(w1);
+  reversed.merge(w0);
+  const obs::Snapshot swap = reversed.snapshot();
+  ASSERT_EQ(swap.entries.size(), snap.entries.size());
+  for (std::size_t i = 0; i < snap.entries.size(); ++i) {
+    EXPECT_EQ(swap.entries[i].name, snap.entries[i].name);
+    EXPECT_DOUBLE_EQ(swap.entries[i].value, snap.entries[i].value)
+        << snap.entries[i].name;
+  }
 }
 
 // -------------------------------------------------------------------- json
@@ -185,6 +236,20 @@ obs::Snapshot reference_snapshot() {
   recover::ProgressWatchdog dog;
   for (int i = 0; i < 3; ++i) dog.on_pass();
   dog.publish(reg);
+
+  // par.*: a two-worker pool over four deterministic jobs. Which worker
+  // runs which job is scheduling-dependent, but the merged counters sum
+  // and the merged histogram pools its samples, so the snapshot — and
+  // this golden file — is identical on every run. The merged par.test.*
+  // names land name-sorted after all directly registered metrics.
+  par::WorkerPool pool(2);
+  pool.run(4, [](std::size_t job, par::WorkerContext& ctx) {
+    ctx.registry->counter("par.test.jobs").add(1);
+    ctx.registry->histogram("par.test.cost_sec")
+        .add(1e-3 * static_cast<double>(job + 1));
+  });
+  pool.publish(reg);
+  pool.merge_registries(reg);
 
   return reg.snapshot();
 }

@@ -16,13 +16,19 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/blocking.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
 #include "obs/bench_result.hpp"
 #include "par/shard_engine.hpp"
+#include "recover/partition_heal.hpp"
 #include "sim/cpu_model.hpp"
 #include "stack/rx_path_trace.hpp"
 #include "synth/sweep.hpp"
@@ -182,6 +188,142 @@ inline obs::BenchResult gate_shard_sweep() {
   return result;
 }
 
+/// A reduced fleet soak on the ldlp::net fabric: 16 hosts on a 4x4
+/// fat-tree with two spines, a hand-written fault plan (spine-0 partition,
+/// a flapping trunk, a lossy rack), and eight cross-rack TCP streams
+/// drip-fed across the fault window. Strict acceptance: every stream
+/// completes byte-exact (no truncation allowance — nothing restarts), the
+/// partition-heal oracle records zero violations, and the fabric's frame
+/// ledger balances (injected == delivered + dropped + in-flight, residual
+/// exactly 0 — the near-zero baselines compare absolutely).
+inline obs::BenchResult gate_fleet_soak() {
+  obs::BenchResult result;
+  result.name = "gate_fleet_soak";
+  result.tolerance = 0.05;
+
+  net::Fabric fabric({/*host_tick_sec=*/5e-3, /*fault_seed=*/0x9a7e});
+  net::FatTreeConfig topo;
+  topo.racks = 4;
+  topo.hosts_per_rack = 4;
+  topo.spines = 2;
+  topo.proto.pool_mbufs = 384;
+  topo.proto.pool_clusters = 96;
+  topo.proto.mode = core::SchedMode::kLdlp;
+  const std::vector<net::HostId> hosts = net::build_fat_tree(fabric, topo);
+
+  fault::FaultPlan plan;
+  fault::Episode spine_cut;  // correlated: every spine-0 trunk at once
+  spine_cut.kind = fault::FaultKind::kPartition;
+  spine_cut.start = 0.4;
+  spine_cut.end = 0.9;
+  spine_cut.domain = fault::FaultDomain::kSwitch;
+  spine_cut.domain_index = 0;  // spines are created first: switch id 0
+  plan.add(spine_cut);
+  fault::Episode trunk_flap;  // rack 1's only healthy uplink flaps too
+  trunk_flap.kind = fault::FaultKind::kLinkFlap;
+  trunk_flap.start = 0.1;
+  trunk_flap.end = 0.7;
+  trunk_flap.rate = 0.4;
+  trunk_flap.magnitude = 0.05;
+  trunk_flap.domain = fault::FaultDomain::kLink;
+  trunk_flap.domain_index = 11;  // leaf1<->spine1 (4 access + trunks/rack)
+  plan.add(trunk_flap);
+  fault::Episode rack_loss;
+  rack_loss.kind = fault::FaultKind::kLossBurst;
+  rack_loss.start = 0.2;
+  rack_loss.end = 0.6;
+  rack_loss.rate = 0.3;
+  rack_loss.domain = fault::FaultDomain::kRack;
+  rack_loss.domain_index = 2;
+  plan.add(rack_loss);
+  fabric.set_fault_plan(plan, /*seed=*/0x50a6);
+
+  recover::PartitionHealOracle heal;  // truncation NOT allowed: strict
+  struct Pair {
+    std::size_t src, dst;
+    recover::PartitionHealOracle::PairId pid;
+    std::uint16_t port;
+    stack::PcbId conn = stack::kNoPcb;
+    stack::SocketId rx_socket = stack::kNoSocket;
+    std::vector<std::uint8_t> payload;
+    std::size_t sent_off = 0;
+    std::size_t got = 0;
+  };
+  std::vector<Pair> pairs;
+  for (std::size_t k = 0; k < 8; ++k) {
+    // Even hosts send, odd hosts receive; the +5 stride crosses racks.
+    Pair p{2 * k, (2 * k + 5) % 16, 0,
+           static_cast<std::uint16_t>(4000 + k)};
+    p.pid = heal.open_pair(fabric.host(hosts[p.src]).name(),
+                           fabric.host(hosts[p.dst]).name());
+    p.payload.resize(4000);
+    for (std::size_t i = 0; i < p.payload.size(); ++i)
+      p.payload[i] = static_cast<std::uint8_t>(i * 13 + k * 101);
+    pairs.push_back(std::move(p));
+  }
+  for (Pair& p : pairs) {
+    stack::Host& dst = fabric.host(hosts[p.dst]);
+    dst.sockets().set_tap(&heal.rx_tap(dst.name()));
+    dst.tcp().set_accept_hook([&heal, &dst, &p](stack::PcbId id) {
+      if (p.rx_socket != stack::kNoSocket) return;
+      p.rx_socket = dst.tcp().socket_of(id);
+      heal.bind_rx(p.pid, p.rx_socket);
+    });
+    (void)dst.tcp().listen(p.port);
+  }
+  for (Pair& p : pairs) {
+    stack::Host& src = fabric.host(hosts[p.src]);
+    src.tcp().set_send_tap(
+        [&heal, &p](stack::PcbId id, std::span<const std::uint8_t> bytes) {
+          if (id == p.conn) heal.sent(p.pid, bytes);
+        });
+    p.conn = src.tcp().connect(net::host_ip(static_cast<std::uint32_t>(
+                                   p.dst)),
+                               p.port);
+  }
+
+  std::vector<std::uint8_t> chunk(1024);
+  for (int iter = 0; iter < 400; ++iter) {
+    bool all_done = true;
+    for (Pair& p : pairs) {
+      stack::TcpLayer& stcp = fabric.host(hosts[p.src]).tcp();
+      // Drip-feed so the streams straddle the partition window instead
+      // of finishing before the first episode starts.
+      if (p.sent_off < p.payload.size() &&
+          stcp.state(p.conn) == stack::TcpState::kEstablished) {
+        const std::size_t n =
+            std::min<std::size_t>(250, p.payload.size() - p.sent_off);
+        if (stcp.send(p.conn,
+                      std::span(p.payload).subspan(p.sent_off, n)))
+          p.sent_off += n;
+      }
+      if (p.rx_socket != stack::kNoSocket)
+        p.got += fabric.host(hosts[p.dst]).sockets().read(p.rx_socket, chunk);
+      if (p.got < p.payload.size()) all_done = false;
+    }
+    if (all_done && fabric.faults_cleared()) break;
+    fabric.run_for(0.05);
+  }
+
+  std::size_t completed = 0;
+  for (const Pair& p : pairs) completed += p.got >= p.payload.size();
+  (void)heal.finalize();
+  const net::FabricTotals totals = fabric.totals();
+  result.set_metric("completed_pairs", static_cast<double>(completed));
+  result.set_metric("heal_violations",
+                    static_cast<double>(heal.stats().violations));
+  result.set_metric("conservation_residual",
+                    static_cast<double>(fabric.conservation_residual()));
+  result.set_metric("frames_delivered",
+                    static_cast<double>(totals.delivered));
+  result.set_metric("frames_dropped", static_cast<double>(
+                                          totals.queue_drops +
+                                          totals.fault_drops));
+  for (const net::HostId id : hosts)
+    fabric.host(id).sockets().set_tap(nullptr);
+  return result;
+}
+
 struct GateCase {
   const char* name;
   obs::BenchResult (*run)();
@@ -194,6 +336,7 @@ inline std::vector<GateCase> suite() {
       {"gate_checksum", &gate_checksum},
       {"gate_synth", &gate_synth},
       {"gate_shard_sweep", &gate_shard_sweep},
+      {"gate_fleet_soak", &gate_fleet_soak},
   };
 }
 

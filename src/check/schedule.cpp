@@ -45,6 +45,16 @@ obs::Json Schedule::to_json() const {
       je.set("rate", obs::Json(e.rate));
       je.set("param", obs::Json(static_cast<std::uint64_t>(e.param)));
       je.set("magnitude", obs::Json(e.magnitude));
+      // Fabric scope keys are written only when set, so legacy two-host
+      // schedules serialise byte-identically to what PR 4 produced.
+      if (e.domain != fault::FaultDomain::kNone) {
+        je.set("domain", obs::Json(fault::fault_domain_name(e.domain)));
+        je.set("domain_index",
+               obs::Json(static_cast<std::uint64_t>(e.domain_index)));
+        if (e.direction != fault::kDirBoth)
+          je.set("direction",
+                 obs::Json(static_cast<std::uint64_t>(e.direction)));
+      }
       episodes.push_back(std::move(je));
     }
     j.set("episodes", std::move(episodes));
@@ -104,6 +114,22 @@ std::optional<Schedule> Schedule::from_json(const obs::Json& doc,
       e.param =
           static_cast<std::uint32_t>(je.number_at("param").value_or(0));
       e.magnitude = je.number_at("magnitude").value_or(0.0);
+      // Absent scope keys mean kNone — old artifacts replay unchanged —
+      // and an unknown domain *name* is a hard error (silently treating a
+      // rack fault as host-local would replay the wrong adversity).
+      if (const auto domain_name = je.string_at("domain");
+          domain_name.has_value()) {
+        const auto domain = fault::fault_domain_from_name(*domain_name);
+        if (!domain.has_value()) {
+          fail(error, "schedule: unknown fault domain '" + *domain_name + "'");
+          return std::nullopt;
+        }
+        e.domain = *domain;
+        e.domain_index = static_cast<std::uint32_t>(
+            je.number_at("domain_index").value_or(0));
+        e.direction =
+            static_cast<std::uint8_t>(je.number_at("direction").value_or(0));
+      }
       spec.plan.add(e);
     }
     out.injectors.push_back(std::move(spec));

@@ -11,6 +11,15 @@
 // The shrinker (check/shrink.hpp) operates on Schedules directly: episodes
 // are removed, the candidate is re-run, and the minimal still-failing
 // schedule is what gets written out.
+//
+// Compatibility contract (still "ldlp.schedule.v1"): readers ignore JSON
+// keys they do not know, and writers only emit the fabric fault-domain
+// keys (domain / domain_index / direction) when an episode actually has a
+// domain. Old shrunk-schedule artifacts therefore replay bit-identically,
+// and artifacts written by a newer build still load on this one as long
+// as the kinds/domains they use exist. A fleet schedule is just a
+// Schedule whose injector list carries one spec named "fabric" (the
+// topology-scoped episodes) next to per-host specs ("h0", "h17", ...).
 #pragma once
 
 #include <cstdint>

@@ -32,6 +32,28 @@ std::optional<FaultKind> fault_kind_from_name(std::string_view name) noexcept {
   return std::nullopt;
 }
 
+const char* fault_domain_name(FaultDomain domain) noexcept {
+  switch (domain) {
+    case FaultDomain::kNone: return "none";
+    case FaultDomain::kLink: return "link";
+    case FaultDomain::kSwitch: return "switch";
+    case FaultDomain::kRack: return "rack";
+    case FaultDomain::kSite: return "site";
+    case FaultDomain::kHost: return "host";
+  }
+  return "?";
+}
+
+std::optional<FaultDomain> fault_domain_from_name(
+    std::string_view name) noexcept {
+  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(FaultDomain::kHost);
+       ++i) {
+    const auto domain = static_cast<FaultDomain>(i);
+    if (name == fault_domain_name(domain)) return domain;
+  }
+  return std::nullopt;
+}
+
 FaultPlan& FaultPlan::add(Episode episode) {
   episodes_.push_back(episode);
   std::sort(episodes_.begin(), episodes_.end(),
@@ -161,13 +183,21 @@ const Episode* FaultPlan::active(FaultKind kind, double t) const noexcept {
 
 std::string FaultPlan::describe() const {
   std::string out;
-  char line[128];
+  char line[160];
   for (const Episode& e : episodes_) {
     std::snprintf(line, sizeof line,
                   "  [%6.3f, %6.3f) %-15s rate=%.2f param=%u mag=%.3f\n",
                   e.start, e.end, fault_kind_name(e.kind), e.rate, e.param,
                   e.magnitude);
     out += line;
+    if (e.domain != FaultDomain::kNone) {
+      std::snprintf(line, sizeof line, "      domain %s %u%s\n",
+                    fault_domain_name(e.domain), e.domain_index,
+                    e.direction == kDirAtoB   ? " (a->b only)"
+                    : e.direction == kDirBtoA ? " (b->a only)"
+                                              : "");
+      out += line;
+    }
   }
   return out;
 }

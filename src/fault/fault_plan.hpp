@@ -57,6 +57,35 @@ inline constexpr std::size_t kLegacyFaultKindCount = 8;
 [[nodiscard]] std::optional<FaultKind> fault_kind_from_name(
     std::string_view name) noexcept;
 
+/// Topology scope of an episode. kNone keeps the historical meaning —
+/// the episode applies at whatever attachment point the injector serves
+/// (a host's device, graph or pool). The other scopes only have meaning
+/// on a fabric (ldlp::net): a link episode hits one link, a switch
+/// episode hits every link incident to that switch (a correlated failure
+/// that partitions the whole subtree below it), a rack episode every
+/// link of that rack's leaf switch, a site episode every link inside
+/// that site, and a host episode the host's access link(s).
+enum class FaultDomain : std::uint8_t {
+  kNone,
+  kLink,
+  kSwitch,
+  kRack,
+  kSite,
+  kHost,
+};
+
+[[nodiscard]] const char* fault_domain_name(FaultDomain domain) noexcept;
+[[nodiscard]] std::optional<FaultDomain> fault_domain_from_name(
+    std::string_view name) noexcept;
+
+/// Direction mask for domain-scoped outages. kBoth is the classic
+/// bidirectional cut; the one-sided values model asymmetric partitions
+/// (frames pass one way, vanish the other — the gray failure that makes
+/// half-open connections).
+inline constexpr std::uint8_t kDirBoth = 0;
+inline constexpr std::uint8_t kDirAtoB = 1;  ///< Only the a->b direction fails.
+inline constexpr std::uint8_t kDirBtoA = 2;  ///< Only the b->a direction fails.
+
 struct Episode {
   FaultKind kind = FaultKind::kLossBurst;
   double start = 0.0;        ///< Seconds, inclusive.
@@ -64,6 +93,11 @@ struct Episode {
   double rate = 1.0;         ///< Per-frame probability while active.
   std::uint32_t param = 0;   ///< Kind-specific integer (see FaultKind docs).
   double magnitude = 0.0;    ///< Kind-specific scalar (delay bound, ...).
+  /// Fabric scope. kNone (the default, and the only value per-host
+  /// injectors ever see) preserves every historical episode's meaning.
+  FaultDomain domain = FaultDomain::kNone;
+  std::uint32_t domain_index = 0;  ///< Which link/switch/rack/site/host.
+  std::uint8_t direction = kDirBoth;  ///< Outage direction (domain scopes).
 
   [[nodiscard]] bool active_at(double t) const noexcept {
     return t >= start && t < end;

@@ -1,0 +1,291 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "wire/ethernet.hpp"
+
+namespace ldlp::net {
+
+Fabric::Fabric(FabricConfig config)
+    : cfg_(config), fault_rng_(config.fault_seed) {
+  LDLP_ASSERT_MSG(cfg_.host_tick_sec > 0.0, "host tick must be positive");
+}
+
+HostId Fabric::add_host(stack::HostConfig config) {
+  const HostId id = static_cast<HostId>(hosts_.size());
+  hosts_.push_back(std::make_unique<stack::Host>(std::move(config)));
+  access_link_.push_back(kNoLink);
+  hosts_.back()->device().set_tx_sink(
+      [this, id](std::vector<std::uint8_t>&& bytes) {
+        const LinkId access = access_link_[id];
+        if (access == kNoLink) return false;  // not wired yet
+        const Link& l = links_[access];
+        const int dir =
+            (l.a == PortRef::host(id)) ? 0 : 1;  // toward the far end
+        return enqueue(access, dir, std::move(bytes));
+      });
+  return id;
+}
+
+SwitchId Fabric::add_switch(std::string name, int rack, int site, int tier) {
+  const SwitchId id = static_cast<SwitchId>(switches_.size());
+  Switch sw;
+  sw.name = std::move(name);
+  sw.rack = rack;
+  sw.site = site;
+  sw.tier = tier;
+  switches_.push_back(std::move(sw));
+  return id;
+}
+
+LinkId Fabric::link(PortRef a, PortRef b, LinkConfig config) {
+  LDLP_ASSERT_MSG(!(a == b), "a link needs two distinct ports");
+  const LinkId id = static_cast<LinkId>(links_.size());
+  Link l;
+  l.a = a;
+  l.b = b;
+  l.cfg = config;
+  // The link inherits a site annotation when its endpoints agree (a host
+  // endpoint defers to the switch it hangs off); cross-site links stay -1
+  // and are covered through their endpoint switches instead.
+  int site_a = -2, site_b = -2;  // -2 = no opinion (host endpoint)
+  for (const PortRef* p : {&l.a, &l.b}) {
+    int& slot = (p == &l.a) ? site_a : site_b;
+    if (p->kind == PortRef::Kind::kSwitch) slot = switches_.at(p->id).site;
+  }
+  if (site_a >= 0 && (site_b == site_a || site_b == -2)) l.site = site_a;
+  else if (site_b >= 0 && site_a == -2) l.site = site_b;
+  links_.push_back(std::move(l));
+  for (const PortRef& p : {a, b}) {
+    if (p.kind == PortRef::Kind::kSwitch) {
+      Switch& sw = switches_.at(p.id);
+      sw.ports.push_back(id);
+      const PortRef& other = (p == a) ? b : a;
+      if (other.kind == PortRef::Kind::kSwitch &&
+          switches_.at(other.id).tier >= sw.tier) {
+        sw.up_ports.push_back(id);  // equal tiers: uplink on both sides
+      } else {
+        sw.down_ports.push_back(id);
+      }
+    } else {
+      LDLP_ASSERT_MSG(access_link_.at(p.id) == kNoLink,
+                      "a host has exactly one access link");
+      access_link_[p.id] = id;
+    }
+  }
+  return id;
+}
+
+std::size_t Fabric::rack_count() const noexcept {
+  int max_rack = -1;
+  for (const Switch& sw : switches_) max_rack = std::max(max_rack, sw.rack);
+  return static_cast<std::size_t>(max_rack + 1);
+}
+
+std::size_t Fabric::site_count() const noexcept {
+  int max_site = -1;
+  for (const Switch& sw : switches_) max_site = std::max(max_site, sw.site);
+  return static_cast<std::size_t>(max_site + 1);
+}
+
+FabricTotals Fabric::totals() const noexcept {
+  FabricTotals t;
+  for (const Link& l : links_) {
+    for (const LinkDir& d : l.dir) {
+      t.injected += d.stats.frames_in;
+      t.delivered += d.stats.frames_out;
+      t.queue_drops += d.stats.queue_drops;
+      t.fault_drops += d.stats.fault_drops;
+      t.in_flight += d.stats.in_flight;
+    }
+  }
+  return t;
+}
+
+std::int64_t Fabric::conservation_residual() const noexcept {
+  const FabricTotals t = totals();
+  return static_cast<std::int64_t>(t.injected) -
+         static_cast<std::int64_t>(t.delivered) -
+         static_cast<std::int64_t>(t.queue_drops) -
+         static_cast<std::int64_t>(t.fault_drops) -
+         static_cast<std::int64_t>(t.in_flight);
+}
+
+void Fabric::set_fault_plan(fault::FaultPlan plan, std::uint64_t seed) {
+  plan_ = std::move(plan);
+  fault_rng_.reseed(seed);
+}
+
+bool Fabric::faults_cleared() const noexcept {
+  return events_.now() >= plan_.end_time() && totals().in_flight == 0;
+}
+
+bool Fabric::covers(const fault::Episode& e, LinkId id,
+                    int direction) const noexcept {
+  if (e.direction != fault::kDirBoth) {
+    if (e.direction == fault::kDirAtoB && direction != 0) return false;
+    if (e.direction == fault::kDirBtoA && direction != 1) return false;
+  }
+  const Link& l = links_[id];
+  const auto endpoint_switch = [&](const PortRef& p) -> const Switch* {
+    return p.kind == PortRef::Kind::kSwitch ? &switches_[p.id] : nullptr;
+  };
+  const Switch* sa = endpoint_switch(l.a);
+  const Switch* sb = endpoint_switch(l.b);
+  const int idx = static_cast<int>(e.domain_index);
+  switch (e.domain) {
+    case fault::FaultDomain::kNone:
+      return false;
+    case fault::FaultDomain::kLink:
+      return id == e.domain_index;
+    case fault::FaultDomain::kSwitch:
+      return (sa != nullptr && l.a.id == e.domain_index) ||
+             (sb != nullptr && l.b.id == e.domain_index);
+    case fault::FaultDomain::kRack:
+      return (sa != nullptr && sa->rack == idx) ||
+             (sb != nullptr && sb->rack == idx);
+    case fault::FaultDomain::kSite:
+      return l.site == idx || (sa != nullptr && sa->site == idx) ||
+             (sb != nullptr && sb->site == idx);
+    case fault::FaultDomain::kHost:
+      return (l.a.kind == PortRef::Kind::kHost && l.a.id == e.domain_index) ||
+             (l.b.kind == PortRef::Kind::kHost && l.b.id == e.domain_index);
+  }
+  return false;
+}
+
+bool Fabric::link_cut(LinkId id, int direction, double t) const {
+  for (const fault::Episode& e : plan_.episodes()) {
+    if (!e.active_at(t) || !covers(e, id, direction)) continue;
+    if (e.kind == fault::FaultKind::kPartition) return true;
+    if (e.kind == fault::FaultKind::kLinkFlap && e.magnitude > 0.0) {
+      // Same cycle geometry as the per-host injector: the first `rate`
+      // fraction of every `magnitude`-second period is carrier-down.
+      const double phase = std::fmod(t - e.start, e.magnitude);
+      if (phase < e.rate * e.magnitude) return true;
+    }
+  }
+  return false;
+}
+
+bool Fabric::enqueue(LinkId id, int direction,
+                     std::vector<std::uint8_t> bytes) {
+  const double t = events_.now();
+  Link& l = links_[id];
+  LinkDir& d = l.dir[direction & 1];
+  // Every offered frame enters the ledger first, so that at any instant
+  // injected == delivered + queue_drops + fault_drops + in_flight.
+  ++d.stats.frames_in;
+  if (link_cut(id, direction, t)) {
+    ++d.stats.fault_drops;
+    return false;
+  }
+  for (const fault::Episode& e : plan_.episodes()) {
+    if (e.kind == fault::FaultKind::kLossBurst && e.active_at(t) &&
+        covers(e, id, direction) && fault_rng_.chance(e.rate)) {
+      ++d.stats.fault_drops;
+      return false;
+    }
+  }
+  if (d.stats.in_flight >= l.cfg.queue_frames) {
+    ++d.stats.queue_drops;
+    return false;
+  }
+  d.stats.bytes += bytes.size();
+  ++d.stats.in_flight;
+  d.stats.max_in_flight = std::max(d.stats.max_in_flight, d.stats.in_flight);
+  const double start = std::max(t, d.busy_until);
+  const double done =
+      start + static_cast<double>(bytes.size()) * 8.0 /
+                  (l.cfg.gbit_per_sec * 1e9);
+  d.busy_until = done;
+  events_.schedule_at(done + l.cfg.delay_sec,
+                      [this, id, direction, b = std::move(bytes)]() mutable {
+                        deliver(id, direction, std::move(b));
+                      });
+  return true;
+}
+
+void Fabric::deliver(LinkId id, int direction,
+                     std::vector<std::uint8_t> bytes) {
+  Link& l = links_[id];
+  LinkDir& d = l.dir[direction & 1];
+  LDLP_ASSERT_MSG(d.stats.in_flight > 0, "delivery without an enqueue");
+  --d.stats.in_flight;
+  ++d.stats.frames_out;
+  const PortRef dst = (direction == 0) ? l.b : l.a;
+  if (dst.kind == PortRef::Kind::kHost) {
+    hosts_[dst.id]->device().inject(std::move(bytes));
+  } else {
+    forward(dst.id, id, std::move(bytes));
+  }
+}
+
+void Fabric::forward(SwitchId id, LinkId ingress,
+                     std::vector<std::uint8_t> bytes) {
+  Switch& sw = switches_[id];
+  const auto eth = wire::parse_eth(bytes);
+  if (!eth) return;  // runt frame: a real switch would discard it too
+  sw.fdb[eth->src] = ingress;  // backward learning
+  if ((eth->dst[0] & 1) == 0) {  // unicast
+    if (const auto hit = sw.fdb.find(eth->dst); hit != sw.fdb.end()) {
+      if (hit->second != ingress) {
+        ++sw.stats.forwarded;
+        send_via(id, hit->second, std::move(bytes));
+      }
+      return;  // learned on the ingress segment: nothing to do
+    }
+  }
+  // Broadcast / multicast / unknown unicast: split-horizon flood. Frames
+  // that arrived from above only go down; frames from below go to every
+  // other downlink plus one hash-chosen uplink (valley-free forwarding —
+  // see add_switch). Copies fan out per egress; each is its own enqueue
+  // in the conservation ledger.
+  const bool from_above =
+      std::find(sw.up_ports.begin(), sw.up_ports.end(), ingress) !=
+      sw.up_ports.end();
+  for (const LinkId egress : sw.down_ports) {
+    if (egress == ingress) continue;
+    ++sw.stats.flooded;
+    send_via(id, egress, std::vector<std::uint8_t>(bytes));
+  }
+  if (!from_above && !sw.up_ports.empty()) {
+    std::uint64_t h = 0;
+    for (const std::uint8_t b : eth->src) h = h * 131 + b;
+    for (const std::uint8_t b : eth->dst) h = h * 131 + b;
+    std::uint64_t state = h;
+    const LinkId up = sw.up_ports[splitmix64(state) % sw.up_ports.size()];
+    ++sw.stats.flooded;
+    send_via(id, up, std::move(bytes));
+  }
+}
+
+void Fabric::send_via(SwitchId id, LinkId egress,
+                      std::vector<std::uint8_t> bytes) {
+  const Link& l = links_[egress];
+  const int dir = (l.a == PortRef::sw(id)) ? 0 : 1;
+  enqueue(egress, dir, std::move(bytes));
+}
+
+void Fabric::tick_round() {
+  const double t = events_.now();
+  for (const auto& host : hosts_) {
+    host->advance_to(t);
+    host->pump();
+  }
+  if (pass_hook_) pass_hook_();
+  events_.schedule_in(cfg_.host_tick_sec, [this] { tick_round(); });
+}
+
+void Fabric::run_until(double t_sec) {
+  if (!tick_scheduled_ && !hosts_.empty()) {
+    tick_scheduled_ = true;
+    events_.schedule_in(cfg_.host_tick_sec, [this] { tick_round(); });
+  }
+  events_.run_until(t_sec);
+}
+
+}  // namespace ldlp::net

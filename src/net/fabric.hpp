@@ -1,0 +1,252 @@
+// ldlp::net::Fabric — a deterministic multi-host network fabric.
+//
+// PR 4-6 grew the chaos harness around two hosts joined back-to-back;
+// this layer replaces the wire with a real (simulated) fabric: switches
+// with MAC learning and flooding, links with bounded queues,
+// serialization and propagation delay, all driven from one shared
+// eventsim::EventQueue. N stack::Host instances hang off access links
+// via NetDevice's TxSink hook; host timers fire on fabric "tick rounds"
+// (Host::advance_to + pump), so the per-host advance loops of the old
+// harness collapse into Fabric::run_until.
+//
+// Fault model: the fabric executes one topology-scoped fault::FaultPlan.
+// Episodes carry a FaultDomain (link / switch / rack / site / host) and
+// the fabric maps a domain to the set of links it covers — a switch
+// episode cuts every incident link at once, which is exactly the
+// correlated failure that partitions the subtree below it. Partitions
+// and flap-down phases are pure functions of (plan, now, link,
+// direction), so the same schedule always cuts the same frames and the
+// ddmin shrinker works on fleet schedules unchanged. Loss-burst
+// episodes draw from the fabric's own seeded RNG.
+//
+// Conservation: every frame enqueue and every terminal outcome is
+// counted per hop — frames injected == delivered + queue drops + fault
+// drops + still in flight — and conservation_residual() must be zero at
+// any quiescent point. The soak gates assert exactly that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eventsim/event_queue.hpp"
+#include "common/rng.hpp"
+#include "fault/fault_plan.hpp"
+#include "stack/host.hpp"
+
+namespace ldlp::net {
+
+using HostId = std::uint32_t;
+using SwitchId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+/// One end of a link: a host's device or a switch port.
+struct PortRef {
+  enum class Kind : std::uint8_t { kHost, kSwitch };
+  Kind kind = Kind::kHost;
+  std::uint32_t id = 0;
+
+  [[nodiscard]] static PortRef host(HostId id) noexcept {
+    return {Kind::kHost, id};
+  }
+  [[nodiscard]] static PortRef sw(SwitchId id) noexcept {
+    return {Kind::kSwitch, id};
+  }
+  friend bool operator==(const PortRef&, const PortRef&) = default;
+};
+
+struct LinkConfig {
+  double delay_sec = 2e-6;      ///< Propagation delay, one way.
+  double gbit_per_sec = 10.0;   ///< Serialization rate.
+  std::size_t queue_frames = 64;  ///< Per-direction in-flight bound.
+};
+
+/// Per-direction link counters. Direction 0 is a->b, 1 is b->a (the
+/// (a, b) order given to Fabric::link()).
+struct LinkDirStats {
+  std::uint64_t frames_in = 0;    ///< Accepted enqueues.
+  std::uint64_t frames_out = 0;   ///< Delivered to the far port.
+  std::uint64_t bytes = 0;
+  std::uint64_t queue_drops = 0;  ///< Refused: in-flight bound hit.
+  std::uint64_t fault_drops = 0;  ///< Cut by a domain episode.
+  std::size_t in_flight = 0;
+  std::size_t max_in_flight = 0;
+};
+
+struct SwitchStats {
+  std::uint64_t forwarded = 0;  ///< Unicast frames sent on a learned port.
+  std::uint64_t flooded = 0;    ///< Egress copies from flooding.
+};
+
+/// Fabric-wide conservation ledger (per-hop: each link enqueue counts).
+struct FabricTotals {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t queue_drops = 0;
+  std::uint64_t fault_drops = 0;
+  std::size_t in_flight = 0;
+};
+
+struct FabricConfig {
+  /// Host tick round period: every tick each host's clock snaps to fabric
+  /// time, its timers fire, and its RX backlog is pumped. Effective RTT
+  /// floor is ~2 ticks; 1 ms keeps TCP honest without drowning the run.
+  double host_tick_sec = 1e-3;
+  std::uint64_t fault_seed = 1;  ///< Drives domain loss-burst draws.
+};
+
+class Fabric {
+ public:
+  explicit Fabric(FabricConfig config = {});
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // -- Topology construction (before or between runs) --------------------
+
+  /// Add a host; the fabric owns it. Its device transmits into the access
+  /// link wired by link() (transmit before any link is a tx_drop).
+  HostId add_host(stack::HostConfig config);
+
+  /// Add a switch. `rack` and `site` are fault-domain annotations
+  /// (-1 = unannotated); FaultDomain::kRack / kSite episodes cover every
+  /// link incident to a switch with the matching annotation. `tier`
+  /// orders switches vertically (0 = leaf/edge, 1 = spine, ...): a
+  /// switch-switch link is an uplink on its lower-tier side (on both
+  /// sides when equal), and flooding is split-horizon by tier — frames
+  /// arriving on an uplink flood only downward, frames arriving on a
+  /// downlink flood to the other downlinks plus ONE uplink chosen by a
+  /// deterministic MAC-pair hash. That is valley-free (up*-down*)
+  /// forwarding: loop-free and duplicate-free in any multi-rooted tree,
+  /// which is what lets a fat-tree run without spanning tree.
+  SwitchId add_switch(std::string name, int rack = -1, int site = -1,
+                      int tier = 0);
+
+  /// Join two ports with a full-duplex link. Direction 0 is a->b.
+  LinkId link(PortRef a, PortRef b, LinkConfig config = {});
+
+  // -- Accessors ----------------------------------------------------------
+
+  [[nodiscard]] stack::Host& host(HostId id) { return *hosts_.at(id); }
+  [[nodiscard]] const stack::Host& host(HostId id) const {
+    return *hosts_.at(id);
+  }
+  [[nodiscard]] std::size_t host_count() const noexcept {
+    return hosts_.size();
+  }
+  [[nodiscard]] std::size_t switch_count() const noexcept {
+    return switches_.size();
+  }
+  [[nodiscard]] std::size_t link_count() const noexcept {
+    return links_.size();
+  }
+  /// Number of distinct rack / site annotations (max index + 1).
+  [[nodiscard]] std::size_t rack_count() const noexcept;
+  [[nodiscard]] std::size_t site_count() const noexcept;
+
+  [[nodiscard]] const LinkDirStats& link_stats(LinkId id,
+                                               int direction) const {
+    return links_.at(id).dir[direction & 1].stats;
+  }
+  [[nodiscard]] const SwitchStats& switch_stats(SwitchId id) const {
+    return switches_.at(id).stats;
+  }
+  [[nodiscard]] const std::string& switch_name(SwitchId id) const {
+    return switches_.at(id).name;
+  }
+  [[nodiscard]] std::size_t link_queue_depth(LinkId id) const {
+    return links_.at(id).dir[0].stats.in_flight +
+           links_.at(id).dir[1].stats.in_flight;
+  }
+
+  [[nodiscard]] FabricTotals totals() const noexcept;
+
+  /// injected - delivered - queue_drops - fault_drops - in_flight; zero
+  /// whenever the ledger balances (always, unless there is a bug).
+  [[nodiscard]] std::int64_t conservation_residual() const noexcept;
+
+  // -- Faults -------------------------------------------------------------
+
+  /// Install the topology-scoped plan. Episodes with FaultDomain::kNone
+  /// are ignored here (those belong on per-host injectors); the RNG for
+  /// loss draws is reseeded from `seed`.
+  void set_fault_plan(fault::FaultPlan plan, std::uint64_t seed);
+  [[nodiscard]] const fault::FaultPlan& fault_plan() const noexcept {
+    return plan_;
+  }
+
+  /// True once the plan horizon has passed and nothing is still on a
+  /// wire — the gate recovery oracles use as a convergence clearance.
+  [[nodiscard]] bool faults_cleared() const noexcept;
+
+  /// Is this link direction cut right now (partition episode or flap
+  /// down-phase whose domain covers the link)? Pure in (plan, t).
+  [[nodiscard]] bool link_cut(LinkId id, int direction, double t) const;
+
+  // -- Execution ----------------------------------------------------------
+
+  [[nodiscard]] double now() const noexcept { return events_.now(); }
+
+  /// Advance the fabric (links, switches, host ticks) to absolute time
+  /// `t_sec` / by `dt_sec`.
+  void run_until(double t_sec);
+  void run_for(double dt_sec) { run_until(events_.now() + dt_sec); }
+
+  /// Hook fired after every host tick round (all hosts advanced and
+  /// pumped) — the fleet oracles' on_pass attachment point.
+  void set_pass_hook(std::function<void()> hook) {
+    pass_hook_ = std::move(hook);
+  }
+
+ private:
+  struct LinkDir {
+    double busy_until = 0.0;
+    LinkDirStats stats;
+  };
+  struct Link {
+    PortRef a, b;
+    LinkConfig cfg;
+    int site = -1;  ///< Same-site endpoints inherit it; cross-site = -1.
+    LinkDir dir[2];
+  };
+  struct Switch {
+    std::string name;
+    int rack = -1;
+    int site = -1;
+    int tier = 0;
+    std::vector<LinkId> ports;       ///< All incident links.
+    std::vector<LinkId> up_ports;    ///< Toward higher (or equal) tiers.
+    std::vector<LinkId> down_ports;  ///< Toward hosts / lower tiers.
+    std::map<wire::MacAddr, LinkId> fdb;  ///< Learned source addresses.
+    SwitchStats stats;
+  };
+
+  /// Does `episode`'s domain cover (link, direction)?
+  [[nodiscard]] bool covers(const fault::Episode& e, LinkId id,
+                            int direction) const noexcept;
+
+  /// Try to put a frame on a link direction; false = dropped (counted).
+  bool enqueue(LinkId id, int direction, std::vector<std::uint8_t> bytes);
+  void deliver(LinkId id, int direction, std::vector<std::uint8_t> bytes);
+  void forward(SwitchId id, LinkId ingress, std::vector<std::uint8_t> bytes);
+  void send_via(SwitchId id, LinkId egress, std::vector<std::uint8_t> bytes);
+  void tick_round();
+
+  FabricConfig cfg_;
+  eventsim::EventQueue events_;
+  std::vector<std::unique_ptr<stack::Host>> hosts_;
+  std::vector<LinkId> access_link_;  ///< Per host; kNoLink until wired.
+  std::vector<Switch> switches_;
+  std::vector<Link> links_;
+  fault::FaultPlan plan_;
+  Rng fault_rng_;
+  std::function<void()> pass_hook_;
+  bool tick_scheduled_ = false;
+
+  static constexpr LinkId kNoLink = ~LinkId{0};
+};
+
+}  // namespace ldlp::net

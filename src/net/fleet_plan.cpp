@@ -1,0 +1,83 @@
+#include "net/fleet_plan.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/fabric.hpp"
+
+namespace ldlp::net {
+
+FleetShape shape_of(const Fabric& fabric) {
+  FleetShape shape;
+  shape.links = fabric.link_count();
+  shape.switches = fabric.switch_count();
+  shape.racks = fabric.rack_count();
+  shape.sites = fabric.site_count();
+  shape.hosts = fabric.host_count();
+  return shape;
+}
+
+fault::FaultPlan random_fleet_plan(std::uint64_t seed, double horizon_sec,
+                                   const FleetShape& shape,
+                                   std::size_t episodes) {
+  // Distinct stream from FaultPlan::random / random_heal so fleet plans
+  // never alias the per-host plan a host with the same seed would get.
+  std::uint64_t mix = seed ^ 0xf1ee7'0001ULL;
+  Rng rng(splitmix64(mix));
+  fault::FaultPlan plan;
+
+  struct DomainChoice {
+    fault::FaultDomain domain;
+    std::size_t count;
+  };
+  std::vector<DomainChoice> choices;
+  if (shape.links > 0) {
+    // Links dominate the draw: most real outages are a cable, not a site.
+    choices.push_back({fault::FaultDomain::kLink, shape.links});
+    choices.push_back({fault::FaultDomain::kLink, shape.links});
+  }
+  if (shape.switches > 0)
+    choices.push_back({fault::FaultDomain::kSwitch, shape.switches});
+  if (shape.racks > 0)
+    choices.push_back({fault::FaultDomain::kRack, shape.racks});
+  if (shape.sites > 1)
+    choices.push_back({fault::FaultDomain::kSite, shape.sites});
+  if (shape.hosts > 0)
+    choices.push_back({fault::FaultDomain::kHost, shape.hosts});
+  if (choices.empty()) return plan;
+
+  for (std::size_t i = 0; i < episodes; ++i) {
+    const DomainChoice& c = choices[rng.bounded(choices.size())];
+    fault::Episode e;
+    e.domain = c.domain;
+    e.domain_index = static_cast<std::uint32_t>(rng.bounded(c.count));
+    e.start = rng.uniform(0.0, 0.6 * horizon_sec);
+    const double max_len = 0.9 * horizon_sec - e.start;
+    const double roll = rng.uniform();
+    if (roll < 0.45) {
+      e.kind = fault::FaultKind::kPartition;
+      e.end = e.start + rng.uniform(0.05, std::min(0.25 * horizon_sec,
+                                                   max_len));
+      // A quarter of cuts are gray: one direction passes, the other
+      // blackholes — the half-open-connection generator.
+      if (rng.chance(0.25))
+        e.direction = rng.chance(0.5) ? fault::kDirAtoB : fault::kDirBtoA;
+    } else if (roll < 0.75) {
+      e.kind = fault::FaultKind::kLinkFlap;
+      e.end = e.start + rng.uniform(0.05, std::min(0.35 * horizon_sec,
+                                                   max_len));
+      e.rate = rng.uniform(0.25, 0.6);        // down fraction per cycle
+      e.magnitude = rng.uniform(0.02, 0.12);  // cycle period, seconds
+    } else {
+      e.kind = fault::FaultKind::kLossBurst;
+      e.end = e.start + rng.uniform(0.05, std::min(0.35 * horizon_sec,
+                                                   max_len));
+      e.rate = rng.uniform(0.15, 0.7);
+    }
+    plan.add(e);
+  }
+  return plan;
+}
+
+}  // namespace ldlp::net

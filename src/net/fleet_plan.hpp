@@ -1,0 +1,41 @@
+// Seed-deterministic fleet fault plans: the topology-scoped adversity a
+// fleet soak runs under. random_fleet_plan() draws over domain *shapes*
+// (how many links / switches / racks / sites / hosts exist), not over a
+// live Fabric, so a schedule can be generated, serialized and shrunk
+// without constructing the topology — replay re-derives the same plan
+// from (seed, shape) or just loads the episodes from the artifact.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_plan.hpp"
+
+namespace ldlp::net {
+
+class Fabric;
+
+/// Domain-index ranges a plan may draw from. Zero disables a domain
+/// (sites <= 1 disables site cuts: cutting the only site is a blackout,
+/// not a partition).
+struct FleetShape {
+  std::size_t links = 0;
+  std::size_t switches = 0;
+  std::size_t racks = 0;
+  std::size_t sites = 0;
+  std::size_t hosts = 0;
+};
+
+/// The shape of an existing fabric.
+[[nodiscard]] FleetShape shape_of(const Fabric& fabric);
+
+/// `episodes` topology-scoped fault windows over [0, horizon_sec):
+/// partitions (sometimes asymmetric), link flaps, and loss bursts, each
+/// aimed at a random domain the shape allows. Every episode ends by
+/// 0.9 * horizon so the post-fault convergence budget is meaningful.
+/// Pure in (seed, horizon, shape, episodes).
+[[nodiscard]] fault::FaultPlan random_fleet_plan(std::uint64_t seed,
+                                                 double horizon_sec,
+                                                 const FleetShape& shape,
+                                                 std::size_t episodes = 5);
+
+}  // namespace ldlp::net

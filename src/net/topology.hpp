@@ -1,0 +1,61 @@
+// Topology builders: the three fleet shapes the soaks exercise.
+//
+//   * star — one switch, N hosts; the smallest fabric with flooding,
+//     learning and a shared failure point (the unit-test shape).
+//   * 2-tier fat-tree — one leaf switch per rack, every leaf linked to
+//     every spine; cross-rack traffic has spine path diversity at the
+//     MAC-learning level (a learned path survives as long as its spine
+//     does; a spine fault forces relearning via flooding).
+//   * WAN pair — two star sites joined by one long fat link; the shape
+//     where a site-domain fault is a real inter-datacenter partition.
+//
+// Hosts get a uniform identity from their fabric index: name "h<i>",
+// MAC 02:00:00:00:hh:ll, IP 10.0.x.y — everything is on one subnet, so
+// reachability is pure L2 (ARP + switch learning), no routes needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "stack/host.hpp"
+
+namespace ldlp::net {
+
+/// Stamp index-derived name / MAC / IP onto a host config prototype.
+[[nodiscard]] stack::HostConfig host_identity(stack::HostConfig proto,
+                                              std::uint32_t index);
+
+/// IP a builder assigns to host `index` (10.0.index/200.1+index%200).
+[[nodiscard]] std::uint32_t host_ip(std::uint32_t index) noexcept;
+
+struct StarConfig {
+  std::size_t hosts = 4;
+  LinkConfig access{};
+  stack::HostConfig proto{};  ///< Per-host template (identity overwritten).
+};
+
+struct FatTreeConfig {
+  std::size_t racks = 4;
+  std::size_t hosts_per_rack = 4;
+  std::size_t spines = 2;
+  LinkConfig access{};
+  LinkConfig trunk{2e-6, 40.0, 256};  ///< Leaf-spine links: fatter, deeper.
+  stack::HostConfig proto{};
+};
+
+struct WanPairConfig {
+  std::size_t hosts_per_site = 4;
+  LinkConfig access{};
+  LinkConfig wan{5e-3, 1.0, 512};  ///< Long, thin, deep — a real WAN hop.
+  stack::HostConfig proto{};
+};
+
+/// Each builder returns the HostIds it created, in index order.
+std::vector<HostId> build_star(Fabric& fabric, const StarConfig& config);
+std::vector<HostId> build_fat_tree(Fabric& fabric,
+                                   const FatTreeConfig& config);
+std::vector<HostId> build_wan_pair(Fabric& fabric,
+                                   const WanPairConfig& config);
+
+}  // namespace ldlp::net

@@ -2,6 +2,7 @@
 
 #include "core/stack_graph.hpp"
 #include "fault/injector.hpp"
+#include "net/fabric.hpp"
 #include "sim/memory_system.hpp"
 #include "stack/host.hpp"
 #include "stack/netdev.hpp"
@@ -177,6 +178,40 @@ void publish_host(Registry& registry, stack::Host& host,
   set_counter(registry, join(p, "udp.rx_bad"), us.rx_bad);
   set_counter(registry, join(p, "udp.rx_no_port"), us.rx_no_port);
   set_counter(registry, join(p, "udp.tx"), us.tx);
+}
+
+void publish_fabric(Registry& registry, const net::Fabric& fabric,
+                    std::string_view prefix) {
+  const net::FabricTotals totals = fabric.totals();
+  set_counter(registry, join(prefix, "injected"), totals.injected);
+  set_counter(registry, join(prefix, "delivered"), totals.delivered);
+  set_counter(registry, join(prefix, "queue_drops"), totals.queue_drops);
+  set_counter(registry, join(prefix, "fault_drops"), totals.fault_drops);
+  registry.gauge(join(prefix, "in_flight"))
+      .set(static_cast<double>(totals.in_flight));
+  registry.gauge(join(prefix, "conservation_residual"))
+      .set(static_cast<double>(fabric.conservation_residual()));
+  for (net::LinkId id = 0; id < fabric.link_count(); ++id) {
+    const std::string base = join(prefix, "link" + std::to_string(id));
+    for (int dir = 0; dir < 2; ++dir) {
+      const net::LinkDirStats& s = fabric.link_stats(id, dir);
+      const std::string d = join(base, dir == 0 ? "ab" : "ba");
+      set_counter(registry, join(d, "frames_in"), s.frames_in);
+      set_counter(registry, join(d, "frames_out"), s.frames_out);
+      set_counter(registry, join(d, "queue_drops"), s.queue_drops);
+      set_counter(registry, join(d, "fault_drops"), s.fault_drops);
+      registry.gauge(join(d, "queue_depth"))
+          .set(static_cast<double>(s.in_flight));
+      registry.gauge(join(d, "queue_depth_peak"))
+          .set(static_cast<double>(s.max_in_flight));
+    }
+  }
+  for (net::SwitchId id = 0; id < fabric.switch_count(); ++id) {
+    const net::SwitchStats& s = fabric.switch_stats(id);
+    const std::string base = join(prefix, fabric.switch_name(id));
+    set_counter(registry, join(base, "forwarded"), s.forwarded);
+    set_counter(registry, join(base, "flooded"), s.flooded);
+  }
 }
 
 }  // namespace ldlp::obs

@@ -31,6 +31,9 @@ namespace ldlp::stack {
 class Host;
 class NetDevice;
 }
+namespace ldlp::net {
+class Fabric;
+}
 
 namespace ldlp::obs {
 
@@ -59,5 +62,13 @@ void publish_device(Registry& registry, const stack::NetDevice& device,
 /// graph, all prefixed with the host's name (or `prefix` if non-empty).
 void publish_host(Registry& registry, stack::Host& host,
                   std::string_view prefix = {});
+
+/// The multi-host fabric: conservation totals (injected / delivered /
+/// queue_drops / fault_drops / in_flight / residual), per-link
+/// per-direction frame+drop counters with current and peak queue depth
+/// (net.link<N>.<dir>.*), and per-switch forwarded/flooded counts keyed
+/// by switch name.
+void publish_fabric(Registry& registry, const net::Fabric& fabric,
+                    std::string_view prefix = "net");
 
 }  // namespace ldlp::obs

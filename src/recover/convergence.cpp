@@ -14,6 +14,9 @@ bool ConvergenceOracle::ready() const {
   for (const Tracked& t : hosts_) {
     if (t.injector != nullptr && !t.injector->faults_cleared()) return false;
   }
+  for (const auto& cleared : clearances_) {
+    if (!cleared()) return false;
+  }
   return true;
 }
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -48,6 +49,15 @@ class ConvergenceOracle {
 
   /// Track a host. `injector` may be nullptr (treated as always cleared).
   void add_host(stack::Host& host, fault::FaultInjector* injector = nullptr);
+
+  /// Extra "adversity has drained" predicate ANDed into ready() alongside
+  /// the per-host injectors. Fleet runs hang the fabric's
+  /// faults_cleared() here — the convergence budget must not start while
+  /// a topology-scoped partition is still cutting links or frames are
+  /// still on a wire.
+  void add_clearance(std::function<bool()> cleared) {
+    clearances_.push_back(std::move(cleared));
+  }
 
   /// The application will offer no more work (sends, connects, closes all
   /// issued); from here on, quiescence is owed.
@@ -93,6 +103,7 @@ class ConvergenceOracle {
 
   ConvergenceConfig cfg_;
   std::vector<Tracked> hosts_;
+  std::vector<std::function<bool()>> clearances_;
   bool armed_ = false;
   bool flagged_ = false;
   std::uint64_t ready_passes_ = 0;

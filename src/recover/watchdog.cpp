@@ -38,10 +38,18 @@ std::uint64_t ProgressWatchdog::progress_fingerprint(stack::Host& host) {
 
 void ProgressWatchdog::on_pass() {
   ++stats_.passes;
+  bool fleet_cleared = true;
+  for (const auto& cleared : clearances_) {
+    if (!cleared()) {
+      fleet_cleared = false;
+      break;
+    }
+  }
   for (Tracked& t : hosts_) {
     const std::uint64_t fp = progress_fingerprint(*t.host);
     const bool cleared =
-        t.injector == nullptr || t.injector->faults_cleared();
+        fleet_cleared &&
+        (t.injector == nullptr || t.injector->faults_cleared());
     const bool moved = fp != t.fingerprint;
     t.fingerprint = fp;
     if (!cleared || moved || occupancy(*t.host) == 0) {

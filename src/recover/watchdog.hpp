@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,6 +45,13 @@ class ProgressWatchdog {
 
   /// Track a host. `injector` may be nullptr (treated as always cleared).
   void add_host(stack::Host& host, fault::FaultInjector* injector = nullptr);
+
+  /// Extra fleet-wide clearance ANDed with each host's injector: while
+  /// any clearance is false (e.g. the fabric still has an active
+  /// topology fault), frozen progress is the fault's doing, not a stall.
+  void add_clearance(std::function<bool()> cleared) {
+    clearances_.push_back(std::move(cleared));
+  }
 
   /// Call once per scheduler pass.
   void on_pass();
@@ -75,6 +83,7 @@ class ProgressWatchdog {
 
   WatchdogConfig cfg_;
   std::vector<Tracked> hosts_;
+  std::vector<std::function<bool()>> clearances_;
   std::vector<std::string> violations_;
   WatchdogStats stats_;
 };

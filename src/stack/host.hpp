@@ -66,6 +66,12 @@ class Host {
   /// Advance simulated time and fire protocol timers.
   void advance(double dt_sec);
 
+  /// Absolute-time variant for event-engine drivers (ldlp::net::Fabric):
+  /// snap the host clock to `t_sec` (>= now) and fire timers once. The
+  /// per-host advance(dt) loops disappear — one shared
+  /// eventsim::EventQueue owns time and calls this on every host tick.
+  void advance_to(double t_sec) { advance(t_sec > now_ ? t_sec - now_ : 0.0); }
+
   /// Crash and reboot in place: TCP PCBs, socket buffers, the ARP cache,
   /// partial reassemblies, and the device RX ring are wiped — none of
   /// that survives a power cycle — while the scheduler's in-flight queues

@@ -148,7 +148,7 @@ std::size_t NetDevice::steer(
 
 bool NetDevice::transmit(buf::Packet frame) noexcept {
   const std::uint32_t len = frame.length();
-  if (peer_ == nullptr || len < wire::kEthHeaderLen ||
+  if ((peer_ == nullptr && !tx_sink_) || len < wire::kEthHeaderLen ||
       len > wire::kEthHeaderLen + wire::kEthMaxPayload) {
     ++stats_.tx_drops;
     return false;
@@ -174,6 +174,16 @@ bool NetDevice::transmit(buf::Packet frame) noexcept {
   if (!frame.copy_out(0, bytes)) {
     ++stats_.tx_drops;
     return false;
+  }
+  if (tx_sink_) {
+    // Fabric attachment: the sink owns delivery (links, switches, delays).
+    if (!tx_sink_(std::move(bytes))) {
+      ++stats_.tx_drops;
+      return false;
+    }
+    ++stats_.tx_frames;
+    stats_.tx_bytes += len;
+    return true;
   }
   ++stats_.tx_frames;
   stats_.tx_bytes += len;

@@ -20,6 +20,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
@@ -108,6 +109,18 @@ class NetDevice {
 
   /// Join two devices with a full-duplex "wire".
   static void connect(NetDevice& a, NetDevice& b) noexcept;
+
+  /// Serialized-frame consumer replacing the back-to-back wire: when set,
+  /// transmit() hands the frame bytes here instead of injecting them into
+  /// a peer device. This is how a device attaches to an ldlp::net fabric
+  /// (the sink enqueues the frame onto the access link); set nullptr to
+  /// detach. The sink returns false when it refused the frame (counted as
+  /// a tx_drop).
+  using TxSink = std::function<bool(std::vector<std::uint8_t>&&)>;
+  void set_tx_sink(TxSink sink) { tx_sink_ = std::move(sink); }
+  [[nodiscard]] bool has_tx_sink() const noexcept {
+    return static_cast<bool>(tx_sink_);
+  }
 
   /// Configure `queues` RX queues (>= 1), each with its own
   /// `rx_ring_slots`-deep ring, steered by the Toeplitz flow hash.
@@ -205,6 +218,7 @@ class NetDevice {
   std::vector<std::uint64_t> rx_queue_frames_;
   FlowHash hash_;
   NetDevice* peer_ = nullptr;
+  TxSink tx_sink_;
   double loss_rate_ = 0.0;
   Rng loss_rng_{99};
   double reorder_rate_ = 0.0;

@@ -346,6 +346,99 @@ TEST(Schedule, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(Schedule, FaultDomainRoundTrip) {
+  check::Schedule s;
+  s.scenario = "fleet";
+  s.seed = 7;
+  fault::FaultPlan plan;
+  fault::Episode cut;
+  cut.kind = fault::FaultKind::kPartition;
+  cut.start = 0.2;
+  cut.end = 0.6;
+  cut.domain = fault::FaultDomain::kSwitch;
+  cut.domain_index = 3;
+  cut.direction = fault::kDirAtoB;
+  plan.add(cut);
+  fault::Episode flap;
+  flap.kind = fault::FaultKind::kLinkFlap;
+  flap.start = 0.1;
+  flap.end = 0.9;
+  flap.rate = 0.4;
+  flap.magnitude = 0.05;
+  flap.domain = fault::FaultDomain::kRack;
+  flap.domain_index = 2;
+  plan.add(flap);
+  s.injectors.push_back({"fabric", 99, plan});
+
+  std::string error;
+  const auto back = check::Schedule::from_json(s.to_json(), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  const auto& episodes = back->injectors[0].plan.episodes();
+  ASSERT_EQ(episodes.size(), 2u);
+  // FaultPlan::add keeps episodes start-sorted: the flap (0.1) first.
+  EXPECT_EQ(episodes[0].domain, fault::FaultDomain::kRack);
+  EXPECT_EQ(episodes[0].domain_index, 2u);
+  EXPECT_EQ(episodes[0].direction, fault::kDirBoth);
+  EXPECT_EQ(episodes[1].domain, fault::FaultDomain::kSwitch);
+  EXPECT_EQ(episodes[1].domain_index, 3u);
+  EXPECT_EQ(episodes[1].direction, fault::kDirAtoB);
+  EXPECT_EQ(back->to_json().dump(2), s.to_json().dump(2));
+}
+
+TEST(Schedule, LegacyEpisodesDefaultToNoDomain) {
+  // A pre-fleet document has no domain keys at all; it must load with
+  // every episode scoped kNone (per-host injector semantics unchanged)
+  // and serialise byte-identically (no keys invented on the way out).
+  const check::Schedule legacy = sample_schedule();
+  const obs::Json doc = legacy.to_json();
+  EXPECT_EQ(doc.dump(2).find("\"domain\""), std::string::npos);
+  std::string error;
+  const auto back = check::Schedule::from_json(doc, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  for (const auto& spec : back->injectors)
+    for (const auto& e : spec.plan.episodes()) {
+      EXPECT_EQ(e.domain, fault::FaultDomain::kNone);
+      EXPECT_EQ(e.direction, fault::kDirBoth);
+    }
+  EXPECT_EQ(back->to_json().dump(2), doc.dump(2));
+}
+
+TEST(Schedule, UnknownFieldsTolerated) {
+  // Forward compatibility: a document written by a newer tool may carry
+  // extra keys; loading must ignore them rather than reject the file.
+  obs::Json doc = sample_schedule().to_json();
+  doc.set("future_top_level", obs::Json("ignored"));
+  std::string error;
+  const auto back = check::Schedule::from_json(doc, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->episode_count(), 3u);
+}
+
+TEST(Schedule, UnknownDomainNameRejected) {
+  // An unknown domain *name* is a hard error: silently treating a scoped
+  // outage as unscoped would change what the schedule means.
+  check::Schedule s;
+  s.scenario = "fleet";
+  fault::FaultPlan plan;
+  fault::Episode cut;
+  cut.kind = fault::FaultKind::kPartition;
+  cut.end = 1.0;
+  cut.domain = fault::FaultDomain::kSite;
+  plan.add(cut);
+  s.injectors.push_back({"fabric", 1, plan});
+  obs::Json doc = s.to_json();
+  std::string text = doc.dump(2);
+  const auto pos = text.find("\"site\"");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 6, "\"zone\"");
+  std::string parse_error;
+  const auto redoc = obs::Json::parse(text, &parse_error);
+  ASSERT_TRUE(redoc.has_value()) << parse_error;
+  std::string error;
+  EXPECT_FALSE(check::Schedule::from_json(*redoc, &error).has_value());
+  EXPECT_NE(error.find("zone"), std::string::npos);
+}
+
 TEST(Schedule, RejectsWrongSchema) {
   obs::Json doc = sample_schedule().to_json();
   doc.set("schema", obs::Json("not.a.schedule"));

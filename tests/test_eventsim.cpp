@@ -1,6 +1,8 @@
 // Unit tests for the discrete-event engine and latency recorder.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "eventsim/event_queue.hpp"
@@ -27,6 +29,43 @@ TEST(EventQueue, SimultaneousEventsKeepScheduleOrder) {
     queue.schedule_at(1.0, [&order, i] { order.push_back(i); });
   queue.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// Regression: the (time, seq) ordering must survive real heap churn.
+// The multi-host fabric schedules hundreds of same-tick events (every
+// host tick round, every frame delivery on equal-delay links) and its
+// --jobs determinism depends on ties firing in exact insertion order —
+// a plain binary heap without the seq tiebreak passes the 5-event test
+// above but reorders ties once sift-down gets involved.
+TEST(EventQueue, TieOrderSurvivesHeapChurn) {
+  EventQueue queue;
+  std::vector<std::pair<double, int>> fired;
+  // 40 timestamps, each with 8 tied events, interleaved so the heap sees
+  // inserts in neither sorted nor reverse order.
+  int seq = 0;
+  std::vector<std::pair<double, int>> expected;
+  for (int round = 0; round < 8; ++round) {
+    for (int slot = 0; slot < 40; ++slot) {
+      const double t = static_cast<double>((slot * 7) % 40) + 1.0;
+      const int id = seq++;
+      queue.schedule_at(t, [&fired, t, id] { fired.push_back({t, id}); });
+      expected.push_back({t, id});
+    }
+  }
+  // Events scheduled from inside callbacks at an already-pending time
+  // must fire after every previously scheduled tie at that time.
+  queue.schedule_at(0.5, [&] {
+    const int id = seq++;
+    queue.schedule_at(20.0, [&fired, id] { fired.push_back({20.0, id}); });
+    expected.push_back({20.0, id});
+  });
+  queue.run();
+  // Stable sort by time = (time, insertion-seq) order.
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  EXPECT_EQ(fired, expected);
 }
 
 TEST(EventQueue, RunUntilHorizonStops) {

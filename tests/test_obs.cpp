@@ -13,12 +13,15 @@
 #include "core/stack_graph.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
 #include "obs/bench_result.hpp"
 #include "obs/bridge.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "par/worker_pool.hpp"
 #include "recover/convergence.hpp"
+#include "recover/partition_heal.hpp"
 #include "recover/watchdog.hpp"
 #include "stack/host.hpp"
 #include "wire/ipv4.hpp"
@@ -236,6 +239,22 @@ obs::Snapshot reference_snapshot() {
   recover::ProgressWatchdog dog;
   for (int i = 0; i < 3; ++i) dog.on_pass();
   dog.publish(reg);
+
+  // net.* / recover.heal.*: a two-host star fabric carrying one TCP
+  // handshake (ARP broadcast flood + SYN exchange — fully deterministic),
+  // published through the fabric bridge, plus a partition-heal oracle
+  // with one open pair. Pins the per-link/per-switch counter layout.
+  net::Fabric fabric({/*host_tick_sec=*/1e-3, /*fault_seed=*/1});
+  net::StarConfig star;
+  star.hosts = 2;
+  const std::vector<net::HostId> hosts = net::build_star(fabric, star);
+  (void)fabric.host(hosts[1]).tcp().listen(7);
+  (void)fabric.host(hosts[0]).tcp().connect(net::host_ip(1), 7);
+  fabric.run_for(0.05);
+  obs::publish_fabric(reg, fabric);
+  recover::PartitionHealOracle heal;
+  (void)heal.open_pair("h0", "h1");
+  heal.publish(reg);
 
   // par.*: a two-worker pool over four deterministic jobs. Which worker
   // runs which job is scheduling-dependent, but the merged counters sum

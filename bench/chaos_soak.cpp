@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "soak_scenarios.hpp"
 #include "check/invariants.hpp"
 #include "check/oracle.hpp"
 #include "check/schedule.hpp"
@@ -66,6 +67,7 @@
 #include "recover/convergence.hpp"
 #include "recover/partition_heal.hpp"
 #include "recover/watchdog.hpp"
+#include "rpc/fanout.hpp"
 #include "stack/host.hpp"
 
 namespace {
@@ -73,7 +75,15 @@ namespace {
 using namespace ldlp;
 using wire::ip_from_parts;
 
-constexpr double kHorizon = 1.0;
+// Schedule makers, topology constants and the scenario registry
+// (--help/--scenario/--seed_timeout_ms single source of truth) live in
+// soak_scenarios.hpp.
+using soak::kFleetHorizon;
+using soak::kFleetHosts;
+using soak::kFleetHostsPerRack;
+using soak::kFleetRacks;
+using soak::kFleetSpines;
+using soak::kHorizon;
 
 // Per-schedule wall-clock budget. Armed at the top of run_schedule (so
 // every shrink candidate gets a fresh allowance) and checked cooperatively
@@ -107,138 +117,6 @@ struct SoakResult {
     pass = false;
   }
 };
-
-// ---------------------------------------------------------------------------
-// Schedules: the canonical per-seed adversity for each scenario. The TCP
-// and DNS scenarios draw independent plans (DNS perturbs the seed) so one
-// soak seed exercises two distinct fault timelines.
-
-check::Schedule make_tcp_schedule(std::uint64_t seed) {
-  check::Schedule s;
-  s.scenario = "tcp";
-  s.seed = seed;
-  s.injectors.push_back({"a", seed * 2 + 1,
-                         fault::FaultPlan::random(seed, kHorizon)});
-  s.injectors.push_back({"b", seed * 2 + 2,
-                         fault::FaultPlan::random(seed ^ 0xbeefULL, kHorizon)});
-  return s;
-}
-
-check::Schedule make_dns_schedule(std::uint64_t seed) {
-  const std::uint64_t base = seed ^ 0xd15ULL;
-  check::Schedule s;
-  s.scenario = "dns";
-  s.seed = seed;
-  s.injectors.push_back({"a", base * 2 + 1,
-                         fault::FaultPlan::random(base, kHorizon)});
-  s.injectors.push_back({"b", base * 2 + 2,
-                         fault::FaultPlan::random(base ^ 0xbeefULL, kHorizon)});
-  return s;
-}
-
-/// Slow-reader TCP: a bigger transfer against an application that drains
-/// its socket in a trickle, so the receive buffer rides against hiwat.
-/// This is the regime where LDLP's deferred sbappend makes the advertised
-/// window momentarily stale — ACKs computed mid-batch overstate the
-/// socket room — and the overshoot-handling in SocketLayer::process()
-/// earns its keep.
-check::Schedule make_tcp_slow_schedule(std::uint64_t seed) {
-  const std::uint64_t base = seed ^ 0x51deULL;
-  check::Schedule s;
-  s.scenario = "tcp-slow";
-  s.seed = seed;
-  s.injectors.push_back({"a", base * 2 + 1,
-                         fault::FaultPlan::random(base, kHorizon)});
-  s.injectors.push_back({"b", base * 2 + 2,
-                         fault::FaultPlan::random(base ^ 0xbeefULL, kHorizon)});
-  return s;
-}
-
-/// TCP under the healing kinds: partitions, link flaps and host restarts
-/// join the legacy adversity. The transfer may be legitimately truncated
-/// (a rebooted endpoint loses its connections); the assertions shift from
-/// "everything arrives" to "everything that arrives is the exact stream
-/// prefix, and the network converges once the faults clear".
-check::Schedule make_tcp_heal_schedule(std::uint64_t seed) {
-  const std::uint64_t base = seed ^ 0x4ea1ULL;
-  check::Schedule s;
-  s.scenario = "tcp-heal";
-  s.seed = seed;
-  s.injectors.push_back({"a", base * 2 + 1,
-                         fault::FaultPlan::random_heal(base, kHorizon)});
-  s.injectors.push_back(
-      {"b", base * 2 + 2,
-       fault::FaultPlan::random_heal(base ^ 0xbeefULL, kHorizon)});
-  return s;
-}
-
-/// DNS across partitions and link flaps: a resolver that failed during
-/// the outage must re-resolve once the network heals (negative cache
-/// entries expire on their backoff TTL). Host restarts are excluded —
-/// a reboot wipes the server's UDP binding and zone, which the scenario's
-/// fixed server object does not model.
-// Fleet soak topology: 8 racks x 8 hosts behind 2 spines (64 hosts, 10
-// switches, 80 links). The schedule carries one "fabric" injector spec
-// (the topology-scoped plan: correlated switch/rack cuts, asymmetric
-// partitions, flaps, loss) plus host-churn specs ("h<i>") whose restart
-// episodes crash individual hosts mid-run.
-constexpr std::size_t kFleetRacks = 8;
-constexpr std::size_t kFleetHostsPerRack = 8;
-constexpr std::size_t kFleetSpines = 2;
-constexpr std::size_t kFleetHosts = kFleetRacks * kFleetHostsPerRack;
-constexpr double kFleetHorizon = 2.0;
-
-check::Schedule make_fleet_schedule(std::uint64_t seed) {
-  const std::uint64_t base = seed ^ 0xf1ee7ULL;
-  check::Schedule s;
-  s.scenario = "fleet";
-  s.seed = seed;
-  net::FleetShape shape;
-  shape.links = kFleetHosts + kFleetRacks * kFleetSpines;
-  shape.switches = kFleetSpines + kFleetRacks;
-  shape.racks = kFleetRacks;
-  shape.sites = 1;
-  shape.hosts = kFleetHosts;
-  s.injectors.push_back(
-      {"fabric", base * 2 + 1,
-       net::random_fleet_plan(base, kFleetHorizon, shape, 6)});
-  // Host churn: two distinct hosts crash and reboot mid-run, losing PCBs,
-  // ARP and ring contents — the fleet must converge around them.
-  Rng rng(base ^ 0xc42bULL);
-  const std::uint32_t first =
-      static_cast<std::uint32_t>(rng.bounded(kFleetHosts));
-  const std::uint32_t second = static_cast<std::uint32_t>(
-      (first + 1 + rng.bounded(kFleetHosts - 1)) % kFleetHosts);
-  std::uint32_t victims[2] = {first, second};
-  for (int k = 0; k < 2; ++k) {
-    fault::Episode e;
-    e.kind = fault::FaultKind::kHostRestart;
-    e.start = rng.uniform(0.3, 0.7 * kFleetHorizon);
-    e.end = e.start + rng.uniform(0.05, 0.3);
-    fault::FaultPlan plan;
-    plan.add(e);
-    s.injectors.push_back({"h" + std::to_string(victims[k]),
-                           base * 3 + 5 + static_cast<std::uint64_t>(k),
-                           std::move(plan)});
-  }
-  return s;
-}
-
-check::Schedule make_dns_heal_schedule(std::uint64_t seed) {
-  const std::uint64_t base = seed ^ 0xd05ea1ULL;
-  check::Schedule s;
-  s.scenario = "dns-heal";
-  s.seed = seed;
-  s.injectors.push_back(
-      {"a", base * 2 + 1,
-       fault::FaultPlan::random_heal(base, kHorizon, 6,
-                                     /*allow_restart=*/false)});
-  s.injectors.push_back(
-      {"b", base * 2 + 2,
-       fault::FaultPlan::random_heal(base ^ 0xbeefULL, kHorizon, 6,
-                                     /*allow_restart=*/false)});
-  return s;
-}
 
 // ---------------------------------------------------------------------------
 
@@ -669,13 +547,16 @@ struct FleetNet {
   recover::ConvergenceOracle* conv_ = nullptr;
   recover::ProgressWatchdog* dog_ = nullptr;
 
-  explicit FleetNet(const check::Schedule& schedule)
+  explicit FleetNet(const check::Schedule& schedule,
+                    std::size_t racks = kFleetRacks,
+                    std::size_t hosts_per_rack = kFleetHostsPerRack,
+                    std::size_t spines = kFleetSpines)
       : fabric(net::FabricConfig{/*host_tick_sec=*/5e-3,
                                  /*fault_seed=*/schedule.seed * 2 + 1}) {
     net::FatTreeConfig topo;
-    topo.racks = kFleetRacks;
-    topo.hosts_per_rack = kFleetHostsPerRack;
-    topo.spines = kFleetSpines;
+    topo.racks = racks;
+    topo.hosts_per_rack = hosts_per_rack;
+    topo.spines = spines;
     // Same philosophy as the two-host Net: small pools keep the
     // allocation-failure paths hot, LDLP mode keeps the deferred-delivery
     // races live, keepalive reaps peers that crashed for good.
@@ -962,6 +843,161 @@ SoakResult run_fleet(const check::Schedule& schedule) {
   return r;
 }
 
+/// The tail scenario: the RPC fan-out workload from src/rpc/fanout.hpp,
+/// run for correctness rather than latency. Client h0 fans every request
+/// to 8 servers (two per rack, odd host indices) over UDP while the
+/// fabric runs a topology-scoped fault plan. Client-owned reliability
+/// (per-leg RTO with exponential backoff) must deliver every request
+/// *through* the partitions and loss bursts; DeliveryOracles assert every
+/// call and reply that arrives is byte-exact and at-most-once, and the
+/// convergence oracle asserts the fleet settles once the plan clears.
+SoakResult run_tail(const check::Schedule& schedule) {
+  SoakResult r;
+  FleetNet net(schedule, soak::kTailRacks, soak::kTailHostsPerRack,
+               soak::kTailSpines);
+
+  recover::ConvergenceOracle conv({/*budget_passes=*/12000});
+  recover::ProgressWatchdog dog({/*stall_passes=*/2500});
+  net.watch(conv, dog);
+
+  // Servers on the odd host indices, client on host 0. No CPU service
+  // model: this scenario checks delivery, not latency distributions.
+  rpc::FanoutConfig cfg;
+  std::vector<std::size_t> server_idx;
+  for (std::size_t i = 1; i < soak::kTailHosts; i += 2)
+    server_idx.push_back(i);
+  std::vector<std::unique_ptr<rpc::FanoutServer>> servers;
+  std::vector<std::uint32_t> server_ips;
+  for (std::size_t idx : server_idx) {
+    servers.push_back(
+        std::make_unique<rpc::FanoutServer>(net.host(idx), cfg));
+    server_ips.push_back(net::host_ip(static_cast<std::uint32_t>(idx)));
+  }
+  obs::Histogram lat(1e-4, 1e3, 32);
+  rpc::FanoutClient client(net.host(0), server_ips, cfg, lat);
+
+  // Call-direction oracles: one per server host, because socket ids are
+  // per-host (every host's first socket is id 0) so a shared oracle
+  // could not tell the receive sockets apart. Retransmits re-enter
+  // datagram_sent with the identical payload, which keeps the multiset
+  // counting balanced; fleet plans never corrupt or duplicate frames
+  // (partition/flap/loss only), so the oracles run strict.
+  std::vector<std::unique_ptr<check::DeliveryOracle>> call_oracles;
+  std::vector<check::DeliveryOracle::FlowId> call_flows;
+  for (std::size_t k = 0; k < server_idx.size(); ++k) {
+    auto oracle = std::make_unique<check::DeliveryOracle>();
+    check::DeliveryOracle::FlowId flow =
+        oracle->open_datagram("call.h" + std::to_string(server_idx[k]));
+    oracle->bind_datagram_rx(flow, servers[k]->udp_socket());
+    net.host(server_idx[k]).sockets().set_tap(oracle.get());
+    call_flows.push_back(flow);
+    call_oracles.push_back(std::move(oracle));
+  }
+  client.set_call_hook(
+      [&](std::size_t leg, std::span<const std::uint8_t> bytes) {
+        call_oracles[leg]->datagram_sent(call_flows[leg], bytes);
+      });
+  // Reply direction: replies to one xid are byte-identical across
+  // servers (results keyed on the xid alone), so a single flow fed by
+  // every server's UDP send tap stays consistent.
+  check::DeliveryOracle reply_oracle;
+  const check::DeliveryOracle::FlowId reply_flow =
+      reply_oracle.open_datagram("reply");
+  reply_oracle.bind_datagram_rx(reply_flow, client.udp_socket());
+  net.host(0).sockets().set_tap(&reply_oracle);
+  for (std::size_t idx : server_idx) {
+    net.host(idx).udp().set_send_tap(
+        [&reply_oracle, reply_flow, port = cfg.port](
+            std::uint16_t src_port, std::uint32_t, std::uint16_t,
+            std::span<const std::uint8_t> payload) {
+          if (src_port == port)
+            reply_oracle.datagram_sent(reply_flow, payload);
+        });
+  }
+
+  // Workload: requests paced evenly across the whole fault horizon, then
+  // a drain window generous enough for the full RTO ladder (0.25 s
+  // doubling to 4 s) to push the last retransmits through after heal.
+  constexpr std::size_t kRequests = 150;
+  const double t0 = net.fabric.now();
+  const double spacing = soak::kTailHorizon / static_cast<double>(kRequests);
+  const double deadline = t0 + soak::kTailHorizon + 30.0;
+  std::size_t issued = 0;
+  while (!timed_out()) {
+    const double now = net.fabric.now();
+    while (issued < kRequests &&
+           now >= t0 + static_cast<double>(issued) * spacing) {
+      client.start(/*arrival_sec=*/now, now);
+      ++issued;
+    }
+    client.poll(now);
+    for (auto& server : servers) server->poll(now);
+    if (issued == kRequests && client.outstanding() == 0) break;
+    if (now > deadline) break;
+    net.fabric.run_for(5e-3);
+  }
+
+  const rpc::FanoutClientStats& cs = client.stats();
+  if (client.outstanding() != 0 || issued < kRequests)
+    r.fail("rpc fan-out never drained: " +
+           std::to_string(client.outstanding()) + " of " +
+           std::to_string(issued) + " issued requests outstanding (" +
+           std::to_string(cs.requests_completed) + " completed, " +
+           std::to_string(cs.retransmits) + " retransmits)");
+  if (cs.malformed != 0)
+    r.fail("client saw " + std::to_string(cs.malformed) +
+           " malformed replies (fleet plans never corrupt)");
+  for (std::size_t k = 0; k < servers.size(); ++k)
+    if (servers[k]->stats().malformed != 0)
+      r.fail(net.host(server_idx[k]).name() + ": malformed calls");
+
+  conv.arm();
+  for (int i = 0; i < 240 && !conv.settled() && !timed_out(); ++i)
+    net.fabric.run_for(0.25);
+  net.check(r);
+  (void)reply_oracle.finalize();
+  for (const std::string& v : reply_oracle.violations()) {
+    r.fail("delivery oracle: " + v);
+    r.violations.push_back("reply: " + v);
+  }
+  for (std::size_t k = 0; k < call_oracles.size(); ++k) {
+    (void)call_oracles[k]->finalize();
+    for (const std::string& v : call_oracles[k]->violations()) {
+      r.fail("delivery oracle: " + v);
+      r.violations.push_back("call.h" + std::to_string(server_idx[k]) +
+                             ": " + v);
+    }
+  }
+  for (const auto& aud : net.auditors) {
+    for (const std::string& v : aud->violations()) {
+      r.fail("invariant auditor: " + v);
+      r.violations.push_back("audit: " + v);
+    }
+  }
+  collect_recovery(r, conv, dog);
+  if (r.pass && cs.requests_completed == 0)
+    r.fail("no requests completed (workload never started)");
+  if (std::getenv("LDLP_FLEET_DEBUG") != nullptr) {
+    const net::FabricTotals t = net.fabric.totals();
+    std::fprintf(stderr,
+                 "[tail %llu] completed=%llu/%llu calls=%llu rexmt=%llu "
+                 "stale=%llu fdrop=%llu qdrop=%llu sim_t=%.2f\n",
+                 static_cast<unsigned long long>(schedule.seed),
+                 static_cast<unsigned long long>(cs.requests_completed),
+                 static_cast<unsigned long long>(cs.requests_started),
+                 static_cast<unsigned long long>(cs.calls_sent),
+                 static_cast<unsigned long long>(cs.retransmits),
+                 static_cast<unsigned long long>(cs.stale_replies),
+                 static_cast<unsigned long long>(t.fault_drops),
+                 static_cast<unsigned long long>(t.queue_drops),
+                 net.fabric.now());
+  }
+  for (std::size_t i = 0; i < soak::kTailHosts; ++i)
+    net.host(i).sockets().set_tap(nullptr);
+  for (std::size_t idx : server_idx) net.host(idx).udp().set_send_tap({});
+  return r;
+}
+
 SoakResult run_schedule(const check::Schedule& schedule) {
   arm_deadline();
   if (schedule.scenario == "tcp" || schedule.scenario == "tcp-heal")
@@ -971,6 +1007,7 @@ SoakResult run_schedule(const check::Schedule& schedule) {
   if (schedule.scenario == "dns" || schedule.scenario == "dns-heal")
     return run_dns(schedule);
   if (schedule.scenario == "fleet") return run_fleet(schedule);
+  if (schedule.scenario == "tail") return run_tail(schedule);
   SoakResult r;
   r.fail("unknown scenario '" + schedule.scenario + "'");
   return r;
@@ -1016,21 +1053,11 @@ std::string shrink_and_save(const check::Schedule& failing,
 // into seed-indexed slots, printing and shrinking stay on the main thread
 // after the barrier, so the output stream is identical for any --jobs.
 
-struct ScenarioDef {
-  const char* name;
-  check::Schedule (*make)(std::uint64_t);
-  /// False: only runs when named via --scenario (keeps the default sweep's
-  /// per-seed cost stable as heavyweight scenarios are added).
-  bool in_default_sweep = true;
-};
-constexpr ScenarioDef kScenarios[] = {
-    {"tcp", make_tcp_schedule},         {"tcp-slow", make_tcp_slow_schedule},
-    {"dns", make_dns_schedule},         {"tcp-heal", make_tcp_heal_schedule},
-    {"dns-heal", make_dns_heal_schedule},
-    {"fleet", make_fleet_schedule, /*in_default_sweep=*/false},
-};
-constexpr std::size_t kScenarioCount =
-    sizeof(kScenarios) / sizeof(kScenarios[0]);
+// The scenario table (name, maker, timeout default, sweep membership,
+// help blurb) lives in soak_scenarios.hpp so --help, --scenario and the
+// --seed_timeout_ms defaults can never drift apart.
+using soak::kScenarioCount;
+using soak::kScenarios;
 
 struct ScenarioOutcome {
   std::size_t si = 0;  ///< Index into kScenarios.
@@ -1065,7 +1092,7 @@ std::vector<SeedOutcome> compute_outcomes(std::uint64_t seed_lo,
              SeedOutcome& out = outcomes[j];
              out.seed = seed_lo + j;
              for (std::size_t si = 0; si < kScenarioCount; ++si) {
-               const ScenarioDef& def = kScenarios[si];
+               const soak::ScenarioInfo& def = kScenarios[si];
                if (only.empty() ? !def.in_default_sweep : only != def.name)
                  continue;
                ScenarioOutcome run;
@@ -1123,15 +1150,27 @@ bool outcomes_identical(const std::vector<SeedOutcome>& serial,
 
 int main(int argc, char** argv) {
   benchutil::Flags flags(argc, argv);
-  // Unset --seed_timeout_ms picks a scenario-sized default below: fleet
-  // seeds pump 64 hosts per tick and legitimately need minutes, not the
-  // two-host scenarios' 20 s. Explicit values (including 0 = disabled)
-  // always win.
+  if (flags.u64("help", 0) != 0) {
+    std::printf(
+        "chaos_soak: seeded fault schedules against oracle-checked "
+        "protocol scenarios\n\n"
+        "scenarios (--scenario=<name>; default sweep runs the unmarked "
+        "ones):\n%s\n"
+        "flags: --seed_lo --seed_hi --seeds --scenario --jobs --check_jobs\n"
+        "       --seed_timeout_ms --replay=<schedule.json> --verbose "
+        "--no_shrink --out_dir\n",
+        soak::scenario_help().c_str());
+    return 0;
+  }
+  // Unset --seed_timeout_ms picks the scenario's registry default: fleet
+  // and tail seeds pump 16-64 hosts per tick and legitimately need
+  // minutes, not the two-host scenarios' 20 s. Explicit values
+  // (including 0 = disabled) always win.
   const std::uint64_t timeout_flag =
       flags.u64("seed_timeout_ms", UINT64_MAX);
   const auto timeout_for = [timeout_flag](const std::string& scenario) {
     if (timeout_flag != UINT64_MAX) return timeout_flag;
-    return scenario == "fleet" ? std::uint64_t{60000} : std::uint64_t{20000};
+    return soak::default_timeout_ms(scenario);
   };
 
   // --replay runs one serialised schedule and reports, nothing else.
@@ -1167,13 +1206,11 @@ int main(int argc, char** argv) {
   g_seed_timeout_ms = timeout_for(only);
   const std::uint64_t jobs = std::max<std::uint64_t>(1, flags.u64("jobs", 1));
   const std::uint64_t check_jobs = flags.u64("check_jobs", 0);
-  if (!only.empty()) {
-    bool known = false;
-    for (const ScenarioDef& def : kScenarios) known |= only == def.name;
-    if (!known) {
-      std::fprintf(stderr, "error: unknown --scenario '%s'\n", only.c_str());
-      return 2;
-    }
+  if (!only.empty() && soak::find_scenario(only) == nullptr) {
+    std::fprintf(stderr,
+                 "error: unknown --scenario '%s'; known scenarios:\n%s",
+                 only.c_str(), soak::scenario_help().c_str());
+    return 2;
   }
   std::error_code mkdir_ec;
   std::filesystem::create_directories(out_dir, mkdir_ec);
@@ -1285,6 +1322,7 @@ int main(int argc, char** argv) {
   report.metric("heal_failures", static_cast<double>(scenario_failures[3] +
                                                      scenario_failures[4]));
   report.metric("fleet_failures", static_cast<double>(scenario_failures[5]));
+  report.metric("tail_failures", static_cast<double>(scenario_failures[6]));
   report.write();
   return failures == 0 ? 0 : 1;
 }

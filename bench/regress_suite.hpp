@@ -29,6 +29,7 @@
 #include "obs/bench_result.hpp"
 #include "par/shard_engine.hpp"
 #include "recover/partition_heal.hpp"
+#include "rpc/fanout.hpp"
 #include "sim/cpu_model.hpp"
 #include "stack/rx_path_trace.hpp"
 #include "synth/sweep.hpp"
@@ -324,6 +325,23 @@ inline obs::BenchResult gate_fleet_soak() {
   return result;
 }
 
+/// Tail-at-scale SLO gate: a reduced tail_fanout sweep (both scheduling
+/// modes, N in {1, 4, 16}) whose p99/p999 per cell is pinned. The whole
+/// workload is a pure function of the seed, so any drift here is a
+/// behavior change in the RPC fan-out path, the fabric, the traffic
+/// model, or the histogram — the tolerance only absorbs float noise.
+inline obs::BenchResult gate_tail_rpc() {
+  rpc::TailSweepConfig sweep;
+  sweep.fanouts = {1, 4, 16};
+  sweep.base.requests = 120;
+  sweep.base.rate_per_sec = 200.0;
+  sweep.base.seed = 1;
+  obs::BenchResult result = rpc::run_tail_sweep(sweep, /*jobs=*/1);
+  result.name = "gate_tail_rpc";
+  result.tolerance = 0.05;
+  return result;
+}
+
 struct GateCase {
   const char* name;
   obs::BenchResult (*run)();
@@ -337,6 +355,7 @@ inline std::vector<GateCase> suite() {
       {"gate_synth", &gate_synth},
       {"gate_shard_sweep", &gate_shard_sweep},
       {"gate_fleet_soak", &gate_fleet_soak},
+      {"gate_tail_rpc", &gate_tail_rpc},
   };
 }
 

@@ -1,0 +1,257 @@
+// Chaos-soak scenario registry: one table owns every scenario's name,
+// schedule maker, per-seed wall-clock budget, default-sweep membership and
+// help blurb. chaos_soak's --help listing, its --scenario validation and
+// the scenario-aware --seed_timeout_ms defaults all derive from this table,
+// so adding a scenario in one place updates all three together (they used
+// to be maintained separately, and the timeout table silently missed
+// scenarios added to the list).
+//
+// Schedules are the canonical per-seed adversity: deterministic functions
+// of the soak seed, serialisable as ldlp.schedule.v1, replayable with
+// chaos_soak --replay. The TCP and DNS scenarios draw independent plans
+// (DNS perturbs the seed) so one soak seed exercises two distinct fault
+// timelines.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "check/schedule.hpp"
+#include "common/rng.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/fleet_plan.hpp"
+
+namespace ldlp::soak {
+
+inline constexpr double kHorizon = 1.0;
+
+// Fleet soak topology: 8 racks x 8 hosts behind 2 spines (64 hosts, 10
+// switches, 80 links). The schedule carries one "fabric" injector spec
+// (the topology-scoped plan: correlated switch/rack cuts, asymmetric
+// partitions, flaps, loss) plus host-churn specs ("h<i>") whose restart
+// episodes crash individual hosts mid-run.
+inline constexpr std::size_t kFleetRacks = 8;
+inline constexpr std::size_t kFleetHostsPerRack = 8;
+inline constexpr std::size_t kFleetSpines = 2;
+inline constexpr std::size_t kFleetHosts = kFleetRacks * kFleetHostsPerRack;
+inline constexpr double kFleetHorizon = 2.0;
+
+// Tail scenario topology: a 16-host fat-tree (4 racks x 4, 2 spines)
+// carrying the RPC fan-out workload from src/rpc/fanout.hpp — client h0
+// fans every request to 8 servers over UDP while the fabric runs a
+// topology-scoped fault plan. No host churn: the question under test is
+// whether client-owned RPC reliability delivers every request *through*
+// partitions and loss bursts, and whether the fleet converges after.
+inline constexpr std::size_t kTailRacks = 4;
+inline constexpr std::size_t kTailHostsPerRack = 4;
+inline constexpr std::size_t kTailSpines = 2;
+inline constexpr std::size_t kTailHosts = kTailRacks * kTailHostsPerRack;
+inline constexpr double kTailHorizon = 2.0;
+
+inline check::Schedule make_tcp_schedule(std::uint64_t seed) {
+  check::Schedule s;
+  s.scenario = "tcp";
+  s.seed = seed;
+  s.injectors.push_back({"a", seed * 2 + 1,
+                         fault::FaultPlan::random(seed, kHorizon)});
+  s.injectors.push_back({"b", seed * 2 + 2,
+                         fault::FaultPlan::random(seed ^ 0xbeefULL, kHorizon)});
+  return s;
+}
+
+inline check::Schedule make_dns_schedule(std::uint64_t seed) {
+  const std::uint64_t base = seed ^ 0xd15ULL;
+  check::Schedule s;
+  s.scenario = "dns";
+  s.seed = seed;
+  s.injectors.push_back({"a", base * 2 + 1,
+                         fault::FaultPlan::random(base, kHorizon)});
+  s.injectors.push_back({"b", base * 2 + 2,
+                         fault::FaultPlan::random(base ^ 0xbeefULL, kHorizon)});
+  return s;
+}
+
+/// Slow-reader TCP: a bigger transfer against an application that drains
+/// its socket in a trickle, so the receive buffer rides against hiwat.
+/// This is the regime where LDLP's deferred sbappend makes the advertised
+/// window momentarily stale — ACKs computed mid-batch overstate the
+/// socket room — and the overshoot-handling in SocketLayer::process()
+/// earns its keep.
+inline check::Schedule make_tcp_slow_schedule(std::uint64_t seed) {
+  const std::uint64_t base = seed ^ 0x51deULL;
+  check::Schedule s;
+  s.scenario = "tcp-slow";
+  s.seed = seed;
+  s.injectors.push_back({"a", base * 2 + 1,
+                         fault::FaultPlan::random(base, kHorizon)});
+  s.injectors.push_back({"b", base * 2 + 2,
+                         fault::FaultPlan::random(base ^ 0xbeefULL, kHorizon)});
+  return s;
+}
+
+/// TCP under the healing kinds: partitions, link flaps and host restarts
+/// join the legacy adversity. The transfer may be legitimately truncated
+/// (a rebooted endpoint loses its connections); the assertions shift from
+/// "everything arrives" to "everything that arrives is the exact stream
+/// prefix, and the network converges once the faults clear".
+inline check::Schedule make_tcp_heal_schedule(std::uint64_t seed) {
+  const std::uint64_t base = seed ^ 0x4ea1ULL;
+  check::Schedule s;
+  s.scenario = "tcp-heal";
+  s.seed = seed;
+  s.injectors.push_back({"a", base * 2 + 1,
+                         fault::FaultPlan::random_heal(base, kHorizon)});
+  s.injectors.push_back(
+      {"b", base * 2 + 2,
+       fault::FaultPlan::random_heal(base ^ 0xbeefULL, kHorizon)});
+  return s;
+}
+
+/// DNS across partitions and link flaps: a resolver that failed during
+/// the outage must re-resolve once the network heals (negative cache
+/// entries expire on their backoff TTL). Host restarts are excluded —
+/// a reboot wipes the server's UDP binding and zone, which the scenario's
+/// fixed server object does not model.
+inline check::Schedule make_dns_heal_schedule(std::uint64_t seed) {
+  const std::uint64_t base = seed ^ 0xd05ea1ULL;
+  check::Schedule s;
+  s.scenario = "dns-heal";
+  s.seed = seed;
+  s.injectors.push_back(
+      {"a", base * 2 + 1,
+       fault::FaultPlan::random_heal(base, kHorizon, 6,
+                                     /*allow_restart=*/false)});
+  s.injectors.push_back(
+      {"b", base * 2 + 2,
+       fault::FaultPlan::random_heal(base ^ 0xbeefULL, kHorizon, 6,
+                                     /*allow_restart=*/false)});
+  return s;
+}
+
+inline check::Schedule make_fleet_schedule(std::uint64_t seed) {
+  const std::uint64_t base = seed ^ 0xf1ee7ULL;
+  check::Schedule s;
+  s.scenario = "fleet";
+  s.seed = seed;
+  net::FleetShape shape;
+  shape.links = kFleetHosts + kFleetRacks * kFleetSpines;
+  shape.switches = kFleetSpines + kFleetRacks;
+  shape.racks = kFleetRacks;
+  shape.sites = 1;
+  shape.hosts = kFleetHosts;
+  s.injectors.push_back(
+      {"fabric", base * 2 + 1,
+       net::random_fleet_plan(base, kFleetHorizon, shape, 6)});
+  // Host churn: two distinct hosts crash and reboot mid-run, losing PCBs,
+  // ARP and ring contents — the fleet must converge around them.
+  Rng rng(base ^ 0xc42bULL);
+  const std::uint32_t first =
+      static_cast<std::uint32_t>(rng.bounded(kFleetHosts));
+  const std::uint32_t second = static_cast<std::uint32_t>(
+      (first + 1 + rng.bounded(kFleetHosts - 1)) % kFleetHosts);
+  std::uint32_t victims[2] = {first, second};
+  for (int k = 0; k < 2; ++k) {
+    fault::Episode e;
+    e.kind = fault::FaultKind::kHostRestart;
+    e.start = rng.uniform(0.3, 0.7 * kFleetHorizon);
+    e.end = e.start + rng.uniform(0.05, 0.3);
+    fault::FaultPlan plan;
+    plan.add(e);
+    s.injectors.push_back({"h" + std::to_string(victims[k]),
+                           base * 3 + 5 + static_cast<std::uint64_t>(k),
+                           std::move(plan)});
+  }
+  return s;
+}
+
+inline check::Schedule make_tail_schedule(std::uint64_t seed) {
+  const std::uint64_t base = seed ^ 0x7a11ULL;
+  check::Schedule s;
+  s.scenario = "tail";
+  s.seed = seed;
+  net::FleetShape shape;
+  shape.links = kTailHosts + kTailRacks * kTailSpines;
+  shape.switches = kTailSpines + kTailRacks;
+  shape.racks = kTailRacks;
+  shape.sites = 1;
+  shape.hosts = kTailHosts;
+  s.injectors.push_back(
+      {"fabric", base * 2 + 1,
+       net::random_fleet_plan(base, kTailHorizon, shape, 4)});
+  return s;
+}
+
+/// Everything chaos_soak needs to know about one scenario. The table is
+/// the single source of truth: --help, --scenario validation and the
+/// default per-seed wall budget all read it.
+struct ScenarioInfo {
+  const char* name;
+  check::Schedule (*make)(std::uint64_t seed);
+  /// Default --seed_timeout_ms when the flag is unset. Fleet-scale
+  /// scenarios pump dozens of hosts per tick and legitimately need
+  /// minutes, not the two-host scenarios' 20 s.
+  std::uint64_t seed_timeout_ms;
+  /// False: only runs when named via --scenario (keeps the default
+  /// sweep's per-seed cost stable as heavyweight scenarios are added).
+  bool in_default_sweep;
+  const char* blurb;  ///< One --help line.
+};
+
+inline constexpr ScenarioInfo kScenarios[] = {
+    {"tcp", &make_tcp_schedule, 20000, true,
+     "8 KB stream, two hosts, legacy loss/corruption adversity"},
+    {"tcp-slow", &make_tcp_slow_schedule, 20000, true,
+     "24 KB stream into a trickle reader (stale-window regime)"},
+    {"dns", &make_dns_schedule, 20000, true,
+     "8 parallel lookups with retries under datagram adversity"},
+    {"tcp-heal", &make_tcp_heal_schedule, 20000, true,
+     "stream across partitions, link flaps and host restarts"},
+    {"dns-heal", &make_dns_heal_schedule, 20000, true,
+     "lookups across partitions and flaps (no restarts)"},
+    {"fleet", &make_fleet_schedule, 60000, false,
+     "64-host fat-tree, cross-rack streams, switch cuts + host churn"},
+    {"tail", &make_tail_schedule, 60000, false,
+     "16-host RPC fan-out (tail workload) under fleet fault plans"},
+};
+inline constexpr std::size_t kScenarioCount =
+    sizeof(kScenarios) / sizeof(kScenarios[0]);
+
+[[nodiscard]] inline const ScenarioInfo* find_scenario(
+    std::string_view name) noexcept {
+  for (const ScenarioInfo& def : kScenarios)
+    if (name == def.name) return &def;
+  return nullptr;
+}
+
+/// Default per-seed wall budget for --scenario=<name>; an empty name (the
+/// default sweep) budgets for its slowest member so no scenario in the
+/// sweep can be starved by a cheaper sibling's default.
+[[nodiscard]] inline std::uint64_t default_timeout_ms(std::string_view name) {
+  if (const ScenarioInfo* def = find_scenario(name); def != nullptr)
+    return def->seed_timeout_ms;
+  std::uint64_t ms = 0;
+  for (const ScenarioInfo& def : kScenarios)
+    if (def.in_default_sweep) ms = std::max(ms, def.seed_timeout_ms);
+  return ms;
+}
+
+/// The --help scenario listing, one line per registered scenario.
+[[nodiscard]] inline std::string scenario_help() {
+  std::string out;
+  for (const ScenarioInfo& def : kScenarios) {
+    const std::string_view name(def.name);
+    out += "  ";
+    out += name;
+    out.append(name.size() < 10 ? 10 - name.size() : 1, ' ');
+    out += def.blurb;
+    out += def.in_default_sweep ? "" : "  [--scenario only]";
+    out += " (timeout ";
+    out += std::to_string(def.seed_timeout_ms);
+    out += " ms)\n";
+  }
+  return out;
+}
+
+}  // namespace ldlp::soak

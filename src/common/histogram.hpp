@@ -32,6 +32,8 @@ class LogHistogram {
 
   [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
   [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
+  [[nodiscard]] double p999() const noexcept { return quantile(0.999); }
+  [[nodiscard]] double p9999() const noexcept { return quantile(0.9999); }
 
  private:
   [[nodiscard]] std::size_t bucket_for(double value) const noexcept;

@@ -55,6 +55,8 @@ Json Snapshot::to_json() const {
       m.set("p50", Json(e.p50));
       m.set("p95", Json(e.p95));
       m.set("p99", Json(e.p99));
+      m.set("p999", Json(e.p999));
+      m.set("p9999", Json(e.p9999));
       m.set("max", Json(e.max));
     }
     metrics.push_back(std::move(m));
@@ -64,7 +66,7 @@ Json Snapshot::to_json() const {
 }
 
 std::string Snapshot::to_csv() const {
-  std::string out = "name,type,value,mean,p50,p95,p99,max\n";
+  std::string out = "name,type,value,mean,p50,p95,p99,p999,p9999,max\n";
   for (const SnapshotEntry& e : entries) {
     out += e.name;
     out += ',';
@@ -73,9 +75,10 @@ std::string Snapshot::to_csv() const {
     out += fmt(e.value);
     if (e.kind == MetricKind::kHistogram) {
       out += ',' + fmt(e.mean) + ',' + fmt(e.p50) + ',' + fmt(e.p95) + ',' +
-             fmt(e.p99) + ',' + fmt(e.max);
+             fmt(e.p99) + ',' + fmt(e.p999) + ',' + fmt(e.p9999) + ',' +
+             fmt(e.max);
     } else {
-      out += ",,,,,";
+      out += ",,,,,,,";
     }
     out += '\n';
   }
@@ -198,6 +201,8 @@ Snapshot Registry::snapshot() const {
         e.p50 = h.p50();
         e.p95 = h.p95();
         e.p99 = h.p99();
+        e.p999 = h.p999();
+        e.p9999 = h.p9999();
         break;
       }
     }

@@ -58,7 +58,10 @@ class Gauge {
 };
 
 /// Log-scaled histogram wrapper: fixed O(1) bucket insert, percentile
-/// queries with bounded relative error (see common/histogram.hpp).
+/// queries with bounded relative error (see common/histogram.hpp). The
+/// tail quantiles (p999/p9999) are what the tail-at-scale workloads gate
+/// on: a fan-out request is as slow as its slowest reply, so the far tail
+/// of this distribution is the user-visible latency.
 class Histogram {
  public:
   Histogram(double lo, double hi, int per_decade)
@@ -73,9 +76,18 @@ class Histogram {
   [[nodiscard]] std::uint64_t count() const noexcept { return hist_.count(); }
   [[nodiscard]] double mean() const noexcept { return hist_.mean(); }
   [[nodiscard]] double max() const noexcept { return hist_.max_seen(); }
+  [[nodiscard]] double quantile(double q) const noexcept {
+    return hist_.quantile(q);
+  }
   [[nodiscard]] double p50() const noexcept { return hist_.quantile(0.50); }
   [[nodiscard]] double p95() const noexcept { return hist_.quantile(0.95); }
   [[nodiscard]] double p99() const noexcept { return hist_.quantile(0.99); }
+  [[nodiscard]] double p999() const noexcept {
+    return hist_.quantile(0.999);
+  }
+  [[nodiscard]] double p9999() const noexcept {
+    return hist_.quantile(0.9999);
+  }
 
  private:
   LogHistogram hist_;
@@ -94,6 +106,8 @@ struct SnapshotEntry {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
+  double p9999 = 0.0;
 };
 
 struct Snapshot {

@@ -2,6 +2,8 @@
 // result round-trip and the compare rule that drives the perf gate.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -66,6 +68,81 @@ TEST(ObsRegistry, HistogramPercentiles) {
   EXPECT_NEAR(h.p50(), 0.050, 0.050 * 0.10);
   EXPECT_NEAR(h.p99(), 0.099, 0.099 * 0.10);
   EXPECT_GE(h.max(), 0.1 - 1e-12);
+}
+
+TEST(ObsHistogram, QuantileRelativeErrorBounded) {
+  // Log bucketing at k buckets per decade puts every sample within a
+  // bucket of width ratio = 10^(1/k); quantile() answers the geometric
+  // midpoint of the target bucket, so any reported quantile must lie
+  // within one bucket ratio of the exact order statistic. Verify against
+  // exact quantiles of a log-uniform spread (1 ms .. 1 s) — the regime
+  // the tail benches live in.
+  constexpr int kPerDecade = 32;
+  const double ratio = std::pow(10.0, 1.0 / kPerDecade);
+  obs::Histogram h(1e-6, 1e3, kPerDecade);
+  std::vector<double> xs;
+  std::uint64_t s = 0x2545f4914f6cdd1dULL;
+  for (int i = 0; i < 20000; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double u =
+        static_cast<double>(s >> 11) * (1.0 / 9007199254740992.0);
+    const double v = 1e-3 * std::pow(10.0, 3.0 * u);
+    xs.push_back(v);
+    h.add(v);
+  }
+  std::sort(xs.begin(), xs.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999, 0.9999}) {
+    const double exact =
+        xs[static_cast<std::size_t>(q * static_cast<double>(xs.size() - 1))];
+    const double est = h.quantile(q);
+    EXPECT_LE(est, exact * ratio * 1.02) << "q=" << q;
+    EXPECT_GE(est, exact / (ratio * 1.02)) << "q=" << q;
+  }
+}
+
+TEST(ObsHistogram, MergeEquivalentToPooledSamples) {
+  // merge() must behave exactly like adding every sample to one
+  // histogram, and be order-independent — that's what makes the
+  // worker-pool registries' merged quantiles trustworthy.
+  obs::Histogram pooled(1e-6, 10.0, 40);
+  obs::Histogram a(1e-6, 10.0, 40);
+  obs::Histogram b(1e-6, 10.0, 40);
+  obs::Histogram c(1e-6, 10.0, 40);
+  for (int i = 1; i <= 300; ++i) {
+    const double v = 1e-4 * i;
+    pooled.add(v);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(v);
+  }
+  obs::Histogram ab(a);
+  ab.merge(b);
+  ab.merge(c);  // (a+b)+c
+  obs::Histogram cb(c);
+  cb.merge(b);
+  cb.merge(a);  // (c+b)+a
+  for (const obs::Histogram* m : {&ab, &cb}) {
+    EXPECT_EQ(m->count(), pooled.count());
+    EXPECT_DOUBLE_EQ(m->mean(), pooled.mean());
+    EXPECT_DOUBLE_EQ(m->max(), pooled.max());
+    for (const double q : {0.5, 0.95, 0.99, 0.999})
+      EXPECT_DOUBLE_EQ(m->quantile(q), pooled.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(ObsHistogram, SparseTailQuantilesResolve) {
+  // The tail-at-scale shape: a dense body and a sparse far tail. p99
+  // must stay in the body, p999 must land on the 10-sample straggler
+  // cluster, p9999 on the worst-outlier cluster — the three must not
+  // collapse onto each other.
+  obs::Histogram h(1e-6, 1e3, 32);
+  for (int i = 0; i < 9985; ++i) h.add(1e-3);
+  for (int i = 0; i < 10; ++i) h.add(0.1);
+  for (int i = 0; i < 5; ++i) h.add(10.0);
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_NEAR(h.p99(), 1e-3, 1e-3 * 0.10);
+  EXPECT_NEAR(h.p999(), 0.1, 0.1 * 0.10);
+  EXPECT_NEAR(h.p9999(), 10.0, 10.0 * 0.10);
+  EXPECT_GT(h.p999(), h.p99() * 50.0);
+  EXPECT_GT(h.p9999(), h.p999() * 50.0);
 }
 
 TEST(ObsRegistry, SnapshotInsertionOrderedAndTyped) {
@@ -306,7 +383,8 @@ TEST(ObsSnapshot, CsvHasHeaderAndOneRowPerMetric) {
   for (const char c : csv)
     if (c == '\n') ++lines;
   EXPECT_EQ(lines, 1 + snap.entries.size());
-  EXPECT_EQ(csv.rfind("name,type,value,mean,p50,p95,p99,max\n", 0), 0u);
+  EXPECT_EQ(csv.rfind("name,type,value,mean,p50,p95,p99,p999,p9999,max\n", 0),
+            0u);
 }
 
 // ------------------------------------------------------------ bench result

@@ -174,6 +174,56 @@ TEST(TraceIo, MissingFileReturnsEmpty) {
   EXPECT_TRUE(load_trace("/nonexistent/path/trace.txt").empty());
 }
 
+TEST(SelfSimilar, InterarrivalMeanMatchesRate) {
+  // The generator must honour its configured aggregate rate across the
+  // range the tail benches use: the mean interarrival gap has to track
+  // 1/rate even though individual gaps are wildly bursty. Heavy-tailed
+  // ON/OFF superposition converges slowly, hence the wide-but-bounded
+  // tolerance.
+  auto sizes = internet552_sizes();
+  for (const double rate : {200.0, 800.0, 3200.0}) {
+    SelfSimilarConfig cfg;
+    cfg.mean_rate_per_sec = rate;
+    cfg.duration_sec = 200.0;
+    const auto trace = generate_self_similar_trace(cfg, *sizes, 31);
+    ASSERT_GT(trace.size(), 100u) << "rate " << rate;
+    const double span = trace.back().time - trace.front().time;
+    const double mean_gap = span / static_cast<double>(trace.size() - 1);
+    EXPECT_NEAR(mean_gap, 1.0 / rate, 0.35 / rate) << "rate " << rate;
+  }
+}
+
+TEST(Hurst, EstimatorSanityOnKnownStreams) {
+  // The variance-time estimator itself has to be trustworthy before its
+  // verdict on the self-similar generator means anything. Short-range
+  // streams must read near (or below) 0.5: deterministic arrivals have
+  // zero count variance at every aggregation level, Poisson arrivals are
+  // the canonical H = 0.5 process. Degenerate input returns the 0.5
+  // prior instead of garbage.
+  DeterministicSource det(1000.0, 552);
+  const auto even = collect(det, 300.0);
+  EXPECT_LT(estimate_hurst_variance_time(even), 0.6);
+
+  PoissonSource poisson(1000.0, internet552_sizes(), 7);
+  const auto pp = collect(poisson, 300.0);
+  const double h_pp = estimate_hurst_variance_time(pp);
+  EXPECT_GT(h_pp, 0.35);
+  EXPECT_LT(h_pp, 0.65);
+
+  EXPECT_DOUBLE_EQ(estimate_hurst_variance_time({}), 0.5);
+
+  // And the self-similar generator's estimate must be stable in seed:
+  // three independent draws all clearly long-range dependent.
+  SelfSimilarConfig cfg;
+  cfg.mean_rate_per_sec = 1000.0;
+  cfg.duration_sec = 300.0;
+  auto sizes = internet552_sizes();
+  for (const std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    const auto ss = generate_self_similar_trace(cfg, *sizes, seed);
+    EXPECT_GT(estimate_hurst_variance_time(ss), 0.65) << "seed " << seed;
+  }
+}
+
 TEST(Collect, RespectsHorizonAndCount) {
   DeterministicSource source(100.0, 64);
   const auto by_time = collect(source, 0.055);

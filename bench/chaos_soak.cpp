@@ -63,6 +63,7 @@
 #include "net/fleet_plan.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
+#include "overlay/gossip_sim.hpp"
 #include "par/worker_pool.hpp"
 #include "recover/convergence.hpp"
 #include "recover/partition_heal.hpp"
@@ -998,6 +999,32 @@ SoakResult run_tail(const check::Schedule& schedule) {
   return r;
 }
 
+// Gossip overlay on the 64-host fat-tree: the whole run (topology, join
+// stagger, broadcast storm, convergence drain, oracle judgement) lives
+// in overlay::run_gossip_sim so the soak, the perf gate and the unit
+// tests judge the identical implementation. This wrapper only maps the
+// result onto SoakResult and wires the per-seed wall deadline through.
+SoakResult run_gossip(const check::Schedule& schedule) {
+  SoakResult r;
+  overlay::GossipSimConfig cfg;
+  cfg.deadline = [] { return timed_out(); };
+  const overlay::GossipSimResult g = overlay::run_gossip_sim(schedule, cfg);
+  if (!g.pass) r.fail(g.why);
+  r.violations = g.violations;
+  r.detail = "broadcasts=" + std::to_string(g.broadcasts) +
+             " deliveries=" + std::to_string(g.deliveries) +
+             " dup=" + std::to_string(g.duplicates) +
+             " grafts=" + std::to_string(g.grafts) +
+             " prunes=" + std::to_string(g.prunes) +
+             " repairs=" + std::to_string(g.repairs_done) +
+             " redundancy=" + std::to_string(g.relay_redundancy);
+  if (std::getenv("LDLP_FLEET_DEBUG") != nullptr)
+    std::fprintf(stderr, "[gossip %llu] %s sim_t=%.2f\n",
+                 static_cast<unsigned long long>(schedule.seed),
+                 r.detail.c_str(), g.sim_time_sec);
+  return r;
+}
+
 SoakResult run_schedule(const check::Schedule& schedule) {
   arm_deadline();
   if (schedule.scenario == "tcp" || schedule.scenario == "tcp-heal")
@@ -1008,6 +1035,7 @@ SoakResult run_schedule(const check::Schedule& schedule) {
     return run_dns(schedule);
   if (schedule.scenario == "fleet") return run_fleet(schedule);
   if (schedule.scenario == "tail") return run_tail(schedule);
+  if (schedule.scenario == "gossip") return run_gossip(schedule);
   SoakResult r;
   r.fail("unknown scenario '" + schedule.scenario + "'");
   return r;
@@ -1323,6 +1351,7 @@ int main(int argc, char** argv) {
                                                      scenario_failures[4]));
   report.metric("fleet_failures", static_cast<double>(scenario_failures[5]));
   report.metric("tail_failures", static_cast<double>(scenario_failures[6]));
+  report.metric("gossip_failures", static_cast<double>(scenario_failures[7]));
   report.write();
   return failures == 0 ? 0 : 1;
 }

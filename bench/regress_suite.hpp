@@ -27,6 +27,7 @@
 #include "net/fabric.hpp"
 #include "net/topology.hpp"
 #include "obs/bench_result.hpp"
+#include "overlay/gossip_sim.hpp"
 #include "par/shard_engine.hpp"
 #include "recover/partition_heal.hpp"
 #include "rpc/fanout.hpp"
@@ -325,6 +326,63 @@ inline obs::BenchResult gate_fleet_soak() {
   return result;
 }
 
+/// Self-healing overlay gate: a reduced run_gossip_sim (16 hosts on a
+/// 4x4 fat-tree, the exact code the gossip soak and the unit tests run)
+/// under a fixed schedule — a rack-scoped loss burst plus one mid-storm
+/// host restart, so every protocol mechanism (graft, prune, probe-death
+/// promotion, restart rejoin) leaves evidence. The whole run is a pure
+/// function of the schedule, so the counters are pinned exactly and the
+/// tolerance only absorbs float noise in the derived ratios; the
+/// near-zero baselines (violations) compare absolutely.
+inline obs::BenchResult gate_gossip_soak() {
+  obs::BenchResult result;
+  result.name = "gate_gossip_soak";
+  result.tolerance = 0.05;
+
+  check::Schedule schedule;
+  schedule.scenario = "gossip";
+  schedule.seed = 7;
+  fault::FaultPlan fabric_plan;
+  fault::Episode rack_loss;
+  rack_loss.kind = fault::FaultKind::kLossBurst;
+  rack_loss.start = 0.3;
+  rack_loss.end = 0.8;
+  rack_loss.rate = 0.3;
+  rack_loss.domain = fault::FaultDomain::kRack;
+  rack_loss.domain_index = 1;
+  fabric_plan.add(rack_loss);
+  schedule.injectors.push_back({"fabric", 0x60a1, std::move(fabric_plan)});
+  fault::Episode restart;
+  restart.kind = fault::FaultKind::kHostRestart;
+  restart.start = 0.55;
+  restart.end = 0.85;
+  fault::FaultPlan churn;
+  churn.add(restart);
+  schedule.injectors.push_back({"h2", 26, std::move(churn)});
+
+  overlay::GossipSimConfig cfg;
+  cfg.racks = 4;
+  cfg.hosts_per_rack = 4;
+  cfg.spines = 2;
+  cfg.fault_horizon_sec = 1.2;
+  cfg.storm_broadcasts = 16;
+  const overlay::GossipSimResult r = overlay::run_gossip_sim(schedule, cfg);
+
+  result.set_metric("pass", r.pass ? 1.0 : 0.0);
+  result.set_metric("violations", static_cast<double>(r.violations.size()));
+  result.set_metric("delivery_completeness", r.delivery_completeness);
+  result.set_metric("relay_redundancy", r.relay_redundancy);
+  result.set_metric("deliveries", static_cast<double>(r.deliveries));
+  result.set_metric("duplicates", static_cast<double>(r.duplicates));
+  result.set_metric("grafts", static_cast<double>(r.grafts));
+  result.set_metric("prunes", static_cast<double>(r.prunes));
+  result.set_metric("repairs_done", static_cast<double>(r.repairs_done));
+  result.set_metric("repair_p99_sec", r.repair_p99_sec);
+  result.set_metric("suppressed_ticks",
+                    static_cast<double>(r.suppressed_ticks));
+  return result;
+}
+
 /// Tail-at-scale SLO gate: a reduced tail_fanout sweep (both scheduling
 /// modes, N in {1, 4, 16}) whose p99/p999 per cell is pinned. The whole
 /// workload is a pure function of the seed, so any drift here is a
@@ -355,6 +413,7 @@ inline std::vector<GateCase> suite() {
       {"gate_synth", &gate_synth},
       {"gate_shard_sweep", &gate_shard_sweep},
       {"gate_fleet_soak", &gate_fleet_soak},
+      {"gate_gossip_soak", &gate_gossip_soak},
       {"gate_tail_rpc", &gate_tail_rpc},
   };
 }

@@ -166,6 +166,47 @@ inline check::Schedule make_fleet_schedule(std::uint64_t seed) {
   return s;
 }
 
+/// Gossip overlay soak: the fleet fat-tree (64 hosts) running the
+/// HyParView membership + PlumTree dissemination endpoints from
+/// src/overlay. The fabric executes a topology-scoped plan (switch
+/// cuts, partitions, flaps, loss) while two seed-chosen hosts crash and
+/// reboot mid-storm — the overlay must re-admit them through the repair
+/// path and the broadcast oracle demands exactly-once completeness for
+/// every stable member.
+inline check::Schedule make_gossip_schedule(std::uint64_t seed) {
+  const std::uint64_t base = seed ^ 0x9055ULL;
+  check::Schedule s;
+  s.scenario = "gossip";
+  s.seed = seed;
+  net::FleetShape shape;
+  shape.links = kFleetHosts + kFleetRacks * kFleetSpines;
+  shape.switches = kFleetSpines + kFleetRacks;
+  shape.racks = kFleetRacks;
+  shape.sites = 1;
+  shape.hosts = kFleetHosts;
+  s.injectors.push_back(
+      {"fabric", base * 2 + 1,
+       net::random_fleet_plan(base, kFleetHorizon, shape, 6)});
+  Rng rng(base ^ 0xc42bULL);
+  const std::uint32_t first =
+      static_cast<std::uint32_t>(rng.bounded(kFleetHosts));
+  const std::uint32_t second = static_cast<std::uint32_t>(
+      (first + 1 + rng.bounded(kFleetHosts - 1)) % kFleetHosts);
+  std::uint32_t victims[2] = {first, second};
+  for (int k = 0; k < 2; ++k) {
+    fault::Episode e;
+    e.kind = fault::FaultKind::kHostRestart;
+    e.start = rng.uniform(0.3, 0.7 * kFleetHorizon);
+    e.end = e.start + rng.uniform(0.05, 0.3);
+    fault::FaultPlan plan;
+    plan.add(e);
+    s.injectors.push_back({"h" + std::to_string(victims[k]),
+                           base * 3 + 5 + static_cast<std::uint64_t>(k),
+                           std::move(plan)});
+  }
+  return s;
+}
+
 inline check::Schedule make_tail_schedule(std::uint64_t seed) {
   const std::uint64_t base = seed ^ 0x7a11ULL;
   check::Schedule s;
@@ -214,9 +255,39 @@ inline constexpr ScenarioInfo kScenarios[] = {
      "64-host fat-tree, cross-rack streams, switch cuts + host churn"},
     {"tail", &make_tail_schedule, 60000, false,
      "16-host RPC fan-out (tail workload) under fleet fault plans"},
+    {"gossip", &make_gossip_schedule, 120000, false,
+     "64-host HyParView/PlumTree overlay: broadcast storm + churn"},
 };
 inline constexpr std::size_t kScenarioCount =
     sizeof(kScenarios) / sizeof(kScenarios[0]);
+
+namespace detail {
+constexpr bool str_eq(const char* a, const char* b) {
+  while (*a != '\0' && *a == *b) { ++a; ++b; }
+  return *a == *b;
+}
+/// Every registry entry must be complete — in particular carry its own
+/// non-zero --seed_timeout_ms default (the drift this table exists to
+/// prevent: a scenario added to the list but missed by the old separate
+/// timeout table silently inherited a budget sized for cheaper siblings).
+constexpr bool registry_complete() {
+  for (std::size_t i = 0; i < kScenarioCount; ++i) {
+    const ScenarioInfo& def = kScenarios[i];
+    if (def.name == nullptr || def.name[0] == '\0') return false;
+    // def.make is checked at runtime by the registry tests
+    // (test_tail/test_overlay): gcc under -fsanitize refuses to
+    // constant-fold a function-pointer-vs-null comparison.
+    if (def.seed_timeout_ms == 0) return false;
+    if (def.blurb == nullptr || def.blurb[0] == '\0') return false;
+    for (std::size_t j = i + 1; j < kScenarioCount; ++j)
+      if (str_eq(def.name, kScenarios[j].name)) return false;
+  }
+  return true;
+}
+}  // namespace detail
+static_assert(detail::registry_complete(),
+              "soak scenario registry: every entry needs a unique name, a "
+              "schedule maker, a non-zero seed_timeout_ms and a help blurb");
 
 [[nodiscard]] inline const ScenarioInfo* find_scenario(
     std::string_view name) noexcept {

@@ -1,0 +1,90 @@
+// Broadcast delivery oracle: the dissemination layer's end-to-end
+// contract, judged the same way DeliveryOracle judges transports.
+//
+// Ground truth is the send side: broadcast(origin, seq, payload) records
+// exactly what an application handed to the overlay. The receive side is
+// the overlay's deliver hook on every node: delivered(node, origin, seq,
+// payload) checks each delivery against the truth. The contract — for
+// members that stay live and connected — is *exactly-once, byte-exact*
+// per (origin, seq): no phantom messages, no corrupted payloads, no
+// double delivery, and at finalize() no member missing any message.
+//
+// Churn makes "every member" subtle: a host that crashes mid-run loses
+// its delivered-set along with the rest of its state, so a rebroadcast
+// reaching the reborn incarnation is legal (it never saw the first
+// copy), and a message that raced its crash may be missing forever.
+// mark_unstable(node) excuses such nodes from both the exactly-once and
+// the completeness demands; everyone else is held to the full contract.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ldlp::check {
+
+struct BroadcastStats {
+  std::uint64_t broadcasts = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t unstable_deliveries = 0;  ///< Excused (churned node).
+  std::uint64_t violations = 0;
+};
+
+class BroadcastDeliveryOracle {
+ public:
+  /// Send-side ground truth: `origin` broadcast message `seq` with
+  /// `payload`. Call once per broadcast, before any node can deliver it.
+  void broadcast(std::uint32_t origin, std::uint32_t seq,
+                 std::span<const std::uint8_t> payload);
+
+  /// Receive-side: `node` delivered (origin, seq) with `payload`.
+  void delivered(std::uint32_t node, std::uint32_t origin, std::uint32_t seq,
+                 std::span<const std::uint8_t> payload);
+
+  /// Excuse `node` from the exactly-once and completeness demands — its
+  /// host crashed (or churned) mid-run, wiping its delivered-set.
+  void mark_unstable(std::uint32_t node);
+
+  /// End-of-run completeness: every stable member in `members` must have
+  /// delivered every broadcast message. Returns ok().
+  bool finalize(std::span<const std::uint32_t> members);
+
+  /// (delivered(node, ·) for all broadcasts)? Lets the harness drain the
+  /// sim until completeness instead of guessing a fixed horizon.
+  [[nodiscard]] bool complete(std::uint32_t node) const;
+
+  [[nodiscard]] bool ok() const noexcept { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] const BroadcastStats& stats() const noexcept { return stats_; }
+
+  /// Mirror totals into an obs registry as <prefix>.* counters.
+  void publish(obs::Registry& registry,
+               std::string_view prefix = "check.broadcast") const;
+
+ private:
+  struct Message {
+    std::vector<std::uint8_t> payload;
+    std::set<std::uint32_t> delivered_to;
+  };
+
+  [[nodiscard]] static std::uint64_t key(std::uint32_t origin,
+                                         std::uint32_t seq) noexcept {
+    return (static_cast<std::uint64_t>(origin) << 32) | seq;
+  }
+  void violation(std::string what);
+
+  std::map<std::uint64_t, Message> messages_;  ///< Ordered for finalize().
+  std::set<std::uint32_t> unstable_;
+  std::vector<std::string> violations_;
+  BroadcastStats stats_;
+};
+
+}  // namespace ldlp::check

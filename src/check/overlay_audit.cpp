@@ -1,0 +1,97 @@
+#include "check/overlay_audit.hpp"
+
+#include <algorithm>
+
+namespace ldlp::check {
+namespace {
+
+constexpr std::size_t kMaxViolations = 64;
+
+[[nodiscard]] bool contains(std::span<const std::uint32_t> ids,
+                            std::uint32_t id) noexcept {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+[[nodiscard]] std::string at(double now_sec) {
+  return " t=" + std::to_string(now_sec);
+}
+
+}  // namespace
+
+void ViewAuditor::violation(std::string what) {
+  ++stats_.violations;
+  if (violations_.size() < kMaxViolations)
+    violations_.push_back(std::move(what));
+}
+
+void ViewAuditor::audit_one(const OverlayView& view, double now_sec) {
+  ++stats_.views_checked;
+  const std::string who =
+      "node " + std::to_string(view.self) + at(now_sec) + ": ";
+
+  if (contains(view.active, view.self))
+    violation(who + "self in active view");
+  if (contains(view.passive, view.self))
+    violation(who + "self in passive view");
+  if (view.active.size() > view.active_max)
+    violation(who + "active degree " + std::to_string(view.active.size()) +
+              " exceeds bound " + std::to_string(view.active_max));
+  if (view.passive.size() > view.passive_max)
+    violation(who + "passive size " + std::to_string(view.passive.size()) +
+              " exceeds bound " + std::to_string(view.passive_max));
+  for (const std::uint32_t id : view.active) {
+    if (contains(view.passive, id))
+      violation(who + "peer " + std::to_string(id) +
+                " in both active and passive");
+    if (std::count(view.active.begin(), view.active.end(), id) > 1)
+      violation(who + "peer " + std::to_string(id) +
+                " duplicated in active view");
+  }
+  // eager/lazy must partition the active view: every eager peer is
+  // active (the lazy set is implicit — active minus eager — so only the
+  // subset direction can break).
+  for (const std::uint32_t id : view.eager) {
+    if (!contains(view.active, id))
+      violation(who + "eager peer " + std::to_string(id) +
+                " not in active view");
+    if (std::count(view.eager.begin(), view.eager.end(), id) > 1)
+      violation(who + "peer " + std::to_string(id) +
+                " duplicated in eager set");
+  }
+}
+
+void ViewAuditor::audit(std::span<const OverlayView> views, double now_sec) {
+  ++stats_.passes;
+  for (const OverlayView& view : views) {
+    if (!view.live) continue;
+    audit_one(view, now_sec);
+  }
+}
+
+void ViewAuditor::final_audit(std::span<const OverlayView> views,
+                              double now_sec) {
+  audit(views, now_sec);
+  // Link symmetry across the live fleet: a in b.active => b in a.active.
+  for (const OverlayView& a : views) {
+    if (!a.live) continue;
+    for (const std::uint32_t peer : a.active) {
+      for (const OverlayView& b : views) {
+        if (b.self != peer || !b.live) continue;
+        if (!contains(b.active, a.self))
+          violation("asymmetric link" + at(now_sec) + ": " +
+                    std::to_string(a.self) + " has " + std::to_string(peer) +
+                    " active but not vice versa");
+      }
+    }
+  }
+}
+
+void ViewAuditor::publish(obs::Registry& registry,
+                          std::string_view prefix) const {
+  const std::string p(prefix);
+  registry.counter(p + ".passes").set(stats_.passes);
+  registry.counter(p + ".views_checked").set(stats_.views_checked);
+  registry.counter(p + ".violations").set(stats_.violations);
+}
+
+}  // namespace ldlp::check

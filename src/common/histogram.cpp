@@ -34,6 +34,10 @@ double LogHistogram::bucket_mid(std::size_t i) const noexcept {
 }
 
 void LogHistogram::add(double value) noexcept {
+  // NaN has no bucket (log10 of it would cast to a garbage index): drop
+  // the sample rather than poison the distribution. ±inf land in the
+  // under/overflow buckets through the ordinary comparisons.
+  if (std::isnan(value)) return;
   ++buckets_[bucket_for(value)];
   ++total_;
   sum_ += value;
@@ -57,7 +61,11 @@ void LogHistogram::reset() noexcept {
 }
 
 double LogHistogram::quantile(double q) const noexcept {
-  if (total_ == 0) return 0.0;
+  // Zero-sample safe: snapshots emit p50..p9999 unconditionally, and a
+  // repair-latency histogram on a calm run has no samples — every
+  // quantile of an empty histogram is a well-defined 0.0. NaN q would
+  // pass std::clamp through; treat it as empty too.
+  if (total_ == 0 || std::isnan(q)) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const auto target = static_cast<std::uint64_t>(
       q * static_cast<double>(total_ - 1));

@@ -18,6 +18,7 @@ HostId Fabric::add_host(stack::HostConfig config) {
   const HostId id = static_cast<HostId>(hosts_.size());
   hosts_.push_back(std::make_unique<stack::Host>(std::move(config)));
   access_link_.push_back(kNoLink);
+  idle_rounds_.push_back(0);
   hosts_.back()->device().set_tx_sink(
       [this, id](std::vector<std::uint8_t>&& bytes) {
         const LinkId access = access_link_[id];
@@ -272,9 +273,22 @@ void Fabric::send_via(SwitchId id, LinkId egress,
 
 void Fabric::tick_round() {
   const double t = events_.now();
-  for (const auto& host : hosts_) {
-    host->advance_to(t);
-    host->pump();
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    stack::Host& host = *hosts_[i];
+    // Idle-tick coalescing: a host with nothing in its RX rings skips up
+    // to stride-1 rounds. Skipping is pure in (ring state, skip run), so
+    // runs stay deterministic; advance_to on the next real tick snaps
+    // the host clock across the gap, bounding timer lateness to
+    // stride * host_tick_sec. Stride 1 reproduces the old sweep exactly.
+    if (cfg_.idle_tick_stride > 1 && host.device().rx_pending() == 0 &&
+        idle_rounds_[i] + 1 < cfg_.idle_tick_stride) {
+      ++idle_rounds_[i];
+      ++suppressed_ticks_;
+      continue;
+    }
+    idle_rounds_[i] = 0;
+    host.advance_to(t);
+    host.pump();
   }
   if (pass_hook_) pass_hook_();
   events_.schedule_in(cfg_.host_tick_sec, [this] { tick_round(); });

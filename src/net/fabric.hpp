@@ -96,6 +96,14 @@ struct FabricConfig {
   /// floor is ~2 ticks; 1 ms keeps TCP honest without drowning the run.
   double host_tick_sec = 1e-3;
   std::uint64_t fault_seed = 1;  ///< Drives domain loss-burst draws.
+  /// Idle-host tick coalescing: a host whose RX rings are empty skips up
+  /// to stride-1 consecutive tick rounds (its clock then snaps forward
+  /// across the gap, so timers fire at most stride*tick late — a bounded,
+  /// deterministic lateness). A host with frames pending always ticks.
+  /// 1 = every host every round, the historical behavior bit for bit.
+  /// Large overlay fleets are mostly idle between gossip bursts; stride 4
+  /// cuts the per-round advance+pump sweep to the hosts that have work.
+  std::uint32_t idle_tick_stride = 1;
 };
 
 class Fabric {
@@ -163,6 +171,12 @@ class Fabric {
   }
 
   [[nodiscard]] FabricTotals totals() const noexcept;
+
+  /// Host tick rounds skipped by idle-tick coalescing (the suppressed
+  /// timer work the net.* counters expose; 0 when idle_tick_stride <= 1).
+  [[nodiscard]] std::uint64_t suppressed_ticks() const noexcept {
+    return suppressed_ticks_;
+  }
 
   /// injected - delivered - queue_drops - fault_drops - in_flight; zero
   /// whenever the ledger balances (always, unless there is a bug).
@@ -245,6 +259,8 @@ class Fabric {
   Rng fault_rng_;
   std::function<void()> pass_hook_;
   bool tick_scheduled_ = false;
+  std::vector<std::uint32_t> idle_rounds_;  ///< Per-host skipped-round run.
+  std::uint64_t suppressed_ticks_ = 0;
 
   static constexpr LinkId kNoLink = ~LinkId{0};
 };

@@ -187,6 +187,8 @@ void publish_fabric(Registry& registry, const net::Fabric& fabric,
   set_counter(registry, join(prefix, "delivered"), totals.delivered);
   set_counter(registry, join(prefix, "queue_drops"), totals.queue_drops);
   set_counter(registry, join(prefix, "fault_drops"), totals.fault_drops);
+  set_counter(registry, join(prefix, "suppressed_ticks"),
+              fabric.suppressed_ticks());
   registry.gauge(join(prefix, "in_flight"))
       .set(static_cast<double>(totals.in_flight));
   registry.gauge(join(prefix, "conservation_residual"))

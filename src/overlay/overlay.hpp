@@ -1,0 +1,304 @@
+// ldlp::overlay — self-healing membership + epidemic dissemination.
+//
+// The fabric (ldlp::net) proved the *transport* heals under partitions,
+// flaps and host churn; this layer proves an *application* built on it
+// converges. Two cooperating protocols run as one UDP endpoint per
+// stack::Host, in the HyParView / PlumTree style:
+//
+//   * Membership — a small ACTIVE view (the peers we gossip with and
+//     probe) plus a larger PASSIVE view (repair candidates). Nodes join
+//     through any contact; the contact propagates ForwardJoin random
+//     walks so the joiner lands in active views across the overlay.
+//     Periodic shuffles exchange passive samples to keep repair material
+//     fresh. An active peer that stops answering probes (capped
+//     exponential backoff, then declared dead) is reactively replaced by
+//     promoting a passive member — the repair path the churn oracles
+//     guard, and the path the mutation check deliberately reverts.
+//
+//   * Dissemination — broadcasts flood eagerly along a subset of active
+//     links (the spanning tree) and lazily elsewhere: non-tree peers get
+//     IHAVE digests instead of payloads. A node that hears IHAVE for a
+//     message it never received grafts the announcing link into the tree
+//     (graft-on-miss); a node that receives a duplicate payload prunes
+//     the redundant link (prune-on-duplicate). Cuts heal the same way:
+//     the periodic digest re-announces recent ids, so a subtree orphaned
+//     by a partition pulls itself back in via graft once the fabric
+//     heals.
+//
+// Everything is deterministic: per-node RNG seeded from (config seed,
+// node id), timers driven from poll(now) off the shared fabric clock,
+// no wall-clock anywhere — so gossip seeds replay and ddmin-shrink
+// exactly like transport seeds.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "check/overlay_audit.hpp"
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "stack/host.hpp"
+
+namespace ldlp::overlay {
+
+/// Nodes are identified by their IPv4 address (unique per fabric host).
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0;
+
+/// (origin, seq) — the PlumTree message id.
+struct MsgId {
+  NodeId origin = kNoNode;
+  std::uint32_t seq = 0;
+
+  [[nodiscard]] std::uint64_t key() const noexcept {
+    return (static_cast<std::uint64_t>(origin) << 32) | seq;
+  }
+  friend bool operator==(const MsgId&, const MsgId&) = default;
+};
+
+struct MembershipConfig {
+  std::size_t active_max = 4;    ///< HyParView active-view degree bound.
+  std::size_t passive_max = 16;  ///< Passive (repair candidate) bound.
+  std::uint8_t arwl = 4;  ///< ForwardJoin active random-walk length.
+  std::uint8_t prwl = 2;  ///< Walk length at which joiner enters passive.
+  double shuffle_interval_sec = 0.6;
+  std::size_t shuffle_active = 2;   ///< Active ids per shuffle sample.
+  std::size_t shuffle_passive = 4;  ///< Passive ids per shuffle sample.
+  /// Failure detector: probe an active peer only when nothing has been
+  /// heard from it for probe_idle_sec (traffic doubles as keepalive — the
+  /// suppressed probes are counted, the scale-headroom satellite's
+  /// "lazier keepalive" at the overlay layer). A probe that goes
+  /// unanswered retries on a doubling backoff capped at
+  /// probe_backoff_max_sec; probe_failures misses declare the peer dead.
+  double probe_idle_sec = 0.6;
+  double probe_timeout_sec = 0.3;
+  double probe_backoff_max_sec = 1.2;
+  int probe_failures = 3;
+  /// Join / repair retry backoff (doubling, capped).
+  double join_retry_sec = 0.4;
+  double join_backoff_max_sec = 3.2;
+  /// THE MUTATION-CHECK KNOB. Gates the reactive repair path: promoting a
+  /// passive member when an active peer dies (or disconnects us), and
+  /// re-joining the overlay after a host restart wipes our state. Always
+  /// on in production; the chaos tests revert it to prove the overlay
+  /// oracles catch the resulting partition and ddmin isolates the churn
+  /// episode that triggered it.
+  bool enable_repair = true;
+};
+
+struct PlumtreeConfig {
+  /// Graft-on-miss: first IHAVE for an unseen id arms a timer; on expiry
+  /// the node grafts the announcing link and asks for the payload,
+  /// retrying further announcers on a doubling backoff.
+  double graft_timeout_sec = 0.2;
+  double graft_backoff_max_sec = 1.6;
+  /// Periodic anti-entropy: every digest_interval_sec each active peer
+  /// (eager and lazy alike) gets an IHAVE of the most recent ids. This is
+  /// what makes dissemination *eventually reliable* over lossy UDP — a
+  /// lost eager push or lost IHAVE is re-announced until grafted.
+  double digest_interval_sec = 0.5;
+  std::size_t digest_window = 128;  ///< Recent ids per digest.
+  std::size_t ihave_batch_max = 16;  ///< Ids per IHAVE datagram.
+};
+
+struct OverlayConfig {
+  std::uint16_t port = 7946;  ///< UDP port (both ends).
+  std::uint64_t seed = 1;     ///< Mixed with the node id per-node RNG.
+  MembershipConfig membership{};
+  PlumtreeConfig plumtree{};
+};
+
+/// Monotonic protocol counters. Like every stats struct in the repo they
+/// describe the machine, not the incarnation: a host restart wipes
+/// protocol state but never the ledger.
+struct OverlayStats {
+  std::uint64_t joins_sent = 0;
+  std::uint64_t joins_rx = 0;
+  std::uint64_t forward_joins = 0;  ///< ForwardJoin hops relayed.
+  std::uint64_t shuffles_sent = 0;
+  std::uint64_t shuffles_rx = 0;
+  std::uint64_t shuffle_replies = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_suppressed = 0;  ///< Peer traffic made probe moot.
+  std::uint64_t probe_timeouts = 0;
+  std::uint64_t peers_died = 0;      ///< Active peers declared dead.
+  std::uint64_t repairs_started = 0;  ///< Passive promotions attempted.
+  std::uint64_t repairs_done = 0;     ///< Promotions accepted.
+  std::uint64_t neighbor_rejects = 0;
+  std::uint64_t asymmetry_rejects = 0;  ///< Probes from non-peers turned away.
+  std::uint64_t vacancy_fills = 0;      ///< Promotions sent to refill the view.
+  std::uint64_t disconnects_rx = 0;
+  std::uint64_t broadcasts = 0;   ///< Locally originated messages.
+  std::uint64_t deliveries = 0;   ///< First-time local deliveries.
+  std::uint64_t gossip_tx = 0;    ///< Eager payload pushes sent.
+  std::uint64_t gossip_rx = 0;    ///< Payload pushes received.
+  std::uint64_t duplicates = 0;   ///< Payloads already delivered.
+  std::uint64_t ihave_tx = 0;     ///< IHAVE datagrams sent.
+  std::uint64_t ihave_rx = 0;
+  std::uint64_t grafts_tx = 0;    ///< Graft (IWANT) requests sent.
+  std::uint64_t grafts_rx = 0;
+  std::uint64_t prunes_tx = 0;
+  std::uint64_t prunes_rx = 0;
+  std::uint64_t restarts = 0;     ///< Host crashes observed (state wiped).
+  std::uint64_t malformed = 0;    ///< Datagrams that failed to parse.
+};
+
+/// One overlay endpoint on a stack::Host. Construction binds the UDP
+/// port; poll(now) — driven once per fabric tick round — drains the
+/// socket and fires every protocol timer. The node self-registers a
+/// Host post-restart hook so a kHostRestart churn episode wipes overlay
+/// state exactly when it wipes TCP/ARP state.
+class OverlayNode {
+ public:
+  OverlayNode(stack::Host& host, NodeId self, const OverlayConfig& config);
+  ~OverlayNode();
+
+  OverlayNode(const OverlayNode&) = delete;
+  OverlayNode& operator=(const OverlayNode&) = delete;
+
+  /// Begin (or re-begin) joining through `contact`. Retries with capped
+  /// backoff until the active view is non-empty. The bootstrap node calls
+  /// with kNoNode and simply waits to be joined.
+  void join(NodeId contact, double now_sec);
+
+  /// Broadcast `payload` from this node. Returns the assigned MsgId.
+  MsgId broadcast(std::span<const std::uint8_t> payload, double now_sec);
+
+  /// Id the next broadcast() will stamp. broadcast() delivers to self
+  /// synchronously, so a harness that tracks ground truth must register
+  /// the id before calling it.
+  [[nodiscard]] MsgId next_broadcast_id() const noexcept {
+    return MsgId{self_, seq_};
+  }
+
+  /// Drain the UDP socket and fire timers. Drive once per fabric tick.
+  void poll(double now_sec);
+
+  /// Quiesce switch: while muted the node still drains and processes its
+  /// socket but sends nothing, so a harness can let in-flight traffic
+  /// settle completely before auditing pools and ledgers.
+  void set_muted(bool muted) noexcept { muted_ = muted; }
+
+  /// Fires on first-time delivery of every broadcast (including our own).
+  void set_deliver_hook(
+      std::function<void(MsgId, std::span<const std::uint8_t>)> hook) {
+    deliver_hook_ = std::move(hook);
+  }
+
+  [[nodiscard]] NodeId id() const noexcept { return self_; }
+  [[nodiscard]] const OverlayStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t active_size() const noexcept {
+    return peers_.size();
+  }
+  [[nodiscard]] std::size_t passive_size() const noexcept {
+    return passive_.size();
+  }
+  [[nodiscard]] bool in_active(NodeId id) const noexcept {
+    return find_peer(id) != nullptr;
+  }
+  [[nodiscard]] bool in_passive(NodeId id) const noexcept;
+  [[nodiscard]] bool is_eager(NodeId id) const noexcept;
+  [[nodiscard]] bool has_delivered(MsgId id) const noexcept {
+    return messages_.count(id.key()) != 0;
+  }
+  /// Completed repair latencies (dead-declared -> replacement accepted),
+  /// seconds; the harness pools them into the overlay.* histogram.
+  [[nodiscard]] const std::vector<double>& repair_latencies() const noexcept {
+    return repair_latencies_;
+  }
+
+  /// Snapshot the views for the ldlp::check auditors. Reuses the caller's
+  /// vectors (clear + refill) so per-pass auditing does not allocate.
+  void fill_view(check::OverlayView& out) const;
+
+ private:
+  struct Peer {  ///< One active-view neighbour.
+    NodeId id = kNoNode;
+    bool eager = true;       ///< Tree link (payloads) vs lazy (digests).
+    double last_heard = 0.0;
+    double probe_due = 0.0;   ///< Next scheduled liveness check.
+    double probe_sent = 0.0;  ///< 0 = no probe outstanding.
+    double probe_backoff = 0.0;
+    std::uint32_t probe_nonce = 0;
+    int probe_misses = 0;
+  };
+  struct Missing {  ///< IHAVE heard, payload not yet received.
+    MsgId id;
+    std::vector<NodeId> announcers;
+    double graft_at = 0.0;  ///< Next graft attempt time.
+    double backoff = 0.0;
+    std::size_t next_announcer = 0;
+  };
+
+  // -- membership ---------------------------------------------------------
+  [[nodiscard]] Peer* find_peer(NodeId id) noexcept;
+  [[nodiscard]] const Peer* find_peer(NodeId id) const noexcept;
+  void add_active(NodeId id, double now_sec);
+  void remove_active(NodeId id, bool dead, double now_sec);
+  void add_passive(NodeId id);
+  void drop_passive(NodeId id);
+  void start_repair(double now_sec, bool forced = false);
+  void fire_membership_timers(double now_sec);
+  [[nodiscard]] NodeId random_active(NodeId exclude_a = kNoNode,
+                                     NodeId exclude_b = kNoNode) noexcept;
+
+  // -- dissemination ------------------------------------------------------
+  void deliver(MsgId id, std::vector<std::uint8_t> payload, double now_sec);
+  void relay(MsgId id, std::uint16_t round, NodeId from, double now_sec);
+  void remember(MsgId id);
+  void queue_ihave(NodeId to, MsgId id);
+  void flush_ihave(double now_sec);
+  void send_digests(double now_sec);
+  void fire_graft_timers(double now_sec);
+  void note_missing(MsgId id, NodeId announcer, double now_sec);
+
+  // -- wire ---------------------------------------------------------------
+  void send(NodeId to, std::span<const std::uint8_t> bytes);
+  void handle(const stack::Datagram& dgram, double now_sec);
+
+  void on_restart();
+
+  stack::Host& host_;
+  NodeId self_;
+  OverlayConfig cfg_;
+  Rng rng_;
+  stack::SocketId sock_ = stack::kNoSocket;
+
+  std::vector<Peer> peers_;      ///< Active view (order = insertion).
+  std::vector<NodeId> passive_;  ///< Passive view.
+  NodeId contact_ = kNoNode;     ///< Join bootstrap target.
+  bool joining_ = false;
+  double join_at_ = 0.0;
+  double join_backoff_ = 0.0;
+  NodeId pending_neighbor_ = kNoNode;  ///< Outstanding promotion target.
+  double neighbor_sent_ = 0.0;
+  double repair_started_ = -1.0;  ///< Dead-declared time; <0 = no repair.
+  double shuffle_at_ = 0.0;
+  double digest_at_ = 0.0;
+
+  std::uint32_t seq_ = 0;  ///< Next broadcast sequence number.
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> messages_;
+  std::deque<MsgId> recent_;  ///< Digest window, newest last.
+  std::vector<Missing> missing_;
+  std::vector<std::pair<NodeId, MsgId>> lazy_queue_;  ///< Pending IHAVEs.
+
+  std::vector<double> repair_latencies_;
+  std::function<void(MsgId, std::span<const std::uint8_t>)> deliver_hook_;
+  OverlayStats stats_;
+  bool muted_ = false;
+};
+
+/// Mirror a fleet of nodes into an obs registry as overlay.* counters
+/// plus the overlay.repair_latency_sec histogram (the ISSUE's counter
+/// contract: joins, shuffles, grafts, prunes, IHAVE/IWANT, repair
+/// latency). Totals are summed across nodes; calling again re-sets.
+void publish_overlay(obs::Registry& registry,
+                     std::span<const OverlayNode* const> nodes,
+                     std::string_view prefix = "overlay");
+
+}  // namespace ldlp::overlay

@@ -1,0 +1,116 @@
+// Overlay convergence oracle: after the fault horizon, the membership
+// views must stop moving and the eager-push graph must knit back into a
+// single spanning tree.
+//
+// The ConvergenceOracle proves the *transport* comes back (every PCB
+// terminal or quiescent); this oracle proves the *overlay* does. Its
+// input is the same per-pass OverlayView snapshot the ViewAuditor
+// consumes — plain data, so recover never depends on ldlp::overlay.
+//
+// Protocol mirrors ConvergenceOracle: arm() once churn is scheduled to
+// end, add_clearance(fabric.faults_cleared) so the stability budget only
+// counts once adversity has drained, on_pass(views) per scheduler tick.
+// Stability is judged by fingerprinting every live node's sorted active
+// and eager views: `stable_passes` consecutive identical fingerprints
+// within `budget_passes` of readiness means the membership protocol
+// settled (shuffles keep exchanging *passive* entries forever — that is
+// steady-state maintenance, not instability, so passive views are
+// excluded from the fingerprint).
+//
+// finalize(views) then judges the settled shape:
+//   * connectivity — the undirected graph over active links reaches every
+//     live node from the first (a partitioned-but-individually-stable
+//     overlay must be condemned: repair failed);
+//   * tree quality — the eager subgraph, which PlumTree prunes toward a
+//     spanning tree, must itself connect every live node. (A pruned-too-
+//     far eager graph would strand a subtree on lazy IHAVE links only;
+//     delivery still happens via graft, but convergence demands the tree
+//     healed.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/overlay_audit.hpp"
+#include "obs/metrics.hpp"
+
+namespace ldlp::recover {
+
+struct OverlayConvergenceConfig {
+  /// Passes allowed between "armed + clearances drained" and the views
+  /// stabilizing. Gossip soaks tick at 5 ms, and a full repair (probe
+  /// backoff ladder -> dead -> Neighbor promotion) spans ~2.5 s of sim
+  /// time, so the default covers several back-to-back repairs.
+  std::uint64_t budget_passes = 4000;
+  /// Consecutive identical view fingerprints required to call it stable.
+  std::uint64_t stable_passes = 40;
+};
+
+struct OverlayConvergenceStats {
+  std::uint64_t passes = 0;
+  std::uint64_t passes_to_converge = 0;  ///< Budget passes used (0 = not yet).
+  std::uint64_t violations = 0;
+};
+
+class OverlayConvergenceOracle {
+ public:
+  explicit OverlayConvergenceOracle(OverlayConvergenceConfig cfg = {})
+      : cfg_(cfg) {}
+
+  /// "Adversity drained" predicates; all must hold before the stability
+  /// budget starts counting (fleet runs hang fabric.faults_cleared here).
+  void add_clearance(std::function<bool()> cleared) {
+    clearances_.push_back(std::move(cleared));
+  }
+
+  /// No further churn or joins will be initiated; stability is owed.
+  void arm() noexcept { armed_ = true; }
+
+  /// Call once per scheduler pass with the fleet's current views.
+  void on_pass(std::span<const check::OverlayView> views);
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+  [[nodiscard]] bool ready() const;
+  /// Views have held still for stable_passes consecutive ready passes.
+  [[nodiscard]] bool converged() const noexcept {
+    return stable_run_ >= cfg_.stable_passes;
+  }
+  [[nodiscard]] bool settled() const { return ready() && converged(); }
+
+  /// End-of-run shape check on the settled views (see file comment).
+  /// Returns ok().
+  bool finalize(std::span<const check::OverlayView> views);
+
+  [[nodiscard]] bool ok() const noexcept { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] const OverlayConvergenceStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Mirror totals into an obs registry as <prefix>.* counters.
+  void publish(obs::Registry& registry,
+               std::string_view prefix = "recover.overlay") const;
+
+ private:
+  [[nodiscard]] std::uint64_t fingerprint(
+      std::span<const check::OverlayView> views) const;
+  void violation(std::string what);
+
+  OverlayConvergenceConfig cfg_;
+  std::vector<std::function<bool()>> clearances_;
+  bool armed_ = false;
+  bool flagged_ = false;
+  std::uint64_t ready_passes_ = 0;
+  std::uint64_t stable_run_ = 0;
+  std::uint64_t last_fingerprint_ = 0;
+  std::vector<std::string> violations_;
+  OverlayConvergenceStats stats_;
+};
+
+}  // namespace ldlp::recover

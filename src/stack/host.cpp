@@ -50,6 +50,7 @@ void Host::restart() {
   eth_->arp().flush();
   ip_->flush_reassembly();
   (void)dev_.clear_rx_ring();
+  if (restart_hook_) restart_hook_();
 }
 
 void Host::advance(double dt_sec) {

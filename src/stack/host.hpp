@@ -110,6 +110,15 @@ class Host {
     post_pass_hook_ = std::move(hook);
   }
 
+  /// Hook run at the end of restart(), after kernel state is wiped.
+  /// Application endpoints living on this host (overlay nodes, RPC
+  /// servers) hang their own crash-recovery here: whatever they would
+  /// lose in a power cycle gets wiped in the same instant the kernel's
+  /// does. Empty by default (one branch).
+  void set_restart_hook(std::function<void()> hook) {
+    restart_hook_ = std::move(hook);
+  }
+
  private:
   HostConfig cfg_;
   double now_ = 0.0;
@@ -125,6 +134,7 @@ class Host {
   core::LayerId eth_id_ = core::kNoLayer;
   fault::FaultInjector* fault_ = nullptr;
   std::function<void()> post_pass_hook_;
+  std::function<void()> restart_hook_;
 };
 
 }  // namespace ldlp::stack

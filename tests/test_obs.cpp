@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "obs/bridge.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "overlay/overlay.hpp"
 #include "par/worker_pool.hpp"
 #include "recover/convergence.hpp"
 #include "recover/partition_heal.hpp"
@@ -143,6 +145,45 @@ TEST(ObsHistogram, SparseTailQuantilesResolve) {
   EXPECT_NEAR(h.p9999(), 10.0, 10.0 * 0.10);
   EXPECT_GT(h.p999(), h.p99() * 50.0);
   EXPECT_GT(h.p9999(), h.p999() * 50.0);
+}
+
+TEST(ObsHistogram, EmptySnapshotQuantilesAreZero) {
+  // The repair-latency histogram of a calm overlay run records nothing,
+  // but Registry::snapshot() emits p50..p9999 for it unconditionally:
+  // every quantile of an empty histogram must be a well-defined 0.0, not
+  // an uninitialized bucket midpoint.
+  obs::Registry reg;
+  (void)reg.histogram("overlay.repair_latency_sec", 1e-3, 1e2);
+  const obs::Snapshot snap = reg.snapshot();
+  const obs::SnapshotEntry* e = snap.find("overlay.repair_latency_sec");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->value, 0.0);  // sample count
+  EXPECT_EQ(e->mean, 0.0);
+  EXPECT_EQ(e->p50, 0.0);
+  EXPECT_EQ(e->p999, 0.0);
+  EXPECT_EQ(e->p9999, 0.0);
+  EXPECT_EQ(e->max, 0.0);
+
+  obs::Histogram h(1e-6, 10.0, 20);
+  for (const double q : {0.0, 0.5, 0.99, 0.999, 0.9999, 1.0})
+    EXPECT_EQ(h.quantile(q), 0.0) << "q=" << q;
+}
+
+TEST(ObsHistogram, NonFiniteInputsStayWellDefined) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  obs::Histogram h(1e-6, 10.0, 20);
+  h.add(kNan);  // no bucket is correct for NaN: dropped, not misfiled
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.999), 0.0);
+  h.add(1e-3);
+  h.add(kInf);   // overflow bucket
+  h.add(-kInf);  // underflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_TRUE(std::isfinite(h.quantile(0.5)));
+  EXPECT_TRUE(std::isfinite(h.quantile(0.9999)));
+  // A NaN q is answered like an empty histogram, not passed to clamp.
+  EXPECT_EQ(h.quantile(kNan), 0.0);
 }
 
 TEST(ObsRegistry, SnapshotInsertionOrderedAndTyped) {
@@ -332,6 +373,28 @@ obs::Snapshot reference_snapshot() {
   recover::PartitionHealOracle heal;
   (void)heal.open_pair("h0", "h1");
   heal.publish(reg);
+
+  // overlay.*: a two-node HyParView/PlumTree overlay on its own star
+  // fabric — one join handshake and one broadcast, fully deterministic.
+  // The repair-latency histogram records no samples (calm fleet), so the
+  // golden file also pins the zero-sample quantile path (p* == 0).
+  net::Fabric ofab({/*host_tick_sec=*/1e-3, /*fault_seed=*/1});
+  net::StarConfig ostar;
+  ostar.hosts = 2;
+  const std::vector<net::HostId> ohosts = net::build_star(ofab, ostar);
+  overlay::OverlayNode n0(ofab.host(ohosts[0]), net::host_ip(0), {});
+  overlay::OverlayNode n1(ofab.host(ohosts[1]), net::host_ip(1), {});
+  ofab.set_pass_hook([&] {
+    n0.poll(ofab.now());
+    n1.poll(ofab.now());
+  });
+  n1.join(net::host_ip(0), 0.0);
+  ofab.run_for(1.0);
+  const std::uint8_t gossip[] = {1, 2, 3, 4};
+  (void)n0.broadcast(gossip, ofab.now());
+  ofab.run_for(1.0);
+  const overlay::OverlayNode* onodes[] = {&n0, &n1};
+  overlay::publish_overlay(reg, onodes);
 
   // par.*: a two-worker pool over four deterministic jobs. Which worker
   // runs which job is scheduling-dependent, but the merged counters sum

@@ -1025,6 +1025,34 @@ SoakResult run_gossip(const check::Schedule& schedule) {
   return r;
 }
 
+// Clocks scenario: the gossip sim with timer oracles armed. The
+// schedule's "h<i>" victims carry clock-kind-only plans (skew, drift,
+// stall, timer storm) instead of restarts; the TimerAuditor and the
+// DeadlineOracle judge every host's wheel on top of the usual overlay
+// oracles. Wheel defaults apply — in particular shed_guard stays on;
+// the mutation check that reverts it lives in tests/test_time.cpp.
+SoakResult run_clocks(const check::Schedule& schedule) {
+  SoakResult r;
+  overlay::GossipSimConfig cfg;
+  cfg.timer_oracles = true;
+  cfg.deadline = [] { return timed_out(); };
+  const overlay::GossipSimResult g = overlay::run_gossip_sim(schedule, cfg);
+  if (!g.pass) r.fail(g.why);
+  r.violations = g.violations;
+  r.detail = "arms=" + std::to_string(g.timer_arms) +
+             " fires=" + std::to_string(g.timer_fires) +
+             " cancels=" + std::to_string(g.timer_cancels) +
+             " spurious=" + std::to_string(g.timer_spurious) +
+             " shed=" + std::to_string(g.timer_shed) +
+             " deliveries=" + std::to_string(g.deliveries) +
+             " repairs=" + std::to_string(g.repairs_done);
+  if (std::getenv("LDLP_FLEET_DEBUG") != nullptr)
+    std::fprintf(stderr, "[clocks %llu] %s sim_t=%.2f\n",
+                 static_cast<unsigned long long>(schedule.seed),
+                 r.detail.c_str(), g.sim_time_sec);
+  return r;
+}
+
 SoakResult run_schedule(const check::Schedule& schedule) {
   arm_deadline();
   if (schedule.scenario == "tcp" || schedule.scenario == "tcp-heal")
@@ -1036,6 +1064,7 @@ SoakResult run_schedule(const check::Schedule& schedule) {
   if (schedule.scenario == "fleet") return run_fleet(schedule);
   if (schedule.scenario == "tail") return run_tail(schedule);
   if (schedule.scenario == "gossip") return run_gossip(schedule);
+  if (schedule.scenario == "clocks") return run_clocks(schedule);
   SoakResult r;
   r.fail("unknown scenario '" + schedule.scenario + "'");
   return r;
@@ -1352,6 +1381,7 @@ int main(int argc, char** argv) {
   report.metric("fleet_failures", static_cast<double>(scenario_failures[5]));
   report.metric("tail_failures", static_cast<double>(scenario_failures[6]));
   report.metric("gossip_failures", static_cast<double>(scenario_failures[7]));
+  report.metric("clocks_failures", static_cast<double>(scenario_failures[8]));
   report.write();
   return failures == 0 ? 0 : 1;
 }

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/blocking.hpp"
 #include "fault/fault_plan.hpp"
 #include "net/fabric.hpp"
@@ -34,6 +35,7 @@
 #include "sim/cpu_model.hpp"
 #include "stack/rx_path_trace.hpp"
 #include "synth/sweep.hpp"
+#include "time/timer_wheel.hpp"
 #include "trace/working_set.hpp"
 
 namespace ldlp::regress {
@@ -400,6 +402,60 @@ inline obs::BenchResult gate_tail_rpc() {
   return result;
 }
 
+/// Wheel-vs-scan cost gate: a deterministic retry-churn workload (the
+/// arm/cancel/fire mix a busy host's TCP/RPC/overlay surfaces generate)
+/// driven through the TimerWheel, next to the analytic cost of the
+/// legacy per-pass scan it replaced (every pass visits every live
+/// timer to re-derive the minimum deadline). The acceptance line is
+/// `scan_to_wheel_ratio` — how many deadline visits the wheel turns
+/// into O(1) bookkeeping — which must not sink; every count is an exact
+/// function of the seed, so the tolerance only absorbs float noise.
+inline obs::BenchResult gate_timer_wheel() {
+  obs::BenchResult result;
+  result.name = "gate_timer_wheel";
+  result.tolerance = 0.05;
+
+  time::TimerWheel wheel;
+  Rng rng(0x7ee1);
+  constexpr std::size_t kConns = 1024;
+  constexpr int kPasses = 2000;  // 2 simulated seconds of 1 ms passes
+  double t = 0.0;
+  std::vector<time::TimerId> ids(kConns, time::kNoTimer);
+  const auto rearm = [&](std::size_t i) {
+    ids[i] = wheel.arm(t + rng.uniform(0.01, 0.4),
+                       time::TimerClass::kLiveness, [] {});
+  };
+  for (std::size_t i = 0; i < kConns; ++i) rearm(i);
+  std::uint64_t scan_visits = 0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    t += 1e-3;
+    wheel.advance_to(t);
+    // An eighth of the connections get "ACKed" each pass: cancel the
+    // rtx timer and arm the next one — the dominant op mix in steady
+    // state. Fired timers (timeouts) re-arm their backoff.
+    for (std::size_t k = 0; k < kConns / 8; ++k) {
+      const std::size_t i = static_cast<std::size_t>(rng.bounded(kConns));
+      (void)wheel.cancel(ids[i]);
+      rearm(i);
+    }
+    for (std::size_t i = 0; i < kConns; ++i)
+      if (!wheel.armed(ids[i])) rearm(i);
+    scan_visits += kConns;  // the legacy scan visits every PCB per pass
+  }
+  const time::WheelStats& ws = wheel.stats();
+  const double wheel_ops = static_cast<double>(ws.arms + ws.cancels +
+                                               ws.fires + ws.cascades);
+  result.set_metric("arms", static_cast<double>(ws.arms));
+  result.set_metric("fires", static_cast<double>(ws.fires));
+  result.set_metric("cancels", static_cast<double>(ws.cancels));
+  result.set_metric("cascades", static_cast<double>(ws.cascades));
+  result.set_metric("max_armed", static_cast<double>(ws.max_armed));
+  result.set_metric("scan_visits", static_cast<double>(scan_visits));
+  result.set_metric("scan_to_wheel_ratio",
+                    static_cast<double>(scan_visits) / wheel_ops);
+  return result;
+}
+
 struct GateCase {
   const char* name;
   obs::BenchResult (*run)();
@@ -415,6 +471,7 @@ inline std::vector<GateCase> suite() {
       {"gate_fleet_soak", &gate_fleet_soak},
       {"gate_gossip_soak", &gate_gossip_soak},
       {"gate_tail_rpc", &gate_tail_rpc},
+      {"gate_timer_wheel", &gate_timer_wheel},
   };
 }
 

@@ -207,6 +207,46 @@ inline check::Schedule make_gossip_schedule(std::uint64_t seed) {
   return s;
 }
 
+/// Clocks scenario: the gossip fleet with clock-fault victims. The
+/// fabric runs the usual topology-scoped plan (partitions, switch cuts,
+/// flaps, loss) while three seed-chosen hosts take kClockSkew /
+/// kClockDrift / kClockStall / kTimerStorm episodes — their virtual
+/// clocks bend and their wheels take spurious-wakeup storms while the
+/// rest of the fleet stays true. Judged by the overlay oracles plus the
+/// timer oracles (TimerAuditor: monotone clocks, no leaked timers;
+/// DeadlineOracle: every armed timer fires or cancels, shedding never
+/// eats a liveness timer).
+inline check::Schedule make_clocks_schedule(std::uint64_t seed) {
+  const std::uint64_t base = seed ^ 0xc10c5ULL;
+  check::Schedule s;
+  s.scenario = "clocks";
+  s.seed = seed;
+  net::FleetShape shape;
+  shape.links = kFleetHosts + kFleetRacks * kFleetSpines;
+  shape.switches = kFleetSpines + kFleetRacks;
+  shape.racks = kFleetRacks;
+  shape.sites = 1;
+  shape.hosts = kFleetHosts;
+  s.injectors.push_back(
+      {"fabric", base * 2 + 1,
+       net::random_fleet_plan(base, kFleetHorizon, shape, 6)});
+  // Three victims spread across distinct racks (stride > hosts_per_rack
+  // guarantees distinctness), each with its own clock-kind-only plan.
+  Rng rng(base ^ 0xc42bULL);
+  const std::uint32_t first =
+      static_cast<std::uint32_t>(rng.bounded(kFleetHosts));
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    const std::uint32_t victim =
+        (first + k * static_cast<std::uint32_t>(kFleetHosts / 3)) %
+        kFleetHosts;
+    s.injectors.push_back(
+        {"h" + std::to_string(victim), base * 3 + 5 + k,
+         fault::FaultPlan::random_clocks(base ^ (0x5eedULL * (k + 1)),
+                                         kFleetHorizon)});
+  }
+  return s;
+}
+
 inline check::Schedule make_tail_schedule(std::uint64_t seed) {
   const std::uint64_t base = seed ^ 0x7a11ULL;
   check::Schedule s;
@@ -257,6 +297,8 @@ inline constexpr ScenarioInfo kScenarios[] = {
      "16-host RPC fan-out (tail workload) under fleet fault plans"},
     {"gossip", &make_gossip_schedule, 120000, false,
      "64-host HyParView/PlumTree overlay: broadcast storm + churn"},
+    {"clocks", &make_clocks_schedule, 120000, false,
+     "gossip fleet with skewed/stalled clocks + timer storms, timer oracles"},
 };
 inline constexpr std::size_t kScenarioCount =
     sizeof(kScenarios) / sizeof(kScenarios[0]);

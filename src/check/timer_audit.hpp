@@ -1,0 +1,71 @@
+// Timer-wheel invariants, checked per pass and once at teardown.
+//
+// The HostAuditor condemns bad protocol state (crossed sequence pointers,
+// a retransmit deadline with nothing in flight); the TimerAuditor
+// condemns bad *wheel* state — the places where the PR-10 migration from
+// per-pass scans to wheel-driven timers could silently rot:
+//
+//   * rtx armed iff asserted wheel-side — a PCB with data in flight must
+//     have its consolidated wheel timer armed no later than its
+//     rtx_deadline, or the retransmit would simply never fire (the scan
+//     would have caught it; the wheel only fires what is armed);
+//   * monotone clocks — a host's virtual clock (Host::now) and fabric
+//     clock (Host::real_now) never move backwards, even while kClockSkew
+//     / kClockStall episodes bend the virtual one;
+//   * no leaked armed timers after teardown — once the harness has torn
+//     down every endpoint (DNS resolvers, RPC clients, overlay nodes) and
+//     reset every connection, whatever is still armed must be accounted
+//     for by a live PCB's consolidated timer or the ARP retry timer.
+//     Anything else is a wakeup some destroyed object forgot to cancel —
+//     a use-after-free waiting for the fire.
+//
+// Drive run() from the fabric pass hook (it does not take the host's
+// post-pass hook, which belongs to the HostAuditor) and final_audit()
+// after teardown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stack/host.hpp"
+
+namespace ldlp::check {
+
+struct TimerAuditorStats {
+  std::uint64_t passes = 0;
+  std::uint64_t timers_checked = 0;  ///< Armed PCB timers reconciled.
+  std::uint64_t violations = 0;
+};
+
+class TimerAuditor {
+ public:
+  explicit TimerAuditor(stack::Host& host, std::string label = {});
+
+  /// One sweep: clock monotonicity + per-PCB wheel reconciliation.
+  void run();
+
+  /// Teardown check: every armed timer is a live PCB's consolidated
+  /// timer or the ARP retry timer; anything else leaked.
+  void final_audit();
+
+  [[nodiscard]] bool ok() const noexcept { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] const TimerAuditorStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  void violation(const std::string& what);
+
+  stack::Host& host_;
+  std::string label_;
+  double last_virtual_ = 0.0;
+  double last_real_ = 0.0;
+  std::vector<std::string> violations_;
+  TimerAuditorStats stats_;
+};
+
+}  // namespace ldlp::check

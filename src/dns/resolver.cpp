@@ -1,6 +1,8 @@
 #include "dns/resolver.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/assert.hpp"
 
@@ -91,6 +93,11 @@ DnsResolver::DnsResolver(stack::Host& host, Config config)
   socket_ = host_.sockets().create(stack::SocketKind::kDatagram, 64 * 1024);
   const bool bound = host_.udp().bind(cfg_.local_port, socket_);
   LDLP_ASSERT_MSG(bound, "resolver port already bound");
+  next_due_ = std::numeric_limits<double>::infinity();
+}
+
+DnsResolver::~DnsResolver() {
+  if (wake_ != time::kNoTimer) host_.wheel().cancel(wake_);
 }
 
 void DnsResolver::resolve(const std::string& raw_name, Callback cb) {
@@ -118,6 +125,7 @@ void DnsResolver::resolve(const std::string& raw_name, Callback cb) {
   if (next_txid_ == 0) next_txid_ = 1;
   inflight.tries = 0;
   send_query(inflight);
+  sync_wheel();
 }
 
 void DnsResolver::send_query(Inflight& inflight) {
@@ -145,7 +153,30 @@ void DnsResolver::complete(const std::string& name,
   for (Callback& cb : callbacks) cb(name, addr);
 }
 
+void DnsResolver::sync_wheel() {
+  double due = std::numeric_limits<double>::infinity();
+  for (const auto& [name, inflight] : inflight_)
+    due = std::min(due, inflight.deadline);
+  next_due_ = due;
+  time::TimerWheel& wheel = host_.wheel();
+  if (!std::isfinite(due)) {
+    if (wake_ != time::kNoTimer) {
+      wheel.cancel(wake_);
+      wake_ = time::kNoTimer;
+    }
+    return;
+  }
+  if (wake_ != time::kNoTimer && wheel.deadline_of(wake_) == due) return;
+  if (wake_ != time::kNoTimer) wheel.cancel(wake_);
+  wake_ = wheel.arm(due, time::TimerClass::kLiveness, [] {});
+}
+
 void DnsResolver::poll() {
+  // Nothing arrived and nothing is due: skip the drain and the scan.
+  if (host_.now() < next_due_ &&
+      host_.sockets().pending_datagrams(socket_) == 0)
+    return;
+
   // Responses.
   while (auto dgram = host_.sockets().read_datagram(socket_)) {
     const auto response = decode(dgram->payload);
@@ -221,6 +252,7 @@ void DnsResolver::poll() {
     send_query(inflight);
     ++it;
   }
+  sync_wheel();
 }
 
 }  // namespace ldlp::dns

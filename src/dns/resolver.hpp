@@ -21,6 +21,7 @@
 
 #include "dns/dns_msg.hpp"
 #include "stack/host.hpp"
+#include "time/timer_wheel.hpp"
 
 namespace ldlp::dns {
 
@@ -102,12 +103,16 @@ class DnsResolver {
   };
 
   DnsResolver(stack::Host& host, Config config);
+  ~DnsResolver();
 
   /// Start (or satisfy from cache) a lookup; the callback fires when an
   /// answer, NXDOMAIN (nullopt), or retry exhaustion (nullopt) arrives.
   void resolve(const std::string& name, Callback cb);
 
-  /// Drain responses and fire timers. Call after host.pump().
+  /// Drain responses and fire timers. Call after host.pump(). The
+  /// resolver keeps one wakeup timer on the host's wheel armed at its
+  /// earliest retry deadline, so an idle poll (no responses pending, no
+  /// deadline due) returns without scanning the inflight table.
   void poll();
 
   [[nodiscard]] const ResolverStats& stats() const noexcept { return stats_; }
@@ -141,10 +146,17 @@ class DnsResolver {
   void send_query(Inflight& inflight);
   void complete(const std::string& name, std::optional<std::uint32_t> addr,
                 double ttl_sec);
+  /// Re-arm the wakeup timer at the min inflight deadline (cancel when
+  /// none). The fire itself does nothing — the harness polls — but the
+  /// armed deadline is what lets poll() early-exit and what the timer
+  /// auditor / deadline oracle observe.
+  void sync_wheel();
 
   stack::Host& host_;
   Config cfg_;
   stack::SocketId socket_ = stack::kNoSocket;
+  time::TimerId wake_ = time::kNoTimer;
+  double next_due_ = 0.0;  ///< Cached min inflight deadline (+inf if none).
   std::uint16_t next_txid_ = 1;
   std::unordered_map<std::string, CacheEntry> cache_;
   std::unordered_map<std::string, Inflight> inflight_;

@@ -20,6 +20,10 @@ const char* fault_kind_name(FaultKind kind) noexcept {
     case FaultKind::kPartition: return "partition";
     case FaultKind::kLinkFlap: return "link-flap";
     case FaultKind::kHostRestart: return "host-restart";
+    case FaultKind::kClockSkew: return "clock-skew";
+    case FaultKind::kClockDrift: return "clock-drift";
+    case FaultKind::kClockStall: return "clock-stall";
+    case FaultKind::kTimerStorm: return "timer-storm";
   }
   return "?";
 }
@@ -112,6 +116,23 @@ void parameterize(Episode& e, Rng& rng, double horizon_sec, double duration) {
         // One crash at episode start; the host stays dark until the end.
         e.end = e.start + std::min(duration, horizon_sec * 0.15);
         break;
+      case FaultKind::kClockSkew:
+        // Both directions; magnitudes big enough to matter against RTO
+        // ladders (0.5–8 s) but small against the soak horizon.
+        e.magnitude = rng.uniform(-0.4, 0.4);
+        break;
+      case FaultKind::kClockDrift:
+        e.magnitude = rng.uniform(-0.3, 0.5);  // extra sec per real sec
+        break;
+      case FaultKind::kClockStall:
+        // Kept short: every timer due during the stall fires in one
+        // recovery burst at episode end, and the convergence budget
+        // after end_time() has to absorb it.
+        e.end = e.start + std::min(duration, horizon_sec * 0.20);
+        break;
+      case FaultKind::kTimerStorm:
+        e.param = static_cast<std::uint32_t>(rng.bounded(6) + 1);
+        break;
     }
 }
 
@@ -139,8 +160,10 @@ FaultPlan FaultPlan::random_heal(std::uint64_t seed, double horizon_sec,
                                  std::size_t episodes, bool allow_restart) {
   Rng rng(seed ^ 0x4ea1b0075ULL);
   FaultPlan plan;
+  // Heal prefix only (clock kinds excluded): historical healed-soak
+  // seeds must keep their exact plans.
   const std::size_t kinds =
-      allow_restart ? kFaultKindCount : kFaultKindCount - 1;
+      allow_restart ? kHealFaultKindCount : kHealFaultKindCount - 1;
   for (std::size_t i = 0; i < episodes; ++i) {
     Episode e;
     if (i == 0) {
@@ -152,6 +175,24 @@ FaultPlan FaultPlan::random_heal(std::uint64_t seed, double horizon_sec,
     } else {
       e.kind = static_cast<FaultKind>(rng.bounded(kinds));
     }
+    const double duration = horizon_sec * rng.uniform(0.10, 0.30);
+    e.start = rng.uniform(0.0, horizon_sec - duration);
+    e.end = e.start + duration;
+    parameterize(e, rng, horizon_sec, duration);
+    plan.add(e);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random_clocks(std::uint64_t seed, double horizon_sec,
+                                   std::size_t episodes) {
+  Rng rng(seed ^ 0xc10cfa017ULL);
+  FaultPlan plan;
+  const std::size_t clock_kinds = kFaultKindCount - kHealFaultKindCount;
+  for (std::size_t i = 0; i < episodes; ++i) {
+    Episode e;
+    e.kind = static_cast<FaultKind>(kHealFaultKindCount +
+                                    rng.bounded(clock_kinds));
     const double duration = horizon_sec * rng.uniform(0.10, 0.30);
     e.start = rng.uniform(0.0, horizon_sec - duration);
     e.end = e.start + duration;

@@ -41,15 +41,32 @@ enum class FaultKind : std::uint8_t {
                     ///< sockets, ARP, reassembly, device ring) is wiped
                     ///< at episode start and the host is dark — dropping
                     ///< all frames — until the episode ends.
+  kClockSkew,       ///< Host virtual clock offset by `magnitude` seconds
+                    ///< while active (negative skew holds the clock
+                    ///< still; it never runs backwards).
+  kClockDrift,      ///< Host virtual clock accrues `magnitude` extra
+                    ///< seconds per real second; the offset persists
+                    ///< after the episode ends.
+  kClockStall,      ///< Host virtual clock frozen for the episode; at
+                    ///< the end it snaps forward and every timer that
+                    ///< came due during the freeze fires in one burst.
+  kTimerStorm,      ///< Spurious timer wakeups: up to `param` not-yet-
+                    ///< due timers fire early per host tick while
+                    ///< active (time::TimerWheel shedding applies).
 };
 
-inline constexpr std::size_t kFaultKindCount = 11;
+inline constexpr std::size_t kFaultKindCount = 15;
 
 /// Kinds the original (pre-recovery) chaos soaks draw from. Keeping the
 /// legacy random() sampler on this prefix preserves every historical
 /// (seed → plan) mapping; the recovery kinds only enter plans through
 /// random_heal() or explicit episodes.
 inline constexpr std::size_t kLegacyFaultKindCount = 8;
+
+/// Prefix random_heal() draws from (frame + healing kinds). The clock
+/// kinds past it only enter plans through random_clocks() or explicit
+/// episodes, so every healed-soak seed keeps its historical plan too.
+inline constexpr std::size_t kHealFaultKindCount = 11;
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
 
@@ -127,6 +144,15 @@ class FaultPlan {
                                              double horizon_sec,
                                              std::size_t episodes = 6,
                                              bool allow_restart = true);
+
+  /// Clock adversity for one host: `episodes` windows drawn over
+  /// [0, horizon_sec) from the clock kinds only (skew/drift/stall/
+  /// timer-storm). Combined per-host with the frame/topology kinds by
+  /// the `clocks` soak scenario; kept out of random()/random_heal() so
+  /// historical seeds keep their exact plans.
+  [[nodiscard]] static FaultPlan random_clocks(std::uint64_t seed,
+                                               double horizon_sec,
+                                               std::size_t episodes = 3);
 
   [[nodiscard]] const std::vector<Episode>& episodes() const noexcept {
     return episodes_;

@@ -275,13 +275,16 @@ void Fabric::tick_round() {
   const double t = events_.now();
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
     stack::Host& host = *hosts_[i];
-    // Idle-tick coalescing: a host with nothing in its RX rings skips up
-    // to stride-1 rounds. Skipping is pure in (ring state, skip run), so
-    // runs stay deterministic; advance_to on the next real tick snaps
-    // the host clock across the gap, bounding timer lateness to
-    // stride * host_tick_sec. Stride 1 reproduces the old sweep exactly.
-    if (cfg_.idle_tick_stride > 1 && host.device().rx_pending() == 0 &&
-        idle_rounds_[i] + 1 < cfg_.idle_tick_stride) {
+    // Event-driven idle coalescing: skip a host with an empty RX ring
+    // whose wheel has nothing due before the next round. The margin is
+    // measured on the host's *virtual* clock while the gap is real
+    // (fabric) time; without clock faults they advance in lockstep, and
+    // with them the one-tick slack plus the skip cap keeps any lateness
+    // inside the skew the fault itself already inflicts.
+    if (cfg_.idle_skip_cap > 0 && host.device().rx_pending() == 0 &&
+        idle_rounds_[i] < cfg_.idle_skip_cap &&
+        host.wheel().next_deadline() - host.now() >
+            (t - host.real_now()) + cfg_.host_tick_sec) {
       ++idle_rounds_[i];
       ++suppressed_ticks_;
       continue;

@@ -96,14 +96,19 @@ struct FabricConfig {
   /// floor is ~2 ticks; 1 ms keeps TCP honest without drowning the run.
   double host_tick_sec = 1e-3;
   std::uint64_t fault_seed = 1;  ///< Drives domain loss-burst draws.
-  /// Idle-host tick coalescing: a host whose RX rings are empty skips up
-  /// to stride-1 consecutive tick rounds (its clock then snaps forward
-  /// across the gap, so timers fire at most stride*tick late — a bounded,
-  /// deterministic lateness). A host with frames pending always ticks.
-  /// 1 = every host every round, the historical behavior bit for bit.
-  /// Large overlay fleets are mostly idle between gossip bursts; stride 4
-  /// cuts the per-round advance+pump sweep to the hosts that have work.
-  std::uint32_t idle_tick_stride = 1;
+  /// Event-driven idle ticks: a host whose RX rings are empty and whose
+  /// timer wheel has nothing due before the *next* round skips this one
+  /// — its clock snaps forward on the next real tick, and because the
+  /// skip consulted the wheel, no armed timer fires late. This replaces
+  /// the blind `idle_tick_stride` heuristic of PR 9: the stride skipped
+  /// a fixed count and accepted stride*tick timer lateness; the wheel
+  /// margin makes the skip exact. The cap bounds how stale a fully
+  /// quiescent host's clock may get (clock-fault episodes are evaluated
+  /// at tick time, so an unbounded skip run could overshoot an episode
+  /// boundary by the whole run). 0 = tick every host every round, the
+  /// historical sweep bit for bit. The decision is pure in (ring state,
+  /// wheel state, clocks), so runs stay deterministic for any --jobs.
+  std::uint32_t idle_skip_cap = 16;
 };
 
 class Fabric {
@@ -172,8 +177,9 @@ class Fabric {
 
   [[nodiscard]] FabricTotals totals() const noexcept;
 
-  /// Host tick rounds skipped by idle-tick coalescing (the suppressed
-  /// timer work the net.* counters expose; 0 when idle_tick_stride <= 1).
+  /// Host tick rounds skipped by wheel-driven idle coalescing (the
+  /// suppressed timer work the net.* counters expose; 0 when
+  /// idle_skip_cap == 0).
   [[nodiscard]] std::uint64_t suppressed_ticks() const noexcept {
     return suppressed_ticks_;
   }

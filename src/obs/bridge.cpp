@@ -178,6 +178,18 @@ void publish_host(Registry& registry, stack::Host& host,
   set_counter(registry, join(p, "udp.rx_bad"), us.rx_bad);
   set_counter(registry, join(p, "udp.rx_no_port"), us.rx_no_port);
   set_counter(registry, join(p, "udp.tx"), us.tx);
+
+  const time::WheelStats& ws = host.wheel().stats();
+  set_counter(registry, join(p, "time.arms"), ws.arms);
+  set_counter(registry, join(p, "time.fires"), ws.fires);
+  set_counter(registry, join(p, "time.cancels"), ws.cancels);
+  set_counter(registry, join(p, "time.spurious_fires"), ws.spurious_fires);
+  set_counter(registry, join(p, "time.shed"), ws.shed);
+  set_counter(registry, join(p, "time.cascades"), ws.cascades);
+  registry.gauge(join(p, "time.armed"))
+      .set(static_cast<double>(host.wheel().armed_count()));
+  registry.gauge(join(p, "time.max_armed"))
+      .set(static_cast<double>(ws.max_armed));
 }
 
 void publish_fabric(Registry& registry, const net::Fabric& fabric,
@@ -193,6 +205,31 @@ void publish_fabric(Registry& registry, const net::Fabric& fabric,
       .set(static_cast<double>(totals.in_flight));
   registry.gauge(join(prefix, "conservation_residual"))
       .set(static_cast<double>(fabric.conservation_residual()));
+  // Fleet-summed timer-wheel work: how much firing the fabric's hosts did
+  // and how much the idle skip avoided (pairs with suppressed_ticks).
+  time::WheelStats wheel_totals;
+  std::size_t armed = 0;
+  for (std::size_t i = 0; i < fabric.host_count(); ++i) {
+    const time::WheelStats& s =
+        fabric.host(static_cast<net::HostId>(i)).wheel().stats();
+    wheel_totals.arms += s.arms;
+    wheel_totals.fires += s.fires;
+    wheel_totals.cancels += s.cancels;
+    wheel_totals.spurious_fires += s.spurious_fires;
+    wheel_totals.shed += s.shed;
+    wheel_totals.cascades += s.cascades;
+    armed += fabric.host(static_cast<net::HostId>(i)).wheel().armed_count();
+  }
+  set_counter(registry, join(prefix, "time.arms"), wheel_totals.arms);
+  set_counter(registry, join(prefix, "time.fires"), wheel_totals.fires);
+  set_counter(registry, join(prefix, "time.cancels"), wheel_totals.cancels);
+  set_counter(registry, join(prefix, "time.spurious_fires"),
+              wheel_totals.spurious_fires);
+  set_counter(registry, join(prefix, "time.shed"), wheel_totals.shed);
+  set_counter(registry, join(prefix, "time.cascades"),
+              wheel_totals.cascades);
+  registry.gauge(join(prefix, "time.armed"))
+      .set(static_cast<double>(armed));
   for (net::LinkId id = 0; id < fabric.link_count(); ++id) {
     const std::string base = join(prefix, "link" + std::to_string(id));
     for (int dir = 0; dir < 2; ++dir) {

@@ -6,10 +6,12 @@
 #include "check/broadcast.hpp"
 #include "check/invariants.hpp"
 #include "check/overlay_audit.hpp"
+#include "check/timer_audit.hpp"
 #include "common/histogram.hpp"
 #include "fault/injector.hpp"
 #include "net/fabric.hpp"
 #include "net/topology.hpp"
+#include "recover/deadline_oracle.hpp"
 #include "recover/overlay_convergence.hpp"
 
 namespace ldlp::overlay {
@@ -39,7 +41,7 @@ GossipSimResult run_gossip_sim(const check::Schedule& schedule,
   net::FabricConfig fabric_cfg;
   fabric_cfg.host_tick_sec = config.host_tick_sec;
   fabric_cfg.fault_seed = schedule.seed * 2 + 1;
-  fabric_cfg.idle_tick_stride = config.idle_tick_stride;
+  fabric_cfg.idle_skip_cap = config.idle_skip_cap;
   net::Fabric fabric(fabric_cfg);
 
   net::FatTreeConfig topo;
@@ -53,6 +55,11 @@ GossipSimResult run_gossip_sim(const check::Schedule& schedule,
   topo.proto.pool_clusters = 96;
   topo.proto.mode = core::SchedMode::kLdlp;
   const std::vector<net::HostId> hosts = net::build_fat_tree(fabric, topo);
+  // Wheel configuration (including the shed_guard mutation knob) must
+  // land before the first arm — the overlay endpoints arm their wakeup
+  // timers from their constructors.
+  for (const net::HostId id : hosts)
+    fabric.host(id).wheel().config() = config.wheel;
 
   // Fault wiring: the "fabric" spec is the topology-scoped plan, "h<i>"
   // specs are per-host churn injectors (restarts, device-scope noise).
@@ -89,6 +96,19 @@ GossipSimResult run_gossip_sim(const check::Schedule& schedule,
   for (const net::HostId id : hosts) {
     auditors.push_back(std::make_unique<check::HostAuditor>(fabric.host(id)));
     auditors.back()->install();
+  }
+
+  // Timer oracles (the `clocks` scenario): TimerAuditor per host plus
+  // one DeadlineOracle observing every wheel.
+  std::vector<std::unique_ptr<check::TimerAuditor>> timer_auditors;
+  recover::DeadlineOracle deadlines;
+  if (config.timer_oracles) {
+    timer_auditors.reserve(hosts.size());
+    for (const net::HostId id : hosts) {
+      timer_auditors.push_back(
+          std::make_unique<check::TimerAuditor>(fabric.host(id)));
+      deadlines.attach(fabric.host(id));
+    }
   }
 
   // The overlay fleet. Node i's identity is its IPv4; its bootstrap
@@ -128,6 +148,10 @@ GossipSimResult run_gossip_sim(const check::Schedule& schedule,
     }
     views_auditor.audit(views, now);
     conv.on_pass(views);
+    if (config.timer_oracles) {
+      for (const auto& ta : timer_auditors) ta->run();
+      deadlines.on_pass();
+    }
   });
 
   // Phase 1+2 are interleaved: joins stagger across join_window_sec while
@@ -326,6 +350,34 @@ GossipSimResult run_gossip_sim(const check::Schedule& schedule,
   r.sim_time_sec = fabric.now();
   if (r.pass && r.broadcasts == 0)
     r.fail("no broadcasts issued (storm never started)");
+
+  // Timer judgement last: destroy the endpoints first so their wakeup
+  // timers cancel — after that, anything still armed beyond the PCB/ARP
+  // consolidated timers is a leak the final audit flags.
+  if (config.timer_oracles) {
+    nodes.clear();
+    for (const auto& ta : timer_auditors) {
+      ta->final_audit();
+      for (const std::string& v : ta->violations()) {
+        r.fail("timer auditor: " + v);
+        r.violations.push_back("timer: " + v);
+      }
+    }
+    deadlines.finalize();
+    deadlines.detach();
+    for (const std::string& v : deadlines.violations()) {
+      r.fail("deadline oracle: " + v);
+      r.violations.push_back("deadline: " + v);
+    }
+  }
+  for (const net::HostId id : hosts) {
+    const time::WheelStats& ws = fabric.host(id).wheel().stats();
+    r.timer_arms += ws.arms;
+    r.timer_fires += ws.fires;
+    r.timer_cancels += ws.cancels;
+    r.timer_spurious += ws.spurious_fires;
+    r.timer_shed += ws.shed;
+  }
   return r;
 }
 

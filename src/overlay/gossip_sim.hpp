@@ -33,6 +33,7 @@
 
 #include "check/schedule.hpp"
 #include "overlay/overlay.hpp"
+#include "time/timer_wheel.hpp"
 
 namespace ldlp::overlay {
 
@@ -41,15 +42,28 @@ struct GossipSimConfig {
   std::size_t hosts_per_rack = 8;
   std::size_t spines = 2;
   double host_tick_sec = 5e-3;
-  /// Idle-host tick coalescing (FabricConfig::idle_tick_stride): gossip
+  /// Idle-host tick coalescing (FabricConfig::idle_skip_cap): gossip
   /// fleets are mostly idle between bursts, and 64 hosts need the
-  /// headroom to fit the soak budget.
-  std::uint32_t idle_tick_stride = 4;
+  /// headroom to fit the soak budget. The skip is wheel-driven — a host
+  /// only coalesces rounds its timer wheel proves are dead time.
+  std::uint32_t idle_skip_cap = 16;
   double join_window_sec = 0.6;   ///< Joins staggered across this window.
   double fault_horizon_sec = 2.0; ///< Matches the schedule's plan horizon.
   std::size_t storm_broadcasts = 40;
   std::size_t payload_bytes = 32;
   OverlayConfig overlay{};
+  /// Per-host wheel configuration, applied to every host before any
+  /// timer arms. The `clocks` scenario's mutation knob lives here:
+  /// shed_guard=false re-introduces stale-timer shedding, the bug class
+  /// the DeadlineOracle exists to catch.
+  time::WheelConfig wheel{};
+  /// Attach the timer oracles: a check::TimerAuditor per host (monotone
+  /// clocks, rtx-armed-iff-in-flight wheel-side, no leaked timers after
+  /// teardown) and one recover::DeadlineOracle over every wheel (armed
+  /// timers fire or cancel; shedding never eats a liveness timer). The
+  /// `clocks` scenario turns this on; the plain gossip soak leaves the
+  /// wheels unobserved.
+  bool timer_oracles = false;
   /// Abort predicate polled inside the drain loops (the soak wires its
   /// per-seed wall-clock deadline here). Null = never.
   std::function<bool()> deadline;
@@ -70,6 +84,14 @@ struct GossipSimResult {
   std::uint64_t repairs_done = 0;
   std::uint64_t probes_suppressed = 0;
   std::uint64_t suppressed_ticks = 0;
+
+  // Fleet-summed timer-wheel evidence (always collected; judged only
+  // when GossipSimConfig::timer_oracles is set).
+  std::uint64_t timer_arms = 0;
+  std::uint64_t timer_fires = 0;
+  std::uint64_t timer_cancels = 0;
+  std::uint64_t timer_spurious = 0;  ///< Storm-induced early fires.
+  std::uint64_t timer_shed = 0;      ///< Dropped timers + excess storm demand.
   /// Payload receptions per useful delivery — 1.0 is a perfect tree;
   /// the gap above 1.0 is relay redundancy (duplicates PlumTree prunes).
   double relay_redundancy = 0.0;

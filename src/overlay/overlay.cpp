@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
+#include <limits>
 
 #include "common/byteorder.hpp"
 
@@ -45,9 +47,67 @@ OverlayNode::OverlayNode(stack::Host& host, NodeId self,
   shuffle_at_ = cfg_.membership.shuffle_interval_sec * rng_.uniform(0.5, 1.5);
   digest_at_ = cfg_.plumtree.digest_interval_sec * rng_.uniform(0.5, 1.5);
   host_.set_restart_hook([this] { on_restart(); });
+  sync_wheel();
 }
 
-OverlayNode::~OverlayNode() { host_.set_restart_hook(nullptr); }
+OverlayNode::~OverlayNode() {
+  host_.set_restart_hook(nullptr);
+  if (wake_ != time::kNoTimer) host_.wheel().cancel(wake_);
+}
+
+std::pair<double, time::TimerClass> OverlayNode::next_deadline()
+    const noexcept {
+  double due = std::numeric_limits<double>::infinity();
+  time::TimerClass cls = time::TimerClass::kCadence;
+  const auto consider = [&](double d, time::TimerClass c) {
+    if (d < due) {
+      due = d;
+      cls = c;
+    }
+  };
+  if (joining_) consider(join_at_, time::TimerClass::kLiveness);
+  if (pending_neighbor_ != kNoNode)
+    consider(neighbor_sent_ + 2.0 * cfg_.membership.probe_timeout_sec,
+             time::TimerClass::kLiveness);
+  for (const Peer& p : peers_) {
+    // Mirrors fire_membership_timers: an outstanding probe is waiting on
+    // its backoff, otherwise the next scheduled check is probe_due.
+    const double d =
+        p.probe_sent > 0.0 ? p.probe_sent + p.probe_backoff : p.probe_due;
+    consider(d, time::TimerClass::kLiveness);
+  }
+  for (const Missing& m : missing_)
+    consider(m.graft_at, time::TimerClass::kLiveness);
+  consider(shuffle_at_, time::TimerClass::kCadence);
+  consider(digest_at_, time::TimerClass::kCadence);
+  return {due, cls};
+}
+
+void OverlayNode::sync_wheel() {
+  const auto [due, cls] = next_deadline();
+  next_due_ = due;
+  time::TimerWheel& wheel = host_.wheel();
+  if (!std::isfinite(due)) {
+    if (wake_ != time::kNoTimer) {
+      wheel.cancel(wake_);
+      wake_ = time::kNoTimer;
+      wake_due_ = due;
+    }
+    return;
+  }
+  if (wake_ != time::kNoTimer && wake_due_ == due) return;
+  if (wake_ != time::kNoTimer) wheel.cancel(wake_);
+  // Deadlines are decided in fabric time, but a host can only set its
+  // alarm "this far from now" on its own (possibly skewed, drifting or
+  // stalled) clock — so the wheel holds the virtual-clock translation.
+  // Under kClockStall the translated deadline is stranded where the
+  // wheel froze, and the snap ending the stall fires it late: exactly
+  // the stall-recovery burst the shed guard must survive (and the
+  // `clocks` mutation check exploits).
+  const double left = due - clock_ref_;
+  wake_ = wheel.arm(wheel.now() + (left > 0.0 ? left : 0.0), cls, [] {});
+  wake_due_ = due;
+}
 
 // ---------------------------------------------------------------------------
 // Membership: views
@@ -194,6 +254,8 @@ void OverlayNode::join(NodeId contact, double now_sec) {
   joining_ = true;
   join_at_ = now_sec;
   join_backoff_ = cfg_.membership.join_retry_sec;
+  clock_ref_ = now_sec;
+  sync_wheel();  // join_at_ may be earlier than the armed wakeup
 }
 
 void OverlayNode::fire_membership_timers(double now_sec) {
@@ -808,12 +870,21 @@ void OverlayNode::handle(const stack::Datagram& dgram, double now_sec) {
 }
 
 void OverlayNode::poll(double now_sec) {
+  // Idle fast path: nothing received, nothing due, nothing queued. A poll
+  // the legacy scan would have treated as a pure no-op (no sends, no rng
+  // draws, no state changes) returns here, so behavior — and every rng
+  // stream — is bit-identical with the scanning version.
+  if (now_sec < next_due_ && lazy_queue_.empty() &&
+      host_.sockets().pending_datagrams(sock_) == 0)
+    return;
+  clock_ref_ = now_sec;
   while (auto dgram = host_.sockets().read_datagram(sock_))
     handle(*dgram, now_sec);
   fire_membership_timers(now_sec);
   fire_graft_timers(now_sec);
   send_digests(now_sec);
   flush_ihave(now_sec);
+  sync_wheel();
 }
 
 // ---------------------------------------------------------------------------
@@ -845,6 +916,7 @@ void OverlayNode::on_restart() {
     join_at_ = now + cfg_.membership.join_retry_sec * rng_.uniform(0.1, 0.5);
     join_backoff_ = cfg_.membership.join_retry_sec;
   }
+  sync_wheel();  // the restart wiped every deadline the wakeup tracked
 }
 
 void OverlayNode::fill_view(check::OverlayView& out) const {

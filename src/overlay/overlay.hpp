@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <span>
 #include <string_view>
 #include <unordered_map>
@@ -43,6 +44,7 @@
 #include "common/rng.hpp"
 #include "obs/metrics.hpp"
 #include "stack/host.hpp"
+#include "time/timer_wheel.hpp"
 
 namespace ldlp::overlay {
 
@@ -177,6 +179,10 @@ class OverlayNode {
   }
 
   /// Drain the UDP socket and fire timers. Drive once per fabric tick.
+  /// The node keeps one consolidated wakeup timer on the host's wheel
+  /// armed at its earliest protocol deadline (join retry, probe, graft,
+  /// shuffle, digest), so an idle poll — nothing received, nothing due,
+  /// no IHAVEs queued — returns without scanning any protocol state.
   void poll(double now_sec);
 
   /// Quiesce switch: while muted the node still drains and processes its
@@ -263,11 +269,28 @@ class OverlayNode {
 
   void on_restart();
 
+  // -- wheel wakeup -------------------------------------------------------
+  /// Earliest pending protocol deadline (+inf when fully idle) and its
+  /// class: probe / join / graft retries are liveness (they drive repair),
+  /// shuffle / digest cadence is not.
+  [[nodiscard]] std::pair<double, time::TimerClass> next_deadline()
+      const noexcept;
+  /// Re-arm the consolidated wakeup timer at next_deadline(). The fire is
+  /// a no-op — the fabric pass hook polls — but the armed deadline gates
+  /// the poll early-exit and is what the timer oracles observe.
+  void sync_wheel();
+
   stack::Host& host_;
   NodeId self_;
   OverlayConfig cfg_;
   Rng rng_;
   stack::SocketId sock_ = stack::kNoSocket;
+  time::TimerId wake_ = time::kNoTimer;
+  double next_due_ = 0.0;  ///< Cached next_deadline() (+inf when idle).
+  /// Fabric-time deadline the wakeup was armed for (dedup key; the wheel
+  /// itself holds the virtual-clock translation, see sync_wheel()).
+  double wake_due_ = std::numeric_limits<double>::infinity();
+  double clock_ref_ = 0.0;  ///< Fabric time of the last poll/join.
 
   std::vector<Peer> peers_;      ///< Active view (order = insertion).
   std::vector<NodeId> passive_;  ///< Passive view.

@@ -1,6 +1,8 @@
 #include "rpc/fanout.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <utility>
@@ -279,6 +281,26 @@ FanoutClient::FanoutClient(stack::Host& host,
   } else {
     tcp_legs_.resize(servers_.size());
   }
+  next_due_ = std::numeric_limits<double>::infinity();
+}
+
+FanoutClient::~FanoutClient() {
+  if (wake_ != time::kNoTimer) host_.wheel().cancel(wake_);
+}
+
+void FanoutClient::arm_wake(double due) {
+  next_due_ = due;
+  time::TimerWheel& wheel = host_.wheel();
+  if (!std::isfinite(due)) {
+    if (wake_ != time::kNoTimer) {
+      wheel.cancel(wake_);
+      wake_ = time::kNoTimer;
+    }
+    return;
+  }
+  if (wake_ != time::kNoTimer && wheel.deadline_of(wake_) == due) return;
+  if (wake_ != time::kNoTimer) wheel.cancel(wake_);
+  wake_ = wheel.arm(due, time::TimerClass::kLiveness, [] {});
 }
 
 void FanoutClient::connect_all() {
@@ -338,6 +360,8 @@ void FanoutClient::start(double arrival_sec, double now_sec) {
   Request& stored = requests_.back();
   for (std::size_t i = 0; i < servers_.size(); ++i)
     send_leg(stored, i, now_sec);
+  if (cfg_.transport == FanoutTransport::kUdp)
+    arm_wake(std::min(next_due_, now_sec + cfg_.rto_initial_sec));
 }
 
 void FanoutClient::complete(Request& request, double now_sec) {
@@ -367,6 +391,11 @@ void FanoutClient::on_reply(std::size_t leg, const RpcReply& reply,
 
 void FanoutClient::poll(double now_sec) {
   if (cfg_.transport == FanoutTransport::kUdp) {
+    // Nothing arrived and no leg RTO is due: skip the drain and the
+    // outstanding-request scan (the wakeup timer bounds the wait).
+    if (now_sec < next_due_ &&
+        host_.sockets().pending_datagrams(sock_) == 0)
+      return;
     // Drain replies; the sender's address picks the leg. This tick's
     // replies are one receive batch on the client CPU — with a 64-wide
     // fan-out the reply incast is exactly the small-message backlog the
@@ -395,17 +424,23 @@ void FanoutClient::poll(double now_sec) {
     }
     // Retransmit legs whose RTO expired, with capped doubling. This is
     // the client-owned reliability of RPC-over-UDP — and the mechanism
-    // that turns one lost frame into a tail-latency spike.
+    // that turns one lost frame into a tail-latency spike. The same scan
+    // re-derives the earliest pending RTO for the wakeup timer.
+    double due = std::numeric_limits<double>::infinity();
     for (Request& request : requests_) {
       if (request.remaining == 0) continue;
       for (std::size_t i = 0; i < request.legs.size(); ++i) {
         Leg& leg = request.legs[i];
-        if (leg.done || now_sec - leg.last_tx < leg.rto) continue;
-        leg.rto = std::min(leg.rto * 2.0, cfg_.rto_max_sec);
-        send_leg(request, i, now_sec);
-        ++stats_.retransmits;
+        if (leg.done) continue;
+        if (now_sec - leg.last_tx >= leg.rto) {
+          leg.rto = std::min(leg.rto * 2.0, cfg_.rto_max_sec);
+          send_leg(request, i, now_sec);
+          ++stats_.retransmits;
+        }
+        due = std::min(due, leg.last_tx + leg.rto);
       }
     }
+    arm_wake(due);
     return;
   }
   bool first = true;

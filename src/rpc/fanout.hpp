@@ -45,6 +45,7 @@
 #include "obs/metrics.hpp"
 #include "rpc/rpc_msg.hpp"
 #include "stack/host.hpp"
+#include "time/timer_wheel.hpp"
 
 namespace ldlp::rpc {
 
@@ -191,6 +192,7 @@ class FanoutClient {
   /// `latency` must outlive the client; `server_ips[i]` is leg i.
   FanoutClient(stack::Host& host, std::vector<std::uint32_t> server_ips,
                const FanoutConfig& config, obs::Histogram& latency);
+  ~FanoutClient();
 
   /// TCP transport: open one connection per server. Call once before the
   /// first start(); poll the fabric until connected() before offering
@@ -203,7 +205,10 @@ class FanoutClient {
   void start(double arrival_sec, double now_sec);
 
   /// Drain replies, complete requests whose last leg landed, retransmit
-  /// UDP legs whose RTO expired. Drive once per fabric tick round.
+  /// UDP legs whose RTO expired. Drive once per fabric tick round. The
+  /// UDP client keeps one wakeup timer on the host's wheel armed at the
+  /// earliest leg RTO, so an idle poll (no replies pending, nothing due)
+  /// returns without scanning the outstanding-request table.
   void poll(double now_sec);
 
   [[nodiscard]] std::size_t outstanding() const noexcept {
@@ -248,6 +253,10 @@ class FanoutClient {
   void send_leg(Request& request, std::size_t leg, double now_sec);
   void on_reply(std::size_t leg, const RpcReply& reply, double now_sec);
   void complete(Request& request, double now_sec);
+  /// Point the wakeup timer at `due` (+inf cancels). The fire itself is a
+  /// no-op — the workload loop polls — but the armed deadline gates the
+  /// poll early-exit and is what the timer oracles observe.
+  void arm_wake(double due);
 
   stack::Host& host_;
   std::vector<std::uint32_t> servers_;
@@ -255,6 +264,8 @@ class FanoutClient {
   ServiceQueue service_;
   obs::Histogram& latency_;
   stack::SocketId sock_ = stack::kNoSocket;  ///< UDP only.
+  time::TimerId wake_ = time::kNoTimer;      ///< UDP only.
+  double next_due_ = 0.0;  ///< Cached earliest leg RTO (+inf if none).
   std::vector<TcpLeg> tcp_legs_;             ///< TCP only, one per server.
   std::vector<Request> requests_;            ///< Indexed by xid.
   std::size_t outstanding_ = 0;

@@ -1,6 +1,7 @@
 #include "stack/arp_cache.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace ldlp::stack {
 
@@ -104,6 +105,23 @@ std::vector<std::uint32_t> ArpCache::poll_retries(double now) {
     ++it;
   }
   return due;
+}
+
+void ArpCache::arm_retry(std::uint32_t ip, double now) {
+  const auto it = pending_.find(ip);
+  if (it == pending_.end()) return;
+  PendingState& state = it->second;
+  if (state.packets.empty() || state.retry_deadline != 0.0) return;
+  state.retry_deadline = now + state.retry_gap_sec;
+}
+
+double ArpCache::next_retry_deadline() const noexcept {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [ip, state] : pending_) {
+    if (state.packets.empty() || state.retry_deadline == 0.0) continue;
+    best = std::min(best, state.retry_deadline);
+  }
+  return best;
 }
 
 std::vector<buf::Packet> ArpCache::take_pending(std::uint32_t ip) {

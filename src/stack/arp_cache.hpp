@@ -63,6 +63,15 @@ class ArpCache {
   /// resolution failure, as BSD's EHOSTDOWN, not a leak.
   [[nodiscard]] std::vector<std::uint32_t> poll_retries(double now);
 
+  /// Wheel-driven variant of the first-pass arming poll_retries does:
+  /// arm the retry deadline at park time so the owner can file it on a
+  /// timer wheel instead of scanning. Idempotent while already armed.
+  void arm_retry(std::uint32_t ip, double now);
+
+  /// Earliest armed retry deadline across parked IPs, +inf when none —
+  /// what the owning layer arms its consolidated wheel timer at.
+  [[nodiscard]] double next_retry_deadline() const noexcept;
+
   [[nodiscard]] std::size_t entries() const noexcept { return table_.size(); }
   [[nodiscard]] std::size_t pending_total() const noexcept {
     return pending_total_;

@@ -1,5 +1,7 @@
 #include "stack/eth_layer.hpp"
 
+#include <cmath>
+
 #include "common/assert.hpp"
 #include "stack/footprints.hpp"
 #include "stack/igmp.hpp"
@@ -64,6 +66,7 @@ void EthLayer::handle_arp(buf::Packet pkt) {
   for (buf::Packet& held : arp_.take_pending(arp->sender_ip)) {
     output_ip(std::move(held), arp->sender_ip);
   }
+  resync_wheel();  // the resolved IP's retry deadline is gone
 
   if (arp->op == wire::ArpOp::kRequest && arp->target_ip == my_ip_) {
     send_arp(wire::ArpOp::kReply, arp->sender_ip, arp->sender_mac);
@@ -130,6 +133,12 @@ void EthLayer::output_ip(buf::Packet datagram, std::uint32_t next_hop_ip) {
     if (arp_.should_request(next_hop_ip)) {
       send_arp(wire::ArpOp::kRequest, next_hop_ip, {});
     }
+    if (wheel_ != nullptr) {
+      // Wheel mode arms the retry deadline at park time (the legacy
+      // scan armed it one pass later — a sub-tick difference).
+      arp_.arm_retry(next_hop_ip, wheel_->now());
+      resync_wheel();
+    }
     return;
   }
   send_frame(std::move(datagram), *mac, wire::EtherType::kIpv4);
@@ -139,6 +148,25 @@ void EthLayer::on_timer(double now) {
   for (const std::uint32_t ip : arp_.poll_retries(now)) {
     send_arp(wire::ArpOp::kRequest, ip, {});
   }
+  resync_wheel();
+}
+
+void EthLayer::resync_wheel() {
+  if (wheel_ == nullptr) return;
+  const double deadline = arp_.next_retry_deadline();
+  if (!std::isfinite(deadline)) {
+    if (arp_timer_ != time::kNoTimer) {
+      wheel_->cancel(arp_timer_);
+      arp_timer_ = time::kNoTimer;
+    }
+    return;
+  }
+  if (arp_timer_ != time::kNoTimer &&
+      wheel_->deadline_of(arp_timer_) == deadline)
+    return;
+  if (arp_timer_ != time::kNoTimer) wheel_->cancel(arp_timer_);
+  arp_timer_ = wheel_->arm(deadline, time::TimerClass::kLiveness,
+                           [this] { on_timer(wheel_->now()); });
 }
 
 }  // namespace ldlp::stack

@@ -7,6 +7,7 @@
 #include "core/stack_graph.hpp"
 #include "stack/arp_cache.hpp"
 #include "stack/netdev.hpp"
+#include "time/timer_wheel.hpp"
 #include "wire/arp.hpp"
 
 namespace ldlp::stack {
@@ -34,8 +35,19 @@ class EthLayer final : public core::Layer {
   void output_ip(buf::Packet datagram, std::uint32_t next_hop_ip);
 
   /// Re-request stalled ARP resolutions (and expire hopeless ones).
-  /// Called from Host::advance with the host clock.
+  /// Wheel-attached hosts get this from the wheel; wheel-less tests may
+  /// still call it per pass with their own clock.
   void on_timer(double now);
+
+  /// Attach the host's timer wheel: ARP retries ride one consolidated
+  /// wheel timer armed at the cache's earliest retry deadline instead of
+  /// being found by a per-pass scan.
+  void set_wheel(time::TimerWheel* wheel) noexcept { wheel_ = wheel; }
+
+  /// Reconcile the consolidated retry timer with the cache — needed
+  /// after out-of-band cache surgery (Host::restart flushes the cache,
+  /// leaving the timer pointing at forgotten entries).
+  void resync_wheel();
 
   [[nodiscard]] const EthLayerStats& eth_stats() const noexcept {
     return stats_;
@@ -57,6 +69,8 @@ class EthLayer final : public core::Layer {
   NetDevice& device_;
   std::uint32_t my_ip_;
   ArpCache arp_;
+  time::TimerWheel* wheel_ = nullptr;
+  time::TimerId arp_timer_ = time::kNoTimer;
   EthLayerStats stats_;
 };
 

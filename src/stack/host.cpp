@@ -17,6 +17,8 @@ Host::Host(HostConfig config)
 
   ip_->set_clock(&now_);
   tcp_->set_clock(&now_);
+  tcp_->set_wheel(&wheel_);
+  eth_->set_wheel(&wheel_);
   igmp_ = std::make_unique<IgmpHost>(*ip_, &now_);
   ip_->set_igmp(igmp_.get());
 
@@ -48,17 +50,29 @@ void Host::restart() {
   tcp_->crash();
   sock_->crash();
   eth_->arp().flush();
+  eth_->resync_wheel();  // nothing pending → the retry timer disarms
   ip_->flush_reassembly();
   (void)dev_.clear_rx_ring();
   if (restart_hook_) restart_hook_();
 }
 
 void Host::advance(double dt_sec) {
-  now_ += dt_sec;
+  real_now_ += dt_sec;
+  // The virtual clock follows real time through any clock-fault
+  // episodes; without them the mapping is the identity bit for bit.
+  now_ = fault_ != nullptr ? vclock_.advance(real_now_, &fault_->plan())
+                           : vclock_.advance(real_now_, nullptr);
   if (fault_ != nullptr && fault_->host_restart_pending()) restart();
-  tcp_->on_timer();
+  if (fault_ != nullptr) {
+    const fault::Episode* storm =
+        fault_->plan().active(fault::FaultKind::kTimerStorm, real_now_);
+    wheel_.set_storm_level(storm != nullptr ? static_cast<int>(storm->param)
+                                            : 0);
+  }
+  // TCP and ARP timers live on the wheel now; only IGMP report jitter
+  // and reassembly TTLs (cheap, bounded scans) remain pass-driven.
+  wheel_.advance_to(now_);
   igmp_->on_timer();
-  eth_->on_timer(now_);
   ip_->expire_reassembly();
   if (fault_ != nullptr) fault_->apply_pool_pressure(pool_);
 }

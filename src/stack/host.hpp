@@ -13,6 +13,8 @@
 #include <string>
 
 #include "core/stack_graph.hpp"
+#include "time/timer_wheel.hpp"
+#include "time/virtual_clock.hpp"
 #include "stack/eth_layer.hpp"
 #include "stack/igmp.hpp"
 #include "stack/ip_layer.hpp"
@@ -55,7 +57,20 @@ class Host {
   [[nodiscard]] core::StackGraph& graph() noexcept { return graph_; }
   [[nodiscard]] buf::MbufPool& pool() noexcept { return pool_; }
 
+  /// This host's *virtual* clock — what its timers, RTOs and TTLs see.
+  /// Identical to real_now() unless clock-fault episodes are active.
   [[nodiscard]] double now() const noexcept { return now_; }
+  /// The fabric/driver clock: the sum of advance() deltas.
+  [[nodiscard]] double real_now() const noexcept { return real_now_; }
+
+  /// The host-owned hierarchical timer wheel. Every protocol timer on
+  /// this host (TCP, ARP, and any application endpoint living here)
+  /// arms through it; advance() turns it. next_deadline() is what lets
+  /// ldlp::net::Fabric skip tick rounds for quiescent hosts.
+  [[nodiscard]] time::TimerWheel& wheel() noexcept { return wheel_; }
+  [[nodiscard]] const time::TimerWheel& wheel() const noexcept {
+    return wheel_;
+  }
 
   /// Attach a fault injector to this host: its clock follows the host's,
   /// the device applies its frame-scope episodes, and advance() drives
@@ -67,10 +82,14 @@ class Host {
   void advance(double dt_sec);
 
   /// Absolute-time variant for event-engine drivers (ldlp::net::Fabric):
-  /// snap the host clock to `t_sec` (>= now) and fire timers once. The
-  /// per-host advance(dt) loops disappear — one shared
+  /// snap the host clock to `t_sec` (>= real_now) and fire timers once.
+  /// The per-host advance(dt) loops disappear — one shared
   /// eventsim::EventQueue owns time and calls this on every host tick.
-  void advance_to(double t_sec) { advance(t_sec > now_ ? t_sec - now_ : 0.0); }
+  /// `t_sec` is *real* (fabric) time; the virtual clock follows it
+  /// through any active clock-fault episodes.
+  void advance_to(double t_sec) {
+    advance(t_sec > real_now_ ? t_sec - real_now_ : 0.0);
+  }
 
   /// Crash and reboot in place: TCP PCBs, socket buffers, the ARP cache,
   /// partial reassemblies, and the device RX ring are wiped — none of
@@ -121,7 +140,10 @@ class Host {
 
  private:
   HostConfig cfg_;
-  double now_ = 0.0;
+  double now_ = 0.0;       ///< Virtual time (timer-visible).
+  double real_now_ = 0.0;  ///< Driver/fabric time (sum of advance dts).
+  time::TimerWheel wheel_;
+  time::VirtualClock vclock_;
   buf::MbufPool pool_;
   NetDevice dev_;
   std::unique_ptr<EthLayer> eth_;

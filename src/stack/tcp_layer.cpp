@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/assert.hpp"
 #include "common/byteorder.hpp"
@@ -16,6 +17,13 @@ using wire::tcpflags::kFin;
 using wire::tcpflags::kPsh;
 using wire::tcpflags::kRst;
 using wire::tcpflags::kSyn;
+
+namespace {
+/// Cadence for re-attempting a segment whose mbuf allocation failed:
+/// one wheel tick, matching the every-pass retry the legacy scan gave.
+constexpr double kPoolRetrySec = 1e-3;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
 
 TcpLayer::TcpLayer(Ip4Layer& ip, SocketLayer& sockets, TcpConfig config)
     : core::Layer("tcp"), ip_(ip), sockets_(sockets), cfg_(config) {}
@@ -33,6 +41,10 @@ const TcpPcb& TcpLayer::pcb(PcbId id) const {
 PcbId TcpLayer::alloc_pcb() {
   for (PcbId id = 0; id < pcbs_.size(); ++id) {
     if (pcbs_[id]->is_free()) {
+      // A freed slot should have synced its wheel timer away; cancel
+      // defensively so a stale callback can never fire for the tenant.
+      if (wheel_ != nullptr && pcbs_[id]->wheel_timer != time::kNoTimer)
+        wheel_->cancel(pcbs_[id]->wheel_timer);
       *pcbs_[id] = TcpPcb{};
       return id;
     }
@@ -75,6 +87,7 @@ PcbId TcpLayer::connect(std::uint32_t dst_ip, std::uint16_t dst_port) {
   p.last_rcv_time = now();
   p.socket = sockets_.create(SocketKind::kStream);
   send_segment(id, kSyn, {}, /*retransmission=*/false);
+  sync_wheel(id);
   return id;
 }
 
@@ -91,6 +104,7 @@ bool TcpLayer::send(PcbId id, std::span<const std::uint8_t> data) {
   if (send_tap_) send_tap_(id, data);
   if (p.state == TcpState::kEstablished || p.state == TcpState::kCloseWait)
     try_send_data(id);
+  sync_wheel(id);
   return true;
 }
 
@@ -117,6 +131,7 @@ void TcpLayer::close(PcbId id) {
     default:
       break;  // Already closing.
   }
+  sync_wheel(id);
 }
 
 void TcpLayer::abort(PcbId id) {
@@ -246,6 +261,9 @@ void TcpLayer::process(core::Message msg) {
   }
 
   TcpPcb& p = pcb(id);
+  // Everything below can create, shorten, or cancel a deadline on this
+  // PCB; reconcile its consolidated wheel timer on every exit path.
+  const WheelSync wheel_sync{this, id};
   ++p.stats.segs_in;
   p.last_rcv_time = now();
   p.keep_probes_sent = 0;  // any segment is proof of life
@@ -279,6 +297,7 @@ void TcpLayer::process(core::Message msg) {
     child.socket = sockets_.create(SocketKind::kStream);
     send_segment(child_id, static_cast<std::uint8_t>(kSyn | kAck), {},
                  /*retransmission=*/false);
+    sync_wheel(child_id);  // the guard tracks the listener, not the child
     return;
   }
 
@@ -736,111 +755,186 @@ void TcpLayer::reset_connection(PcbId id) {
   p.time_wait_deadline = std::numeric_limits<double>::infinity();
   p.fin_queued = false;
   p.fin_received = false;
+  sync_wheel(id);  // slot reusable: the wheel must forget it now
 }
 
 void TcpLayer::crash() {
   // No RSTs, no state transitions observable on the wire: the machine
   // simply stops existing mid-thought. Each slot is reinitialised so
-  // alloc_pcb() can hand it out fresh after the reboot.
-  for (auto& p : pcbs_) *p = TcpPcb{};
+  // alloc_pcb() can hand it out fresh after the reboot. Wheel timers are
+  // software, not protocol state — cancel them or they would fire into
+  // the wiped PCBs.
+  for (auto& p : pcbs_) {
+    if (wheel_ != nullptr && p->wheel_timer != time::kNoTimer)
+      wheel_->cancel(p->wheel_timer);
+    *p = TcpPcb{};
+  }
   last_pcb_ = kNoPcb;
 }
 
 void TcpLayer::on_timer() {
+  for (PcbId id = 0; id < pcbs_.size(); ++id) pcb_timer(id);
+}
+
+void TcpLayer::pcb_timer(PcbId id) {
   const double t = now();
-  for (PcbId id = 0; id < pcbs_.size(); ++id) {
-    TcpPcb& p = *pcbs_[id];
-    switch (p.state) {
-      case TcpState::kClosed:
-      case TcpState::kListen:
-        continue;
-      case TcpState::kTimeWait:
-        if (t >= p.time_wait_deadline) {
-          if (last_pcb_ == id) last_pcb_ = kNoPcb;
-          p.state = TcpState::kClosed;
-        }
-        continue;
-      default:
-        break;
-    }
-    if (t >= p.delack_deadline) {
-      send_ack(id);
-    }
-    // Keepalive: a peer silent past the idle threshold may be gone —
-    // crashed, or the other half of a half-open connection. Probe with a
-    // zero-length segment one byte below snd_una: a live peer must answer
-    // it with an ACK (zero-length acceptability), a restarted peer
-    // answers with a RST, and a dead one answers nothing — after
-    // `keepalive_probes` silences the connection is torn down rather
-    // than wedged forever (4.4BSD tcp_keepalive semantics).
-    if (cfg_.keepalive_idle_sec > 0.0 && p.rtx.empty() &&
-        (p.state == TcpState::kEstablished ||
-         p.state == TcpState::kCloseWait ||
-         p.state == TcpState::kFinWait2)) {
-      const double due = p.last_rcv_time + cfg_.keepalive_idle_sec +
-                         p.keep_probes_sent * cfg_.keepalive_intvl_sec;
-      if (t >= due) {
-        if (p.keep_probes_sent >= cfg_.keepalive_probes) {
-          ++stats_.keepalive_drops;
-          reset_connection(id);
-          continue;
-        }
-        ++p.keep_probes_sent;
-        ++p.stats.keepalive_probes;
-        send_segment(id, kAck, {}, /*retransmission=*/true, p.snd_una - 1);
+  TcpPcb& p = pcb(id);
+  // Every action below re-checks its own deadline, so a spurious (early)
+  // wheel fire — a timer storm — costs one pass over this PCB and
+  // nothing else. The guard re-arms the wheel at whatever deadline is
+  // earliest once the work settles.
+  const WheelSync wheel_sync{this, id};
+  switch (p.state) {
+    case TcpState::kClosed:
+    case TcpState::kListen:
+      return;
+    case TcpState::kTimeWait:
+      if (t >= p.time_wait_deadline) {
+        if (last_pcb_ == id) last_pcb_ = kNoPcb;
+        p.state = TcpState::kClosed;
       }
-    }
-    if (t >= p.persist_deadline) {
-      // Zero-window probe: force one byte past the closed window. The
-      // receiver either accepts it (and its ACK reopens the window) or
-      // dup-ACKs with the current window; either way we learn the truth.
-      // The probe byte rides the normal rtx queue, so backoff and loss
-      // recovery come for free; try_send_data re-arms if the window is
-      // still closed once the probe is ACKed.
-      p.persist_deadline = std::numeric_limits<double>::infinity();
-      if (!p.send_buffer.empty() && p.rtx.empty() &&
-          (p.state == TcpState::kEstablished ||
-           p.state == TcpState::kCloseWait)) {
-        ++p.stats.persist_probes;
-        std::vector<std::uint8_t> probe(p.send_buffer.begin(),
-                                        p.send_buffer.begin() + 1);
-        if (send_segment(id, static_cast<std::uint8_t>(kAck | kPsh),
-                         std::move(probe), /*retransmission=*/false)) {
-          p.send_buffer.pop_front();
-        } else {
-          p.persist_deadline = t + p.rto_sec;  // pool dry: retry later
-        }
-      }
-    }
-    if (!p.rtx.empty() && t >= p.rtx_deadline) {
-      ++p.retries;
-      if (p.retries > cfg_.max_retransmits) {
+      return;
+    default:
+      break;
+  }
+  if (t >= p.delack_deadline) {
+    send_ack(id);
+  }
+  // Keepalive: a peer silent past the idle threshold may be gone —
+  // crashed, or the other half of a half-open connection. Probe with a
+  // zero-length segment one byte below snd_una: a live peer must answer
+  // it with an ACK (zero-length acceptability), a restarted peer
+  // answers with a RST, and a dead one answers nothing — after
+  // `keepalive_probes` silences the connection is torn down rather
+  // than wedged forever (4.4BSD tcp_keepalive semantics).
+  if (cfg_.keepalive_idle_sec > 0.0 && p.rtx.empty() &&
+      (p.state == TcpState::kEstablished ||
+       p.state == TcpState::kCloseWait ||
+       p.state == TcpState::kFinWait2)) {
+    const double due = p.last_rcv_time + cfg_.keepalive_idle_sec +
+                       p.keep_probes_sent * cfg_.keepalive_intvl_sec;
+    if (t >= due) {
+      if (p.keep_probes_sent >= cfg_.keepalive_probes) {
+        ++stats_.keepalive_drops;
         reset_connection(id);
-        continue;
+        return;
       }
-      const RtxSegment& seg = p.rtx.front();
-      send_segment(id, seg.flags, seg.payload, /*retransmission=*/true,
-                   seg.seq);
-      p.rto_sec = std::min(p.rto_sec * 2.0, cfg_.rto_max_sec);
-      p.rtx_deadline = t + p.rto_sec;
+      ++p.keep_probes_sent;
+      ++p.stats.keepalive_probes;
+      send_segment(id, kAck, {}, /*retransmission=*/true, p.snd_una - 1);
     }
-    // Mbuf-exhaustion recovery: a segment whose allocation failed was
-    // neither sent nor queued for retransmit, so nothing is in flight to
-    // drive progress — the rtx queue is empty while the connection still
-    // owes the peer a segment. Re-attempt it each timer tick until the
-    // pool recovers (snd_nxt was never advanced, so the sequence numbers
-    // come out identical to the original attempt).
-    if (p.rtx.empty()) {
-      if (p.state == TcpState::kSynSent) {
-        send_segment(id, kSyn, {}, /*retransmission=*/false);
-      } else if (p.state == TcpState::kSynReceived) {
-        send_segment(id, static_cast<std::uint8_t>(kSyn | kAck), {},
-                     /*retransmission=*/false);
-      } else if (!p.send_buffer.empty() || p.fin_queued) {
-        try_send_data(id);
+  }
+  if (t >= p.persist_deadline) {
+    // Zero-window probe: force one byte past the closed window. The
+    // receiver either accepts it (and its ACK reopens the window) or
+    // dup-ACKs with the current window; either way we learn the truth.
+    // The probe byte rides the normal rtx queue, so backoff and loss
+    // recovery come for free; try_send_data re-arms if the window is
+    // still closed once the probe is ACKed.
+    p.persist_deadline = kInf;
+    if (!p.send_buffer.empty() && p.rtx.empty() &&
+        (p.state == TcpState::kEstablished ||
+         p.state == TcpState::kCloseWait)) {
+      ++p.stats.persist_probes;
+      std::vector<std::uint8_t> probe(p.send_buffer.begin(),
+                                      p.send_buffer.begin() + 1);
+      if (send_segment(id, static_cast<std::uint8_t>(kAck | kPsh),
+                       std::move(probe), /*retransmission=*/false)) {
+        p.send_buffer.pop_front();
+      } else {
+        p.persist_deadline = t + p.rto_sec;  // pool dry: retry later
       }
     }
   }
+  if (!p.rtx.empty() && t >= p.rtx_deadline) {
+    ++p.retries;
+    if (p.retries > cfg_.max_retransmits) {
+      reset_connection(id);
+      return;
+    }
+    const RtxSegment& seg = p.rtx.front();
+    send_segment(id, seg.flags, seg.payload, /*retransmission=*/true,
+                 seg.seq);
+    p.rto_sec = std::min(p.rto_sec * 2.0, cfg_.rto_max_sec);
+    p.rtx_deadline = t + p.rto_sec;
+  }
+  // Mbuf-exhaustion recovery: a segment whose allocation failed was
+  // neither sent nor queued for retransmit, so nothing is in flight to
+  // drive progress — the rtx queue is empty while the connection still
+  // owes the peer a segment. Re-attempt it each timer tick until the
+  // pool recovers (snd_nxt was never advanced, so the sequence numbers
+  // come out identical to the original attempt). On the wheel this rides
+  // the kPoolRetrySec deadline earliest_deadline() keeps armed.
+  if (p.rtx.empty()) {
+    if (p.state == TcpState::kSynSent) {
+      send_segment(id, kSyn, {}, /*retransmission=*/false);
+    } else if (p.state == TcpState::kSynReceived) {
+      send_segment(id, static_cast<std::uint8_t>(kSyn | kAck), {},
+                   /*retransmission=*/false);
+    } else if (!p.send_buffer.empty() || p.fin_queued) {
+      try_send_data(id);
+    }
+  }
+}
+
+std::pair<double, time::TimerClass> TcpLayer::earliest_deadline(
+    const TcpPcb& p) const {
+  double best = kInf;
+  time::TimerClass cls = time::TimerClass::kCadence;
+  const auto consider = [&](double d, time::TimerClass c) {
+    if (d < best) {
+      best = d;
+      cls = c;
+    }
+  };
+  switch (p.state) {
+    case TcpState::kClosed:
+    case TcpState::kListen:
+      return {kInf, cls};
+    case TcpState::kTimeWait:
+      return {p.time_wait_deadline, time::TimerClass::kExpiry};
+    default:
+      break;
+  }
+  consider(p.delack_deadline, time::TimerClass::kCadence);
+  if (cfg_.keepalive_idle_sec > 0.0 && p.rtx.empty() &&
+      (p.state == TcpState::kEstablished || p.state == TcpState::kCloseWait ||
+       p.state == TcpState::kFinWait2)) {
+    consider(p.last_rcv_time + cfg_.keepalive_idle_sec +
+                 p.keep_probes_sent * cfg_.keepalive_intvl_sec,
+             time::TimerClass::kLiveness);
+  }
+  consider(p.persist_deadline, time::TimerClass::kLiveness);
+  if (!p.rtx.empty()) consider(p.rtx_deadline, time::TimerClass::kLiveness);
+  // Mbuf-exhaustion recovery cadence: the PCB owes the peer a segment it
+  // could not allocate; keep a short-fuse liveness timer burning until
+  // the pool recovers (mirrors pcb_timer's recovery block, which also
+  // covers the zero-window stall where try_send_data is a cheap no-op).
+  if (p.rtx.empty() &&
+      (p.state == TcpState::kSynSent || p.state == TcpState::kSynReceived ||
+       !p.send_buffer.empty() || p.fin_queued)) {
+    consider(now() + kPoolRetrySec, time::TimerClass::kLiveness);
+  }
+  return {best, cls};
+}
+
+void TcpLayer::sync_wheel(PcbId id) {
+  if (wheel_ == nullptr) return;
+  TcpPcb& p = pcb(id);
+  const auto [deadline, cls] = earliest_deadline(p);
+  if (!std::isfinite(deadline)) {
+    if (p.wheel_timer != time::kNoTimer) {
+      wheel_->cancel(p.wheel_timer);
+      p.wheel_timer = time::kNoTimer;
+    }
+    return;
+  }
+  // Unchanged earliest deadline: the armed timer is already right.
+  if (p.wheel_timer != time::kNoTimer &&
+      wheel_->deadline_of(p.wheel_timer) == deadline)
+    return;
+  if (p.wheel_timer != time::kNoTimer) wheel_->cancel(p.wheel_timer);
+  p.wheel_timer = wheel_->arm(deadline, cls, [this, id] { pcb_timer(id); });
 }
 
 }  // namespace ldlp::stack

@@ -12,6 +12,7 @@
 #include "stack/ip_layer.hpp"
 #include "stack/socket_layer.hpp"
 #include "stack/tcp_pcb.hpp"
+#include "time/timer_wheel.hpp"
 
 namespace ldlp::stack {
 
@@ -39,6 +40,13 @@ class TcpLayer final : public core::Layer {
 
   void set_clock(const double* now_sec) noexcept { now_sec_ = now_sec; }
 
+  /// Attach the host's timer wheel: every PCB keeps one consolidated
+  /// wheel timer armed at its earliest pending deadline, and the wheel
+  /// drives per-PCB timer work instead of a per-pass scan over every
+  /// PCB. Without a wheel (standalone tests) on_timer() keeps the old
+  /// scan semantics.
+  void set_wheel(time::TimerWheel* wheel) noexcept { wheel_ = wheel; }
+
   /// Passive open. Connections accepted on this port get fresh PCBs and
   /// sockets; `on_accept` (if set) fires when they reach ESTABLISHED.
   [[nodiscard]] PcbId listen(std::uint16_t port);
@@ -64,13 +72,24 @@ class TcpLayer final : public core::Layer {
   /// survive; they describe the machine, not the incarnation.
   void crash();
 
-  /// Drive retransmit / delayed-ACK / TIME_WAIT timers.
+  /// Drive retransmit / delayed-ACK / TIME_WAIT timers for every PCB
+  /// (legacy per-pass scan; wheel-attached hosts get the same work per
+  /// PCB from wheel fires instead). Safe to call in either mode.
   void on_timer();
+
+  /// One PCB's timer work: TIME_WAIT expiry, delayed ACK, keepalive,
+  /// persist probe, retransmit, mbuf-exhaustion re-attempt. This is the
+  /// wheel-fire handler; early (spurious) wakeups are tolerated — each
+  /// action re-checks its own deadline. Re-syncs the wheel at the end.
+  void pcb_timer(PcbId id);
 
   /// Send an immediate window-update ACK (what 4.4BSD's soreceive triggers
   /// after the application drains the socket buffer — the "exit" phase ACK
   /// of the paper's Table 2).
-  void ack_now(PcbId id) { send_ack(id); }
+  void ack_now(PcbId id) {
+    send_ack(id);     // clears any pending delayed ACK…
+    sync_wheel(id);   // …so the wheel can stand down with it
+  }
 
   [[nodiscard]] TcpState state(PcbId id) const;
   [[nodiscard]] SocketId socket_of(PcbId id) const;
@@ -120,6 +139,22 @@ class TcpLayer final : public core::Layer {
                 std::uint32_t seq, std::uint32_t ack, bool with_ack);
   void enter_established(PcbId id);
   void enter_time_wait(PcbId id);
+  /// Earliest pending deadline of `p` (+inf if none) and its class.
+  [[nodiscard]] std::pair<double, time::TimerClass> earliest_deadline(
+      const TcpPcb& p) const;
+  /// Reconcile the PCB's consolidated wheel timer with its deadline
+  /// fields: cancel/arm so exactly the earliest pending deadline is
+  /// armed. No-op without a wheel. Called from every entry point that
+  /// can create or shorten a deadline.
+  void sync_wheel(PcbId id);
+  /// RAII: sync_wheel on every exit path of process().
+  struct WheelSync {
+    TcpLayer* layer;
+    PcbId id;
+    ~WheelSync() {
+      if (layer != nullptr && id != kNoPcb) layer->sync_wheel(id);
+    }
+  };
   /// Disarm rtx/delayed-ACK deadlines and reset backoff bookkeeping.
   static void cancel_timers(TcpPcb& p) noexcept;
   void reset_connection(PcbId id);
@@ -136,6 +171,7 @@ class TcpLayer final : public core::Layer {
   SocketLayer& sockets_;
   TcpConfig cfg_;
   const double* now_sec_ = nullptr;
+  time::TimerWheel* wheel_ = nullptr;
   std::vector<std::unique_ptr<TcpPcb>> pcbs_;
   PcbId last_pcb_ = kNoPcb;  ///< Single-entry PCB cache.
   std::uint16_t next_ephemeral_ = 49152;

@@ -137,6 +137,13 @@ struct TcpPcb {
   double last_rcv_time = 0.0;          ///< Clock at the last segment heard.
   std::uint32_t keep_probes_sent = 0;  ///< Unanswered keepalive probes.
 
+  /// Consolidated time::TimerWheel handle (time::TimerId; kept as a raw
+  /// integer so this header stays dependency-free): armed at the PCB's
+  /// earliest pending deadline, 0 when nothing is pending. Owned by
+  /// TcpLayer::sync_wheel; check::TimerAuditor asserts it agrees with
+  /// the deadline fields above.
+  std::uint64_t wheel_timer = 0;
+
   TcpPcbStats stats;
 
   [[nodiscard]] bool is_free() const noexcept {

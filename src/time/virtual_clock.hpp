@@ -1,0 +1,79 @@
+// VirtualClock: a per-host monotone virtual clock under clock faults.
+//
+// stack::Host keeps two clocks: the fabric's real time (what the shared
+// eventsim::EventQueue advances) and this host's *virtual* time — what
+// its own timers, RTO ladders and TTLs see. Without clock-fault episodes
+// the two are bit-identical, so every historical run reproduces exactly.
+// With them, the mapping real→virtual is a pure function of the fault
+// plan, piecewise per advance:
+//
+//   kClockSkew   while active, the virtual clock runs offset by
+//                `magnitude` seconds (negative skew holds the clock
+//                still until real time catches up — monotonicity is
+//                never sacrificed to an episode).
+//   kClockDrift  the virtual clock accrues `magnitude` extra seconds
+//                per real second for the duration; the accumulated
+//                offset persists after the episode (drift is not healed
+//                by the episode ending, only by skew in the other
+//                direction).
+//   kClockStall  the virtual clock freezes for the episode and snaps
+//                forward monotonically when it ends — the burst of
+//                suddenly-due timers that follows is exactly the stall-
+//                recovery load the TimerWheel's shed guard exists for.
+//
+// Episode windows are evaluated against *real* time (a stalled clock
+// must still observe its own stall ending).
+#pragma once
+
+#include "fault/fault_plan.hpp"
+
+namespace ldlp::time {
+
+class VirtualClock {
+ public:
+  /// Map the next real-time instant to virtual time. `real_now` must be
+  /// non-decreasing across calls. Pass the owning host's fault plan (or
+  /// nullptr for the identity mapping).
+  double advance(double real_now, const fault::FaultPlan* plan) {
+    double virt = real_now;
+    if (plan != nullptr && !plan->empty()) {
+      // Drift accrues over the elapsed slice, episode-intersected.
+      for (const fault::Episode& e : plan->episodes()) {
+        if (e.kind != fault::FaultKind::kClockDrift) continue;
+        const double lo = last_real_ > e.start ? last_real_ : e.start;
+        const double hi = real_now < e.end ? real_now : e.end;
+        if (hi > lo) drift_offset_ += e.magnitude * (hi - lo);
+      }
+      double offset = drift_offset_;
+      for (const fault::Episode& e : plan->episodes()) {
+        if (e.kind == fault::FaultKind::kClockSkew && e.active_at(real_now))
+          offset += e.magnitude;
+      }
+      virt = real_now + offset;
+      stalled_ = plan->active(fault::FaultKind::kClockStall, real_now) !=
+                 nullptr;
+      if (stalled_) virt = last_virtual_;  // frozen
+    } else {
+      stalled_ = false;
+    }
+    if (virt < last_virtual_) virt = last_virtual_;  // always monotone
+    last_real_ = real_now;
+    last_virtual_ = virt;
+    return virt;
+  }
+
+  [[nodiscard]] bool stalled() const noexcept { return stalled_; }
+  [[nodiscard]] double virtual_now() const noexcept { return last_virtual_; }
+  /// Cumulative virtual-minus-real displacement (oracle bound input).
+  [[nodiscard]] double displacement() const noexcept {
+    return last_virtual_ - last_real_;
+  }
+
+ private:
+  double last_real_ = 0.0;
+  double last_virtual_ = 0.0;
+  double drift_offset_ = 0.0;
+  bool stalled_ = false;
+};
+
+}  // namespace ldlp::time

@@ -1,0 +1,139 @@
+// Extension figure: batching vs pipelining vs both (ROADMAP item 2).
+//
+// The paper's LDLP runs the whole receive path on one core and batches
+// messages per layer so the layer code is fetched once per batch. FlexTOE
+// makes the opposite bet: split the path into micro-stages, give each
+// stage its own core (and so its own private primary caches), and
+// pipeline messages through with per-stage hand-off. This figure runs the
+// staged receive path (parse -> steer -> proto -> socket) under all three
+// schedules on the simulated paper machine, across offered load from a
+// self-similar arrival process, and reports the metrics the argument
+// turns on: i-miss/msg, d-miss/msg, p50/p99 latency, achieved batch.
+//
+// What it shows (and gate_pipeline pins):
+//  * i-miss/msg — the staged path's four code bodies (~16.5 KB) cannot
+//    share one 8 KB i-cache, so LDLP refetches them every batch; batching
+//    divides that cost by the achieved batch as load grows. Pipelined
+//    stages keep their code resident and sit near zero at every load.
+//  * d-miss/msg — the zero-copy hand-off means the same message buffer is
+//    touched by every stage: one d-cache under LDLP (it stays resident
+//    across stages within a batch), four private d-caches when pipelined
+//    (≈4x the message-line fetches). Batching's win, mirrored.
+//  * latency — one LDLP core saturates first (it does all four stages'
+//    work); the pipeline spreads it over four cores at the price of
+//    per-message activations, which the hybrid amortises back.
+//
+// --jobs=N fans the mode x load grid over a par::WorkerPool into
+// cell-indexed slots; output is bit-identical for every N.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "par/worker_pool.hpp"
+#include "pipe/stage_engine.hpp"
+#include "traffic/self_similar.hpp"
+#include "traffic/size_models.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ldlp;
+  benchutil::Flags flags(argc, argv);
+  const std::uint64_t seed = flags.u64("seed", 0x5eed);
+  const std::uint64_t jobs = flags.u64("jobs", 1);
+  const double duration = static_cast<double>(flags.u64("duration_sec", 2));
+  const std::uint64_t batch = flags.u64("batch", 8);
+
+  benchutil::BenchReport report("fig_pipeline", flags);
+  report.config_u64("seed", seed);
+  report.config_u64("batch", batch);
+
+  // The last point sits past the single LDLP core's saturation (~21 k/s)
+  // and near the pipeline's bottleneck stage, where the hybrid's batched
+  // activations buy back the headroom per-message hand-off spends.
+  const std::vector<double> loads = {4000.0, 12000.0, 20000.0, 48000.0};
+  const pipe::RxMode modes[] = {pipe::RxMode::kLdlp, pipe::RxMode::kPipelined,
+                                pipe::RxMode::kHybrid};
+
+  // One self-similar trace per load point, shared by the three modes so
+  // they answer for the identical arrival sample.
+  std::vector<std::vector<traffic::PacketArrival>> traces(loads.size());
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    traffic::SelfSimilarConfig tc;
+    tc.mean_rate_per_sec = loads[li];
+    tc.duration_sec = duration;
+    auto sizes = traffic::internet552_sizes();
+    traces[li] = traffic::generate_self_similar_trace(tc, *sizes, seed + li);
+  }
+
+  std::vector<pipe::StageEngineResult> results(3 * loads.size());
+  par::WorkerPool pool(static_cast<std::size_t>(jobs));
+  pool.run(results.size(), [&](std::size_t cell, par::WorkerContext&) {
+    const std::size_t mi = cell / loads.size();
+    const std::size_t li = cell % loads.size();
+    pipe::StageEngineConfig cfg;
+    cfg.mode = modes[mi];
+    cfg.batch_limit = static_cast<std::uint32_t>(batch);
+    results[cell] = pipe::StageEngine(cfg).run(traces[li]);
+  });
+
+  for (std::size_t mi = 0; mi < 3; ++mi) {
+    const char* mode = pipe::rx_mode_name(modes[mi]);
+    benchutil::heading(
+        (std::string("Staged rx path, mode = ") + mode).c_str());
+    std::printf("%8s | %7s %7s | %6s | %11s %11s %11s | %6s\n", "load/s",
+                "i/msg", "d/msg", "batch", "p50 lat", "p99 lat", "mean lat",
+                "drop%");
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+      const pipe::StageEngineResult& r = results[mi * loads.size() + li];
+      const double drop_pct =
+          r.offered != 0
+              ? 100.0 * static_cast<double>(r.dropped) /
+                    static_cast<double>(r.offered)
+              : 0.0;
+      std::printf("%8.0f | %7.2f %7.2f | %6.2f | %11s %11s %11s | %5.2f%%\n",
+                  loads[li], r.i_miss_per_msg, r.d_miss_per_msg, r.mean_batch,
+                  benchutil::fmt_latency(r.p50_latency_sec).c_str(),
+                  benchutil::fmt_latency(r.p99_latency_sec).c_str(),
+                  benchutil::fmt_latency(r.mean_latency_sec).c_str(),
+                  drop_pct);
+      const std::string key =
+          std::string(mode) + "@" + std::to_string(
+                                        static_cast<std::uint64_t>(loads[li]));
+      report.metric("i_miss_per_msg." + key, r.i_miss_per_msg);
+      report.metric("d_miss_per_msg." + key, r.d_miss_per_msg);
+      report.metric("p50_latency_sec." + key, r.p50_latency_sec);
+      report.metric("p99_latency_sec." + key, r.p99_latency_sec);
+      report.metric("mean_batch." + key, r.mean_batch);
+      report.metric("drop_frac." + key, drop_pct / 100.0);
+    }
+  }
+
+  // Per-stage attribution at the middle load, pipelined mode: where the
+  // misses live when every stage has its own cache pair.
+  {
+    const pipe::StageEngineResult& r = results[1 * loads.size() + 1];
+    benchutil::heading("Per-stage attribution (pipelined, middle load)");
+    std::printf("%8s | %9s %9s | %10s %11s\n", "stage", "i-miss", "d-miss",
+                "msgs", "busy cyc");
+    for (std::size_t s = 0; s < pipe::kStageCount; ++s) {
+      const pipe::StageBreakdown& sb = r.stages[s];
+      std::printf("%8s | %9llu %9llu | %10llu %11llu\n",
+                  pipe::stage_name(static_cast<pipe::Stage>(s)),
+                  static_cast<unsigned long long>(sb.i_misses),
+                  static_cast<unsigned long long>(sb.d_misses),
+                  static_cast<unsigned long long>(sb.messages),
+                  static_cast<unsigned long long>(sb.busy_cycles));
+    }
+  }
+
+  std::printf(
+      "\nReading: pipelining keeps each stage's code resident in its own\n"
+      "i-cache (i/msg ~ 0 at every load) but touches every message in four\n"
+      "private d-caches (~4x d/msg) and pays a per-message activation;\n"
+      "LDLP's one core refetches all the stage code each batch — a cost\n"
+      "that falls as load fills the batches — keeps the message in one\n"
+      "d-cache, and saturates first. The hybrid pipelines per-stage\n"
+      "batches: pipeline headroom with batched activation costs.\n");
+  report.write();
+  return 0;
+}

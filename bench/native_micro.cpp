@@ -13,6 +13,7 @@
 
 #include "buf/packet.hpp"
 #include "buf/packet_queue.hpp"
+#include "pipe/pipeline.hpp"
 #include "signal/node.hpp"
 #include "stack/host.hpp"
 #include "time/timer_wheel.hpp"
@@ -43,6 +44,16 @@ void BM_CksumUnrolled(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_CksumUnrolled)->Arg(64)->Arg(552)->Arg(1460);
+
+void BM_CksumWide(benchmark::State& state) {
+  std::vector<std::uint8_t> data(state.range(0), 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::cksum_wide(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CksumWide)->Arg(64)->Arg(552)->Arg(1460);
 
 void BM_MbufPrependAdj(benchmark::State& state) {
   buf::MbufPool pool(256, 64);
@@ -178,6 +189,74 @@ void BM_TcpSegmentLdlp(benchmark::State& state) {
   tcp_segment_walk(state, core::SchedMode::kLdlp);
 }
 BENCHMARK(BM_TcpSegmentLdlp);
+
+/// The staged receive path (parse -> steer -> proto -> socket) on real
+/// frames: one iteration is a 16-datagram UDP burst carried tx -> wire ->
+/// StagedRx -> socket under one scheduling mode. `state.range(0)` toggles
+/// PipelineConfig::prefetch, so each mode reports the next-frame-header
+/// prefetch hint's effect on the native stage loop.
+void staged_rx_burst(benchmark::State& state, pipe::RxMode mode) {
+  stack::HostConfig ca;
+  ca.name = "tx";
+  ca.mac = {2, 0, 0, 0, 0, 1};
+  ca.ip = wire::ip_from_parts(10, 0, 0, 1);
+  stack::HostConfig cb;
+  cb.name = "rx";
+  cb.mac = {2, 0, 0, 0, 0, 2};
+  cb.ip = wire::ip_from_parts(10, 0, 0, 2);
+  cb.mode = core::SchedMode::kLdlp;  // StagedRx schedules the graph itself.
+  stack::Host tx(ca);
+  stack::Host rx(cb);
+  stack::NetDevice::connect(tx.device(), rx.device());
+
+  pipe::PipelineConfig pc;
+  pc.mode = mode;
+  pc.lanes = 2;
+  pc.batch_limit = 8;
+  pc.prefetch = state.range(0) != 0;
+  pipe::StagedRx staged(rx, pc);
+
+  const stack::SocketId sock = rx.sockets().create(stack::SocketKind::kDatagram);
+  if (!rx.udp().bind(9000, sock)) {
+    state.SkipWithError("bind failed");
+    return;
+  }
+  std::vector<std::uint8_t> payload(256, 0x7e);
+  // First send parks behind ARP; settle the request/reply exchange.
+  tx.udp().send(9001, cb.ip, 9000, payload);
+  for (int i = 0; i < 6; ++i) {
+    tx.pump();
+    (void)staged.pump();
+  }
+  while (rx.sockets().read_datagram(sock).has_value()) {
+  }
+
+  for (auto _ : state) {
+    for (int i = 0; i < kQueueBurst; ++i)
+      tx.udp().send(9001, cb.ip, 9000, payload);
+    tx.pump();
+    benchmark::DoNotOptimize(staged.pump());
+    while (rx.sockets().read_datagram(sock).has_value()) {
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kQueueBurst);
+}
+
+void BM_StagedRxLdlp(benchmark::State& state) {
+  staged_rx_burst(state, pipe::RxMode::kLdlp);
+}
+BENCHMARK(BM_StagedRxLdlp)->Arg(0)->Arg(1);
+
+void BM_StagedRxPipelined(benchmark::State& state) {
+  staged_rx_burst(state, pipe::RxMode::kPipelined);
+}
+BENCHMARK(BM_StagedRxPipelined)->Arg(0)->Arg(1);
+
+void BM_StagedRxHybrid(benchmark::State& state) {
+  staged_rx_burst(state, pipe::RxMode::kHybrid);
+}
+BENCHMARK(BM_StagedRxHybrid)->Arg(0)->Arg(1);
 
 /// TCP connection churn: the paper counts "TCP's connection control
 /// messages" among its small-message workloads. One full connect/close

@@ -30,6 +30,7 @@
 #include "obs/bench_result.hpp"
 #include "overlay/gossip_sim.hpp"
 #include "par/shard_engine.hpp"
+#include "pipe/stage_engine.hpp"
 #include "recover/partition_heal.hpp"
 #include "rpc/fanout.hpp"
 #include "sim/cpu_model.hpp"
@@ -37,6 +38,8 @@
 #include "synth/sweep.hpp"
 #include "time/timer_wheel.hpp"
 #include "trace/working_set.hpp"
+#include "traffic/self_similar.hpp"
+#include "traffic/size_models.hpp"
 
 namespace ldlp::regress {
 
@@ -456,6 +459,48 @@ inline obs::BenchResult gate_timer_wheel() {
   return result;
 }
 
+/// The batching-vs-pipelining separation (fig_pipeline, ROADMAP item 2),
+/// pinned on a short deterministic trace near LDLP saturation: LDLP pays
+/// i-misses per batch (the four stage bodies overflow one 8 KB i-cache)
+/// where the pipelined stages keep their code resident, and the pipeline
+/// pays around twice the d-misses at this load (the same zero-copy
+/// message buffer is pulled into four private d-caches). Both
+/// separations must hold; the full load sweep (and the hybrid's win past
+/// the pipeline's saturation point) lives in fig_pipeline.
+inline obs::BenchResult gate_pipeline() {
+  obs::BenchResult result;
+  result.name = "gate_pipeline";
+  result.tolerance = 0.05;
+
+  traffic::SelfSimilarConfig tc;
+  tc.mean_rate_per_sec = 18000.0;
+  tc.duration_sec = 0.5;
+  const auto sizes = traffic::internet552_sizes();
+  const auto trace = traffic::generate_self_similar_trace(tc, *sizes, 0x919e);
+
+  const pipe::RxMode modes[] = {pipe::RxMode::kLdlp, pipe::RxMode::kPipelined,
+                                pipe::RxMode::kHybrid};
+  pipe::StageEngineResult runs[3];
+  for (std::size_t mi = 0; mi < 3; ++mi) {
+    pipe::StageEngineConfig cfg;
+    cfg.mode = modes[mi];
+    cfg.batch_limit = 8;
+    runs[mi] = pipe::StageEngine(cfg).run(trace);
+    const std::string key = pipe::rx_mode_name(modes[mi]);
+    result.set_metric("i_miss_per_msg." + key, runs[mi].i_miss_per_msg);
+    result.set_metric("d_miss_per_msg." + key, runs[mi].d_miss_per_msg);
+    result.set_metric("p99_latency_usec." + key,
+                      runs[mi].p99_latency_sec * 1e6);
+    result.set_metric("mean_batch." + key, runs[mi].mean_batch);
+  }
+  // The two-sided separation the figure's argument turns on.
+  result.set_metric("i_miss_ldlp_minus_pipelined",
+                    runs[0].i_miss_per_msg - runs[1].i_miss_per_msg);
+  result.set_metric("d_miss_pipelined_over_ldlp",
+                    runs[1].d_miss_per_msg / runs[0].d_miss_per_msg);
+  return result;
+}
+
 struct GateCase {
   const char* name;
   obs::BenchResult (*run)();
@@ -472,6 +517,7 @@ inline std::vector<GateCase> suite() {
       {"gate_gossip_soak", &gate_gossip_soak},
       {"gate_tail_rpc", &gate_tail_rpc},
       {"gate_timer_wheel", &gate_timer_wheel},
+      {"gate_pipeline", &gate_pipeline},
   };
 }
 

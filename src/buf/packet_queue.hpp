@@ -57,6 +57,11 @@ class PacketQueue {
     return Packet(*head->pool(), head);
   }
 
+  /// Head of the intrusive ring without transferring ownership — audits
+  /// walk the queued chains via Mbuf::nextpkt while the queue still owns
+  /// them (the mbuf-ownership invariant of check::HostAuditor).
+  [[nodiscard]] const Mbuf* peek_head() const noexcept { return head_; }
+
   [[nodiscard]] bool empty() const noexcept { return head_ == nullptr; }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return max_packets_; }

@@ -20,6 +20,8 @@ void HostAuditor::run() {
   audit_tcp();
   audit_reassembly();
   audit_arp();
+  for (const auto& audit : extra_audits_)
+    for (const std::string& what : audit()) violation(what);
 }
 
 void HostAuditor::audit_tcp() {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -38,8 +39,18 @@ class HostAuditor {
   void install();
 
   /// One audit sweep over TCP PCBs, the IP reassembly table and the ARP
-  /// cache. Safe to call directly (tests do) as well as from the hook.
+  /// cache, plus every registered extra audit. Safe to call directly
+  /// (tests do) as well as from the hook.
   void run();
+
+  /// Register a subsystem-supplied audit: it returns the violations it
+  /// found this sweep (empty = clean) and runs on every run(). This is how
+  /// structures the auditor cannot know about — the ldlp::pipe stage
+  /// queues and their mbuf-ownership invariant — join the per-pass sweep
+  /// without a check -> pipe dependency.
+  void add_audit(std::function<std::vector<std::string>()> audit) {
+    extra_audits_.push_back(std::move(audit));
+  }
 
   [[nodiscard]] bool ok() const noexcept { return violations_.empty(); }
   [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
@@ -70,6 +81,7 @@ class HostAuditor {
 
   stack::Host& host_;
   std::string label_;
+  std::vector<std::function<std::vector<std::string>()>> extra_audits_;
   std::map<std::uint32_t, PcbTrack> tracks_;
   std::vector<std::string> violations_;
   AuditorStats stats_;

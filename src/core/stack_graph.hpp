@@ -81,6 +81,16 @@ class StackGraph {
   /// where inject() already did the work.
   std::size_t run();
 
+  /// One pipeline sweep: every layer with queued work processes only the
+  /// messages present when the sweep started (bottom-up, at most
+  /// batch_limit at the entry snapshot), so a message advances exactly one
+  /// layer per pass instead of running to the top. This is the hybrid
+  /// stage schedule of ldlp::pipe — per-stage batches with per-stage
+  /// hand-off — and it shares all queue/routing code with run(). Returns
+  /// messages processed this pass; callers loop until 0 (or interleave
+  /// passes across stages). No-op in conventional mode.
+  std::size_t run_stage_pass();
+
   [[nodiscard]] Layer& layer(LayerId id) { return *layers_.at(id); }
   [[nodiscard]] const Layer& layer(LayerId id) const {
     return *layers_.at(id);

@@ -77,43 +77,48 @@ void Host::advance(double dt_sec) {
   if (fault_ != nullptr) fault_->apply_pool_pressure(pool_);
 }
 
+buf::Packet Host::pull_frame(std::size_t queue) {
+  if (dev_.rx_pending(queue) == 0) return {};
+  // Device interrupt path: vector through the interrupt glue, copy the
+  // frame out of device memory into a fresh mbuf chain.
+  trace_fn(Fn::kXentInt);
+  trace_fn(Fn::kInterrupt);
+  trace_fn(Fn::kPalSwpIpl);
+  trace_fn(Fn::kAsicIntr);
+  trace_fn(Fn::kTcIoIntr);
+  trace_fn(Fn::kLeIntr);
+  trace_fn(Fn::kCopyFromBufGap2);
+  trace_fn(Fn::kCopyFromBufGap16);
+  trace_fn(Fn::kMalloc);
+  trace_rgn(Rgn::kDevConfigRo);
+  trace_rgn(Rgn::kDevRingMut);
+  trace_rgn(Rgn::kBufFreelistMut);
+  trace_rgn(Rgn::kBufBucketsRo, 0.5);
+
+  buf::Packet frame = dev_.receive_queue(queue);
+  if (frame) trace_pkt(trace::RefKind::kWrite, frame.length());
+  return frame;  // empty: pool exhausted, frame stays in device memory
+}
+
+void Host::inject_rx(buf::Packet frame) {
+  // Post-interrupt softirq dispatch.
+  trace_fn(Fn::kDoSir);
+  trace_fn(Fn::kSpl0);
+  trace_fn(Fn::kRei);
+  graph_.inject(eth_id_, core::Message(std::move(frame), now_));
+}
+
 std::size_t Host::pump_queue(std::size_t queue, std::size_t max_frames) {
   std::size_t handled = 0;
-  bool any = false;
   while (handled < max_frames && dev_.rx_pending(queue) > 0) {
-    // Device interrupt path: vector through the interrupt glue, copy the
-    // frame out of device memory into a fresh mbuf chain.
-    trace_fn(Fn::kXentInt);
-    trace_fn(Fn::kInterrupt);
-    trace_fn(Fn::kPalSwpIpl);
-    trace_fn(Fn::kAsicIntr);
-    trace_fn(Fn::kTcIoIntr);
-    trace_fn(Fn::kLeIntr);
-    trace_fn(Fn::kCopyFromBufGap2);
-    trace_fn(Fn::kCopyFromBufGap16);
-    trace_fn(Fn::kMalloc);
-    trace_rgn(Rgn::kDevConfigRo);
-    trace_rgn(Rgn::kDevRingMut);
-    trace_rgn(Rgn::kBufFreelistMut);
-    trace_rgn(Rgn::kBufBucketsRo, 0.5);
-
-    buf::Packet frame = dev_.receive_queue(queue);
+    buf::Packet frame = pull_frame(queue);
     if (!frame) break;  // pool exhausted; leave frames in device memory
-    trace_pkt(trace::RefKind::kWrite, frame.length());
-
-    // Post-interrupt softirq dispatch.
-    trace_fn(Fn::kDoSir);
-    trace_fn(Fn::kSpl0);
-    trace_fn(Fn::kRei);
-
-    core::Message msg(std::move(frame), now_);
-    graph_.inject(eth_id_, std::move(msg));
+    inject_rx(std::move(frame));
     ++handled;
-    any = true;
   }
   // Per-shard LDLP pass: this queue's backlog runs through the layers as
   // one batch before the next shard is touched.
-  if (any && cfg_.mode == core::SchedMode::kLdlp) graph_.run();
+  if (handled > 0 && cfg_.mode == core::SchedMode::kLdlp) graph_.run();
   return handled;
 }
 

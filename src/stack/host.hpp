@@ -117,6 +117,20 @@ class Host {
   /// last shard of a pass.
   std::size_t pump_queue(std::size_t queue, std::size_t max_frames = SIZE_MAX);
 
+  /// The device-interrupt half of the pump, alone: vector through the
+  /// interrupt glue and copy the next frame of RX `queue` out of device
+  /// memory into a fresh mbuf chain. Empty when the queue is idle or the
+  /// pool is exhausted (frames then stay in device memory). ldlp::pipe
+  /// uses this as the intake of its parse stage; pump_queue() is exactly
+  /// pull_frame + inject_rx in a loop.
+  [[nodiscard]] buf::Packet pull_frame(std::size_t queue);
+
+  /// The softirq half: hand one pulled frame to the stack's entry layer.
+  /// Conventional mode processes it through the whole stack here; LDLP
+  /// mode enqueues it and the caller decides the schedule — graph().run()
+  /// for a layer-blocked batch, run_stage_pass() for a pipeline stage.
+  void inject_rx(buf::Packet frame);
+
   /// Fire the post-pass hook (invariant auditors) if any is attached.
   void run_post_pass() {
     if (post_pass_hook_) post_pass_hook_();

@@ -1,6 +1,22 @@
 #include "wire/checksum.hpp"
 
+#include <bit>
+#include <cstring>
+
 #include "common/assert.hpp"
+
+// Feature macro: LDLP_CKSUM_NO_SIMD forces the scalar-wide fallback even
+// where the ISA has vector bytes-sum support (used to benchmark the
+// fallback and to rule the SIMD path out when chasing a miscompare).
+#if !defined(LDLP_CKSUM_NO_SIMD) && defined(__SSE2__)
+#define LDLP_CKSUM_SIMD 1
+#include <emmintrin.h>
+#elif !defined(LDLP_CKSUM_NO_SIMD) && defined(__ARM_NEON)
+#define LDLP_CKSUM_SIMD 2
+#include <arm_neon.h>
+#else
+#define LDLP_CKSUM_SIMD 0
+#endif
 
 namespace ldlp::wire {
 
@@ -75,6 +91,107 @@ namespace {
   return sum;
 }
 
+/// Wide loop. The sum of big-endian 16-bit words over [p, p+len) equals
+///   256 * (sum of bytes at even offsets) + (sum of bytes at odd offsets)
+/// including a trailing odd byte, which sits at an even offset and is
+/// specified to count as the high-order half. Byte sums have no
+/// carry/order structure, so they vectorise freely; the weighting is
+/// applied once at the end.
+[[nodiscard]] std::uint64_t sum_wide(const std::uint8_t* p,
+                                     std::size_t len) noexcept {
+  std::uint64_t even = 0;  // bytes at offsets 0, 2, 4, ...
+  std::uint64_t odd = 0;   // bytes at offsets 1, 3, 5, ...
+  std::size_t n = len;
+#if LDLP_CKSUM_SIMD == 1
+  // SSE2: split each 16-byte chunk into its even/odd byte lanes (mask and
+  // shift within 16-bit lanes — loads are little-endian, so lane low bytes
+  // are the even offsets), then _mm_sad_epu8 horizontally sums 8 bytes at
+  // a time into the 64-bit accumulators. Two chunks per iteration.
+  const __m128i lo_mask = _mm_set1_epi16(0x00ff);
+  const __m128i zero = _mm_setzero_si128();
+  __m128i acc_even = zero;
+  __m128i acc_odd = zero;
+  while (n >= 32) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16));
+    acc_even = _mm_add_epi64(acc_even,
+                             _mm_sad_epu8(_mm_and_si128(a, lo_mask), zero));
+    acc_even = _mm_add_epi64(acc_even,
+                             _mm_sad_epu8(_mm_and_si128(b, lo_mask), zero));
+    acc_odd =
+        _mm_add_epi64(acc_odd, _mm_sad_epu8(_mm_srli_epi16(a, 8), zero));
+    acc_odd =
+        _mm_add_epi64(acc_odd, _mm_sad_epu8(_mm_srli_epi16(b, 8), zero));
+    p += 32;
+    n -= 32;
+  }
+  if (n >= 16) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    acc_even = _mm_add_epi64(acc_even,
+                             _mm_sad_epu8(_mm_and_si128(a, lo_mask), zero));
+    acc_odd =
+        _mm_add_epi64(acc_odd, _mm_sad_epu8(_mm_srli_epi16(a, 8), zero));
+    p += 16;
+    n -= 16;
+  }
+  even += static_cast<std::uint64_t>(_mm_cvtsi128_si64(acc_even)) +
+          static_cast<std::uint64_t>(
+              _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc_even, acc_even)));
+  odd += static_cast<std::uint64_t>(_mm_cvtsi128_si64(acc_odd)) +
+         static_cast<std::uint64_t>(
+             _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc_odd, acc_odd)));
+#elif LDLP_CKSUM_SIMD == 2
+  // NEON: same even/odd split; vpadalq widens-and-accumulates byte sums.
+  uint64x2_t acc_even = vdupq_n_u64(0);
+  uint64x2_t acc_odd = vdupq_n_u64(0);
+  while (n >= 16) {
+    const uint8x16_t a = vld1q_u8(p);
+    const uint16x8_t lanes = vreinterpretq_u16_u8(a);
+    const uint16x8_t ev = vandq_u16(lanes, vdupq_n_u16(0x00ff));
+    const uint16x8_t od = vshrq_n_u16(lanes, 8);
+    acc_even = vpadalq_u32(acc_even, vpaddlq_u16(ev));
+    acc_odd = vpadalq_u32(acc_odd, vpaddlq_u16(od));
+    p += 16;
+    n -= 16;
+  }
+  even += vgetq_lane_u64(acc_even, 0) + vgetq_lane_u64(acc_even, 1);
+  odd += vgetq_lane_u64(acc_odd, 0) + vgetq_lane_u64(acc_odd, 1);
+#else
+  // Scalar-wide fallback: 16 bytes (two 64-bit loads) per stride. Masking
+  // with 0x00ff.. leaves four byte values in 16-bit lanes; multiplying by
+  // 0x0001000100010001 and taking the top lane horizontally adds them
+  // (lane sums peak at 4*255, far below the 16-bit lane width). The mask
+  // picks even buffer offsets only on a little-endian load.
+  if constexpr (std::endian::native == std::endian::little) {
+    constexpr std::uint64_t kLoBytes = 0x00ff00ff00ff00ffULL;
+    constexpr std::uint64_t kHadd = 0x0001000100010001ULL;
+    while (n >= 16) {
+      std::uint64_t a;
+      std::uint64_t b;
+      std::memcpy(&a, p, 8);
+      std::memcpy(&b, p + 8, 8);
+      even += ((a & kLoBytes) * kHadd) >> 48;
+      even += ((b & kLoBytes) * kHadd) >> 48;
+      odd += (((a >> 8) & kLoBytes) * kHadd) >> 48;
+      odd += (((b >> 8) & kLoBytes) * kHadd) >> 48;
+      p += 16;
+      n -= 16;
+    }
+  }
+#endif
+  while (n >= 2) {
+    even += p[0];
+    odd += p[1];
+    p += 2;
+    n -= 2;
+  }
+  if (n != 0) even += p[0];
+  return (even << 8) + odd;
+}
+
 }  // namespace
 
 void CksumAccumulator::add(std::span<const std::uint8_t> data,
@@ -89,7 +206,7 @@ void CksumAccumulator::add(std::span<const std::uint8_t> data,
     --len;
     offset_odd = false;
   }
-  sum += simple ? sum_simple(p, len) : sum_unrolled(p, len);
+  sum += simple ? sum_simple(p, len) : sum_wide(p, len);
   if (len % 2 != 0) {
     // sum_* already added the trailing byte as high-order; remember the
     // parity so the next segment's first byte lands low-order.
@@ -109,6 +226,12 @@ std::uint16_t cksum_unrolled(std::span<const std::uint8_t> data) noexcept {
   return static_cast<std::uint16_t>(
       ~fold(sum_unrolled(data.data(), data.size())));
 }
+
+std::uint16_t cksum_wide(std::span<const std::uint8_t> data) noexcept {
+  return static_cast<std::uint16_t>(~fold(sum_wide(data.data(), data.size())));
+}
+
+bool cksum_simd_enabled() noexcept { return LDLP_CKSUM_SIMD != 0; }
 
 std::uint16_t cksum_packet(const buf::Packet& pkt, std::uint32_t off,
                            std::uint32_t len, bool simple) noexcept {

@@ -10,6 +10,14 @@
 // wins for messages up to ~900 bytes because it fetches far fewer
 // instruction lines.
 //
+// cksum_wide: the modern fast path — the one's-complement sum of
+// big-endian words equals 256·Σ(even-offset bytes) + Σ(odd-offset bytes),
+// so the inner loop reduces to two byte sums that vectorise: SSE2/NEON
+// under LDLP_CKSUM_SIMD (on by default where the ISA guarantees it), with
+// a 16-byte-stride scalar-wide fallback that needs only 64-bit loads and
+// a multiply-horizontal-add. Bitwise-identical results to the other two;
+// this is what the stack's own in_cksum path (CksumAccumulator) runs.
+//
 // Both fold to the standard one's-complement 16-bit result and are
 // byte-order independent in the usual way (the caller treats the result as
 // already in network order when it was computed over network-order data).
@@ -37,6 +45,13 @@ struct CksumAccumulator {
     std::span<const std::uint8_t> data) noexcept;
 [[nodiscard]] std::uint16_t cksum_unrolled(
     std::span<const std::uint8_t> data) noexcept;
+[[nodiscard]] std::uint16_t cksum_wide(
+    std::span<const std::uint8_t> data) noexcept;
+
+/// True when the wide routine compiled down to the SIMD (SSE2/NEON) inner
+/// loop rather than the scalar-wide fallback — benches record this so a
+/// baseline from one ISA is not compared against another.
+[[nodiscard]] bool cksum_simd_enabled() noexcept;
 
 /// Checksum `len` bytes of a packet starting at `off`, walking the mbuf
 /// chain without copying (the in_cksum of this stack). `simple` selects
